@@ -1,0 +1,113 @@
+// Figure 11a / 12a: Q_having — varying the number of aggregation functions
+// (1, 2, 3, 10) in the HAVING clause (Appendix A.1.1).
+//  11a: realistic delta sizes 10..1000 (IMP) vs FM.
+//  12a: break-even sweep with deltas up to ~8% of the table.
+// Partition on the group-by attribute a (rule R2; the queries use AVG).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace imp {
+namespace {
+
+constexpr size_t kBaseRows = 100000;
+constexpr size_t kGroups = 500;
+
+std::string QueryWithAggs(int num_aggs) {
+  std::string sql = "SELECT a, avg(b) AS ab FROM r500 GROUP BY a";
+  static const char* cols[] = {"c", "d", "e", "f", "g", "h", "i", "j", "b"};
+  if (num_aggs > 1) {
+    sql += " HAVING ";
+    for (int i = 0; i < num_aggs - 1; ++i) {
+      if (i > 0) sql += " AND ";
+      sql += std::string("avg(") + cols[i % 9] + ") > 0";
+    }
+  }
+  return sql;
+}
+
+struct Env {
+  Database db;
+  PartitionCatalog catalog;
+  SyntheticSpec spec;
+  Rng rng{21};
+  int64_t next_id = 0;
+
+  void Setup() {
+    spec.name = "r500";
+    spec.num_rows = bench::ScaledRows(kBaseRows);
+    spec.num_groups = kGroups;
+    IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+    next_id = static_cast<int64_t>(spec.num_rows);
+    IMP_CHECK(catalog
+                  .Register(RangePartition::EquiWidthInt(
+                      "r500", "a", 1, 0, kGroups - 1, 100))
+                  .ok());
+  }
+
+  void Insert(size_t n) {
+    std::vector<Tuple> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(SyntheticRow(spec, next_id++, &rng));
+    }
+    IMP_CHECK(db.Insert("r500", rows).ok());
+  }
+};
+
+}  // namespace
+}  // namespace imp
+
+int main() {
+  using namespace imp;
+  bench::PrintFigureHeader("Figure 11a / 12a",
+                           "Q_having: number of aggregation functions");
+  Env env;
+  env.Setup();
+  const int agg_counts[] = {1, 2, 3, 10};
+  const size_t realistic[] = {10, 50, 100, 500, 1000};
+
+  std::printf("\n-- Fig 11a: realistic deltas, maintenance time (ms) --\n");
+  bench::SeriesTable t11("#aggs",
+                         {"FM(ms)", "d=10", "d=50", "d=100", "d=500", "d=1000"});
+  for (int n : agg_counts) {
+    Binder binder(&env.db);
+    auto plan = binder.BindQuery(QueryWithAggs(n));
+    IMP_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
+    Maintainer maintainer(&env.db, &env.catalog, plan.value());
+    IMP_CHECK(maintainer.Initialize().ok());
+    std::vector<double> row;
+    row.push_back(bench::TimeFullMaintain(env.db, env.catalog, plan.value()) *
+                  1000.0);
+    for (size_t d : realistic) {
+      row.push_back(
+          bench::TimeMaintain(&maintainer, [&] { env.Insert(d); }) * 1000.0);
+    }
+    t11.AddRow(std::to_string(n), row);
+  }
+  t11.Print();
+
+  std::printf("\n-- Fig 12a: break-even sweep, delta as %% of table (ms) --\n");
+  const double fractions[] = {0.005, 0.01, 0.02, 0.05, 0.08};
+  bench::SeriesTable t12("#aggs",
+                         {"FM(ms)", "0.5%", "1%", "2%", "5%", "8%"});
+  for (int n : agg_counts) {
+    Binder binder(&env.db);
+    auto plan = binder.BindQuery(QueryWithAggs(n));
+    IMP_CHECK(plan.ok());
+    Maintainer maintainer(&env.db, &env.catalog, plan.value());
+    IMP_CHECK(maintainer.Initialize().ok());
+    std::vector<double> row;
+    row.push_back(bench::TimeFullMaintain(env.db, env.catalog, plan.value()) *
+                  1000.0);
+    for (double f : fractions) {
+      size_t d = static_cast<size_t>(f * static_cast<double>(env.spec.num_rows));
+      row.push_back(
+          bench::TimeMaintain(&maintainer, [&] { env.Insert(d); }) * 1000.0);
+    }
+    t12.AddRow(std::to_string(n), row);
+  }
+  t12.Print();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 11b / 12b: Q_groups — varying the number of groups (50, 1K, 5K,
+// 50K; the paper's 500K scaled down with the table). IMP maintenance for
+// realistic deltas vs FM, plus the break-even sweep.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace imp {
+namespace {
+
+constexpr size_t kBaseRows = 100000;
+
+struct Env {
+  Database db;
+  PartitionCatalog catalog;
+  SyntheticSpec spec;
+  Rng rng{31};
+  int64_t next_id = 0;
+
+  void Setup(size_t groups) {
+    spec.name = "t";
+    spec.num_rows = bench::ScaledRows(kBaseRows);
+    spec.num_groups = groups;
+    IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+    next_id = static_cast<int64_t>(spec.num_rows);
+    IMP_CHECK(catalog
+                  .Register(RangePartition::EquiWidthInt(
+                      "t", "a", 1, 0, static_cast<int64_t>(groups) - 1, 100))
+                  .ok());
+  }
+
+  void Insert(size_t n) {
+    std::vector<Tuple> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(SyntheticRow(spec, next_id++, &rng));
+    }
+    IMP_CHECK(db.Insert("t", rows).ok());
+  }
+};
+
+}  // namespace
+}  // namespace imp
+
+int main() {
+  using namespace imp;
+  bench::PrintFigureHeader("Figure 11b / 12b", "Q_groups: number of groups");
+  const size_t group_counts[] = {50, 1000, 5000, 50000};
+  const size_t realistic[] = {10, 50, 100, 500, 1000};
+  const double fractions[] = {0.005, 0.01, 0.02, 0.05, 0.08};
+
+  bench::SeriesTable t11("#groups",
+                         {"FM(ms)", "d=10", "d=50", "d=100", "d=500", "d=1000"});
+  bench::SeriesTable t12("#groups",
+                         {"FM(ms)", "0.5%", "1%", "2%", "5%", "8%"});
+  for (size_t groups : group_counts) {
+    Env env;
+    env.Setup(groups);
+    Binder binder(&env.db);
+    auto plan = binder.BindQuery(
+        "SELECT a, avg(b) AS ab FROM t GROUP BY a HAVING avg(c) > 0");
+    IMP_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
+    double fm =
+        bench::TimeFullMaintain(env.db, env.catalog, plan.value()) * 1000.0;
+
+    Maintainer maintainer(&env.db, &env.catalog, plan.value());
+    IMP_CHECK(maintainer.Initialize().ok());
+    std::vector<double> row{fm};
+    for (size_t d : realistic) {
+      row.push_back(
+          bench::TimeMaintain(&maintainer, [&] { env.Insert(d); }) * 1000.0);
+    }
+    t11.AddRow(std::to_string(groups), row);
+
+    std::vector<double> row12{fm};
+    for (double f : fractions) {
+      size_t d = static_cast<size_t>(f * static_cast<double>(env.spec.num_rows));
+      row12.push_back(
+          bench::TimeMaintain(&maintainer, [&] { env.Insert(d); }) * 1000.0);
+    }
+    t12.AddRow(std::to_string(groups), row12);
+  }
+  std::printf("\n-- Fig 11b: realistic deltas (ms) --\n");
+  t11.Print();
+  std::printf("\n-- Fig 12b: break-even sweep (ms) --\n");
+  t12.Print();
+  return 0;
+}

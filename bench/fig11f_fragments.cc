@@ -1,0 +1,88 @@
+// Figure 11f / 12f: Q_sketch — varying the number of fragments (#frag) of
+// the partition Φ from 10 to 5000. FM cost is dominated by evaluating the
+// capture query (insensitive to #frag); IMP's per-tuple cost grows with
+// #frag (Sec. 8.3.5).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace imp {
+namespace {
+
+struct Env {
+  Database db;
+  PartitionCatalog catalog;
+  JoinPairSpec spec;
+  Rng rng{61};
+  int64_t next_id = 0;
+
+  void Setup(size_t num_fragments) {
+    spec.left_name = "t";
+    spec.right_name = "h";
+    spec.distinct_keys = bench::ScaledRows(10000);
+    spec.left_per_key = 2;
+    spec.right_per_key = 4;
+    IMP_CHECK(CreateJoinPair(&db, spec).ok());
+    next_id = static_cast<int64_t>(spec.distinct_keys * spec.left_per_key);
+    IMP_CHECK(catalog
+                  .Register(RangePartition::EquiWidthInt(
+                      "t", "a", 1, 0,
+                      static_cast<int64_t>(spec.distinct_keys) - 1,
+                      num_fragments))
+                  .ok());
+  }
+
+  void InsertLeft(size_t n) {
+    std::vector<Tuple> rows;
+    for (size_t i = 0; i < n; ++i) {
+      int64_t key =
+          rng.UniformInt(0, static_cast<int64_t>(spec.distinct_keys) - 1);
+      rows.push_back(JoinLeftRow(spec, next_id++, key, &rng));
+    }
+    IMP_CHECK(db.Insert("t", rows).ok());
+  }
+};
+
+const char* kQuery =
+    "SELECT a, avg(b) AS ab "
+    "FROM (SELECT a AS a, b AS b, c AS c FROM t WHERE b >= 0) tt "
+    "JOIN h ON (a = ttid) "
+    "GROUP BY a HAVING avg(c) >= 0";
+
+}  // namespace
+}  // namespace imp
+
+int main() {
+  using namespace imp;
+  bench::PrintFigureHeader("Figure 11f / 12f",
+                           "Q_sketch: partition granularity (#frag)");
+  const size_t frag_counts[] = {10, 100, 1000, 5000};
+  const size_t realistic[] = {10, 50, 100, 500, 1000};
+
+  bench::SeriesTable table("#frag", {"FM(ms)", "d=10", "d=50", "d=100",
+                                     "d=500", "d=1000", "d=5%"});
+  for (size_t frags : frag_counts) {
+    Env env;
+    env.Setup(frags);
+    Binder binder(&env.db);
+    auto plan = binder.BindQuery(kQuery);
+    IMP_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
+    double fm =
+        bench::TimeFullMaintain(env.db, env.catalog, plan.value()) * 1000.0;
+    Maintainer maintainer(&env.db, &env.catalog, plan.value());
+    IMP_CHECK(maintainer.Initialize().ok());
+    std::vector<double> row{fm};
+    for (size_t d : realistic) {
+      row.push_back(
+          bench::TimeMaintain(&maintainer, [&] { env.InsertLeft(d); }) *
+          1000.0);
+    }
+    size_t d5 = env.spec.distinct_keys * env.spec.left_per_key / 20 + 1;
+    row.push_back(
+        bench::TimeMaintain(&maintainer, [&] { env.InsertLeft(d5); }) * 1000.0);
+    table.AddRow(std::to_string(frags), row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Operator microbenchmarks (google-benchmark): per-operator scaling checks
+// matching the complexity analysis of Sec. 5.3 — O(n) stateless operators,
+// O(n·p) aggregation, O(log l) ordered-state updates, O(1) bloom probes,
+// O(log p) fragment lookup.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bloom_filter.h"
+#include "imp/inc_aggregate.h"
+#include "imp/inc_operators.h"
+#include "imp/inc_topk.h"
+#include "sketch/partition.h"
+#include "workload/synthetic.h"
+
+namespace imp {
+namespace {
+
+// ---- Fragment lookup: O(log p) ----------------------------------------------
+
+void BM_FragmentOf(benchmark::State& state) {
+  size_t frags = static_cast<size_t>(state.range(0));
+  RangePartition part = RangePartition::EquiWidthInt(
+      "t", "a", 0, 0, static_cast<int64_t>(frags) * 100, frags);
+  Rng rng(1);
+  int64_t domain = static_cast<int64_t>(frags) * 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        part.FragmentOf(Value::Int(rng.UniformInt(0, domain))));
+  }
+}
+BENCHMARK(BM_FragmentOf)->Arg(10)->Arg(100)->Arg(1000)->Arg(100000);
+
+// ---- Merge operator: O(n * |sketch|) ------------------------------------------
+
+void BM_MergeProcess(benchmark::State& state) {
+  size_t frags = static_cast<size_t>(state.range(0));
+  IncMerge merge(frags);
+  Rng rng(2);
+  AnnotatedDelta delta;
+  for (int i = 0; i < 64; ++i) {
+    BitVector sk(frags);
+    sk.Set(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(frags) - 1)));
+    delta.Append(Tuple{Value::Int(i)}, std::move(sk), 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge.Process(delta));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MergeProcess)->Arg(16)->Arg(256)->Arg(4096);
+
+// ---- Bloom filter -------------------------------------------------------------
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bf(100000);
+  for (uint64_t i = 0; i < 100000; ++i) bf.AddHash(HashInt64(i));
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.MayContainHash(HashInt64(probe++)));
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+// ---- Incremental aggregation: O(n) per delta row --------------------------------
+
+class AggBench {
+ public:
+  AggBench(size_t num_rows, size_t num_groups) {
+    spec_.name = "t";
+    spec_.num_rows = num_rows;
+    spec_.num_groups = num_groups;
+    IMP_CHECK(CreateSyntheticTable(&db_, spec_).ok());
+    IMP_CHECK(catalog_
+                  .Register(RangePartition::EquiWidthInt(
+                      "t", "a", 1, 0, static_cast<int64_t>(num_groups) - 1,
+                      64))
+                  .ok());
+    auto scan = std::make_unique<IncScan>("t", nullptr, &db_, &catalog_,
+                                          db_.GetTable("t")->schema(), &stats_);
+    std::vector<ExprPtr> groups = {MakeColumnRef(1, "a", ValueType::kInt)};
+    std::vector<AggSpec> aggs = {
+        {AggFunc::kSum, MakeColumnRef(2, "b", ValueType::kInt), "s"},
+        {AggFunc::kCount, nullptr, "n"}};
+    Schema out;
+    out.AddColumn("a", ValueType::kInt);
+    out.AddColumn("s", ValueType::kInt);
+    out.AddColumn("n", ValueType::kInt);
+    agg_ = std::make_unique<IncAggregate>(std::move(scan), groups, aggs, out,
+                                          IncAggregate::Options{}, &stats_);
+    IMP_CHECK(agg_->Build(DeltaContext{}).ok());
+  }
+
+  DeltaContext MakeDelta(size_t n) {
+    Rng rng(3);
+    uint64_t from = db_.CurrentVersion();
+    std::vector<Tuple> rows;
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(SyntheticRow(spec_, next_id_++, &rng));
+    }
+    IMP_CHECK(db_.Insert("t", rows).ok());
+    return MakeDeltaContext({db_.ScanDelta("t", from, db_.CurrentVersion())},
+                            catalog_);
+  }
+
+  Database db_;
+  PartitionCatalog catalog_;
+  SyntheticSpec spec_;
+  MaintainStats stats_;
+  std::unique_ptr<IncAggregate> agg_;
+  int64_t next_id_ = 1000000;
+};
+
+void BM_IncAggregateProcess(benchmark::State& state) {
+  AggBench bench(20000, 1000);
+  size_t delta_rows = static_cast<size_t>(state.range(0));
+  DeltaContext ctx = bench.MakeDelta(delta_rows);
+  for (auto _ : state) {
+    auto out = bench.agg_->Process(ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(delta_rows));
+}
+BENCHMARK(BM_IncAggregateProcess)->Arg(10)->Arg(100)->Arg(1000);
+
+// ---- Incremental top-k ----------------------------------------------------------
+
+void BM_IncTopKProcess(benchmark::State& state) {
+  Database db;
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_rows = 20000;
+  spec.num_groups = 5000;
+  IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+  PartitionCatalog catalog;
+  IMP_CHECK(
+      catalog.Register(RangePartition::EquiWidthInt("t", "a", 1, 0, 4999, 64))
+          .ok());
+  MaintainStats stats;
+  auto scan = std::make_unique<IncScan>("t", nullptr, &db, &catalog,
+                                        db.GetTable("t")->schema(), &stats);
+  IncTopK::Options opts;
+  opts.buffer = static_cast<size_t>(state.range(0));
+  IncTopK topk(std::move(scan), {SortSpec{2, true}}, 10, opts, &stats);
+  IMP_CHECK(topk.Build(DeltaContext{}).ok());
+
+  Rng rng(4);
+  uint64_t from = db.CurrentVersion();
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back(SyntheticRow(spec, 500000 + i, &rng));
+  }
+  IMP_CHECK(db.Insert("t", rows).ok());
+  DeltaContext ctx =
+      MakeDeltaContext({db.ScanDelta("t", from, db.CurrentVersion())}, catalog);
+  for (auto _ : state) {
+    auto out = topk.Process(ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_IncTopKProcess)->Arg(0)->Arg(100)->Arg(1000);
+
+// ---- BitVector union (join annotation merging) -----------------------------------
+
+void BM_BitVectorUnion(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  BitVector a(bits), b(bits);
+  for (size_t i = 0; i < bits; i += 7) a.Set(i);
+  for (size_t i = 3; i < bits; i += 11) b.Set(i);
+  for (auto _ : state) {
+    BitVector c = a;
+    c.UnionWith(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BitVectorUnion)->Arg(64)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace imp
+
+BENCHMARK_MAIN();

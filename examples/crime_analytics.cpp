@@ -1,0 +1,66 @@
+// Crime analytics example: the paper's real-world scenario (Sec. 8.2.2) —
+// per-beat crime statistics (CQ1) and hotspot detection (CQ2) over a feed
+// of incoming incident reports, answered through incrementally maintained
+// provenance sketches.
+
+#include <cstdio>
+
+#include "workload/crimes.h"
+#include "middleware/imp_system.h"
+
+using namespace imp;
+
+int main() {
+  Database db;
+  CrimesSpec spec;
+  spec.num_rows = 100000;
+  IMP_CHECK(CreateCrimesTable(&db, spec).ok());
+
+  ImpSystem imp(&db);
+  IMP_CHECK(imp.RegisterPartition(RangePartition::EquiWidthInt(
+                                      "crimes", "beat", 1, 1, spec.num_beats,
+                                      50))
+                .ok());
+
+  int64_t hotspot_threshold = spec.num_rows / static_cast<size_t>(spec.num_beats);
+  std::string cq2 = CrimesCq2Sql(hotspot_threshold);
+
+  // Initial dashboards: capture sketches for both query templates.
+  auto cq1_result = imp.Query(CrimesCq1Sql());
+  IMP_CHECK(cq1_result.ok());
+  auto cq2_result = imp.Query(cq2);
+  IMP_CHECK(cq2_result.ok());
+  std::printf("initial: CQ1 groups=%zu, CQ2 hotspots=%zu (threshold %lld), "
+              "sketches captured=%zu\n",
+              cq1_result.value().size(), cq2_result.value().size(),
+              static_cast<long long>(hotspot_threshold),
+              imp.stats().sketch_captures);
+
+  // Stream of incident batches; dashboards refresh after each batch.
+  Rng rng(13);
+  int64_t next_id = static_cast<int64_t>(spec.num_rows);
+  for (int batch = 1; batch <= 5; ++batch) {
+    BoundUpdate update;
+    update.kind = BoundUpdate::Kind::kInsert;
+    update.table = "crimes";
+    for (int i = 0; i < 500; ++i) {
+      update.rows.push_back(CrimesRow(spec, next_id++, &rng));
+    }
+    IMP_CHECK(imp.UpdateBound(update).ok());
+
+    cq2_result = imp.Query(cq2);
+    IMP_CHECK(cq2_result.ok());
+    std::printf("batch %d (+500 incidents): hotspots=%zu, maintenances=%zu\n",
+                batch, cq2_result.value().size(), imp.stats().maintenances);
+  }
+
+  std::printf("\ntotals: capture %.1f ms, incremental maintenance %.1f ms, "
+              "query execution %.1f ms\n",
+              imp.stats().capture_seconds * 1000.0,
+              imp.stats().maintain_seconds * 1000.0,
+              imp.stats().query_seconds * 1000.0);
+  std::printf("(compare: one full recapture costs about as much as the "
+              "initial capture — incremental maintenance of 500-row deltas "
+              "is orders of magnitude cheaper)\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Interactive SQL shell over the IMP middleware — a minimal psql-style
+// front end that makes the capture / reuse / maintain lifecycle visible.
+//
+//   build/examples/imp_shell
+//
+// The shell starts with the demo datasets loaded (sales running example,
+// a synthetic table `r500`, and `crimes`), with partitions registered.
+// Meta commands:
+//   \sketches            list managed sketches with versions & fragments
+//   \stats               middleware counters and timings
+//   \evict               persist + evict all incremental operator state
+//   \mode ns|fm|imp      (printed hint: mode is fixed per session)
+//   \q                   quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "middleware/imp_system.h"
+#include "workload/crimes.h"
+#include "workload/synthetic.h"
+
+using namespace imp;
+
+namespace {
+
+void PrintRelation(const Relation& rel, size_t max_rows = 25) {
+  for (size_t c = 0; c < rel.schema.size(); ++c) {
+    std::printf("%-16s", rel.schema.column(c).name.c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < rel.schema.size(); ++c) std::printf("%-16s", "----");
+  std::printf("\n");
+  size_t shown = 0;
+  for (const Tuple& row : rel.rows) {
+    if (shown++ >= max_rows) {
+      std::printf("... (%zu rows total)\n", rel.rows.size());
+      return;
+    }
+    for (const Value& v : row) std::printf("%-16s", v.ToString().c_str());
+    std::printf("\n");
+  }
+  std::printf("(%zu rows)\n", rel.rows.size());
+}
+
+void LoadDemoData(Database* db) {
+  // Fig. 1 sales table.
+  Schema schema;
+  schema.AddColumn("sid", ValueType::kInt);
+  schema.AddColumn("brand", ValueType::kString);
+  schema.AddColumn("productName", ValueType::kString);
+  schema.AddColumn("price", ValueType::kInt);
+  schema.AddColumn("numSold", ValueType::kInt);
+  IMP_CHECK(db->CreateTable("sales", schema).ok());
+  IMP_CHECK(db->BulkLoad(
+                  "sales",
+                  {{Value::Int(1), Value::String("Lenovo"),
+                    Value::String("ThinkPad T14s"), Value::Int(349),
+                    Value::Int(1)},
+                   {Value::Int(2), Value::String("Lenovo"),
+                    Value::String("ThinkPad T14s"), Value::Int(449),
+                    Value::Int(2)},
+                   {Value::Int(3), Value::String("Apple"),
+                    Value::String("MacBook Air 13"), Value::Int(1199),
+                    Value::Int(1)},
+                   {Value::Int(4), Value::String("Apple"),
+                    Value::String("MacBook Pro 14"), Value::Int(3875),
+                    Value::Int(1)},
+                   {Value::Int(5), Value::String("Dell"),
+                    Value::String("XPS 13"), Value::Int(1345), Value::Int(1)},
+                   {Value::Int(6), Value::String("HP"),
+                    Value::String("ProBook 450 G9"), Value::Int(999),
+                    Value::Int(4)},
+                   {Value::Int(7), Value::String("HP"),
+                    Value::String("ProBook 550 G9"), Value::Int(899),
+                    Value::Int(1)}})
+                .ok());
+  SyntheticSpec synth;
+  synth.name = "r500";
+  synth.num_rows = 20000;
+  synth.num_groups = 500;
+  IMP_CHECK(CreateSyntheticTable(db, synth).ok());
+  CrimesSpec crimes;
+  crimes.num_rows = 20000;
+  IMP_CHECK(CreateCrimesTable(db, crimes).ok());
+}
+
+void PrintSketches(ImpSystem* system) {
+  auto entries = system->sketches().AllEntries();
+  if (entries.empty()) {
+    std::printf("no sketches captured yet\n");
+    return;
+  }
+  for (const SketchEntry* e : entries) {
+    // Template keys are multi-line plan dumps; flatten for display.
+    std::string key = e->state_key;
+    for (char& c : key) {
+      if (c == '\n') c = ' ';
+    }
+    if (key.size() > 70) key = key.substr(0, 67) + "...";
+    std::printf("- %-70s  version=%llu  fragments=%zu%s\n", key.c_str(),
+                static_cast<unsigned long long>(e->valid_version()),
+                e->sketch.NumFragments(),
+                e->state_evicted ? "  [state evicted]" : "");
+  }
+}
+
+void PrintStats(const ImpSystemStats& s) {
+  std::printf("queries=%zu updates=%zu captures=%zu uses=%zu "
+              "maintenances=%zu\n",
+              s.queries, s.updates, s.sketch_captures, s.sketch_uses,
+              s.maintenances);
+  std::printf("capture=%.2fms maintain=%.2fms query=%.2fms update=%.2fms\n",
+              s.capture_seconds * 1000, s.maintain_seconds * 1000,
+              s.query_seconds * 1000, s.update_seconds * 1000);
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  LoadDemoData(&db);
+  ImpSystem system(&db);
+  IMP_CHECK(system.RegisterPartition(RangePartition(
+                                         "sales", "price", 3,
+                                         {Value::Int(1), Value::Int(601),
+                                          Value::Int(1001), Value::Int(1501),
+                                          Value::Int(10000)}))
+                .ok());
+  IMP_CHECK(system.PartitionTable("r500", "a", 50).ok());
+  IMP_CHECK(system.PartitionTable("crimes", "beat", 50).ok());
+
+  std::printf("IMP shell — tables: sales, r500, crimes  (\\q to quit)\n");
+  std::printf("try:  SELECT brand, sum(price * numSold) AS rev FROM sales "
+              "GROUP BY brand HAVING sum(price * numSold) > 5000;\n\n");
+
+  std::string line;
+  std::string statement;
+  while (true) {
+    std::printf(statement.empty() ? "imp> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (statement.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q") break;
+      if (line == "\\sketches") {
+        PrintSketches(&system);
+      } else if (line == "\\stats") {
+        PrintStats(system.stats());
+      } else if (line == "\\evict") {
+        Status st = system.EvictSketchStates();
+        std::printf("%s\n", st.ok() ? "state evicted to backend"
+                                    : st.ToString().c_str());
+      } else {
+        std::printf("unknown meta command: %s\n", line.c_str());
+      }
+      continue;
+    }
+    statement += line;
+    statement += "\n";
+    if (line.find(';') == std::string::npos && !line.empty()) continue;
+    if (statement.find_first_not_of(" \t\n;") == std::string::npos) {
+      statement.clear();
+      continue;
+    }
+
+    // Dispatch: SELECT -> Query, otherwise Update.
+    size_t first = statement.find_first_not_of(" \t\n");
+    bool is_query = statement.compare(first, 6, "SELECT") == 0 ||
+                    statement.compare(first, 6, "select") == 0;
+    if (is_query) {
+      auto result = system.Query(statement);
+      if (result.ok()) {
+        PrintRelation(result.value());
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+    } else {
+      auto result = system.Update(statement);
+      if (result.ok()) {
+        std::printf("ok (backend version %llu)\n",
+                    static_cast<unsigned long long>(result.value()));
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+    }
+    statement.clear();
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Stateless-chain analysis: recognize subplans of the form
+// σ*/Π* over a single Scan and expose them in an executable form.
+//
+// Two IMP components rely on this shape:
+//  * selection push-down (Sec. 7.2) remaps the chain's filters onto the
+//    scan's schema so delta fetching can pre-filter in the backend;
+//  * the delegated-join fast path probes a hash index on the scanned table
+//    and replays the chain per matching row instead of evaluating the
+//    whole side (the backend's index access method).
+
+#ifndef IMP_ALGEBRA_CHAIN_H_
+#define IMP_ALGEBRA_CHAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace imp {
+
+/// One operator of the chain, bottom-up above the scan.
+struct ChainStep {
+  bool is_filter = false;
+  ExprPtr predicate;           // is_filter == true
+  std::vector<ExprPtr> exprs;  // is_filter == false: projection expressions
+};
+
+/// A σ*/Π* chain over one base-table scan.
+struct StatelessChain {
+  std::string table;
+  Schema scan_schema;
+  ExprPtr scan_filter;          // optional ScanNode filter
+  std::vector<ChainStep> steps; // applied bottom-up after the scan
+  /// chain-output column -> scan column, or -1 for computed columns.
+  std::vector<int> to_scan;
+
+  /// Apply scan filter + steps to a base row; returns false when filtered.
+  bool Replay(const Tuple& base_row, Tuple* out) const;
+};
+
+/// Recognize `plan` as a stateless chain; nullopt otherwise.
+std::optional<StatelessChain> ExtractStatelessChain(const PlanPtr& plan);
+
+}  // namespace imp
+
+#endif  // IMP_ALGEBRA_CHAIN_H_

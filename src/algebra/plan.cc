@@ -1,0 +1,216 @@
+#include "algebra/plan.h"
+
+namespace imp {
+
+const char* AggFuncName(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kCount: return "count";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+ValueType AggSpec::OutputType() const {
+  switch (fn) {
+    case AggFunc::kCount:
+      return ValueType::kInt;
+    case AggFunc::kAvg:
+      return ValueType::kDouble;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg ? arg->result_type() : ValueType::kInt;
+  }
+  return ValueType::kNull;
+}
+
+std::string AggSpec::ToString(bool templated) const {
+  std::string out = AggFuncName(fn);
+  out += "(";
+  out += arg ? arg->ToString(templated) : "*";
+  out += ") AS ";
+  out += name;
+  return out;
+}
+
+std::string PlanNode::ToString(bool templated) const {
+  std::string out;
+  ToStringRec(&out, 0, templated);
+  return out;
+}
+
+void PlanNode::ToStringRec(std::string* out, int indent, bool templated) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(Label(templated));
+  out->push_back('\n');
+  for (const PlanPtr& child : children_) {
+    child->ToStringRec(out, indent + 1, templated);
+  }
+}
+
+std::set<std::string> PlanNode::ReferencedTables() const {
+  std::set<std::string> out;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    if (node.kind() == PlanKind::kScan) {
+      out.insert(static_cast<const ScanNode&>(node).table());
+    }
+    for (const PlanPtr& child : node.children()) walk(*child);
+  };
+  walk(*this);
+  return out;
+}
+
+std::string ScanNode::Label(bool templated) const {
+  std::string out = "Scan[" + table_;
+  if (filter_) out += " | " + filter_->ToString(templated);
+  out += "]";
+  return out;
+}
+
+std::string SelectNode::Label(bool templated) const {
+  return "Select[" + predicate_->ToString(templated) + "]";
+}
+
+ProjectNode::ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+                         std::vector<std::string> names)
+    : PlanNode(PlanKind::kProject,
+               [&] {
+                 IMP_CHECK(exprs.size() == names.size());
+                 Schema s;
+                 for (size_t i = 0; i < exprs.size(); ++i) {
+                   s.AddColumn(names[i], exprs[i]->result_type());
+                 }
+                 return s;
+               }(),
+               {child}),
+      exprs_(std::move(exprs)) {}
+
+std::string ProjectNode::Label(bool templated) const {
+  std::string out = "Project[";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString(templated);
+    out += " AS ";
+    out += output_schema().column(i).name;
+  }
+  out += "]";
+  return out;
+}
+
+JoinNode::JoinNode(PlanPtr left, PlanPtr right, std::vector<KeyPair> keys,
+                   ExprPtr residual)
+    : PlanNode(PlanKind::kJoin,
+               Schema::Concat(left->output_schema(), right->output_schema()),
+               {left, right}),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)) {}
+
+std::string JoinNode::Label(bool templated) const {
+  std::string out = keys_.empty() ? "CrossProduct[" : "Join[";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += left()->output_schema().column(keys_[i].first).name;
+    out += " = ";
+    out += right()->output_schema().column(keys_[i].second).name;
+  }
+  if (residual_) {
+    if (!keys_.empty()) out += " AND ";
+    out += residual_->ToString(templated);
+  }
+  out += "]";
+  return out;
+}
+
+AggregateNode::AggregateNode(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                             std::vector<std::string> group_names,
+                             std::vector<AggSpec> aggs)
+    : PlanNode(PlanKind::kAggregate,
+               [&] {
+                 IMP_CHECK(group_exprs.size() == group_names.size());
+                 Schema s;
+                 for (size_t i = 0; i < group_exprs.size(); ++i) {
+                   s.AddColumn(group_names[i], group_exprs[i]->result_type());
+                 }
+                 for (const AggSpec& agg : aggs) {
+                   s.AddColumn(agg.name, agg.OutputType());
+                 }
+                 return s;
+               }(),
+               {child}),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)) {}
+
+std::string AggregateNode::Label(bool templated) const {
+  std::string out = "Aggregate[";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString(templated);
+  }
+  out += " ; ";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs_[i].ToString(templated);
+  }
+  out += "]";
+  return out;
+}
+
+std::string TopKNode::Label(bool) const {
+  std::string out = "TopK[";
+  for (size_t i = 0; i < sorts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += child()->output_schema().column(sorts_[i].column).name;
+    out += sorts_[i].ascending ? " ASC" : " DESC";
+  }
+  out += " ; k=" + std::to_string(k_) + "]";
+  return out;
+}
+
+PlanPtr MakeScan(std::string table, Schema schema, ExprPtr filter) {
+  return std::make_shared<ScanNode>(std::move(table), std::move(schema),
+                                    std::move(filter));
+}
+
+PlanPtr MakeSelect(PlanPtr child, ExprPtr predicate) {
+  return std::make_shared<SelectNode>(std::move(child), std::move(predicate));
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names) {
+  return std::make_shared<ProjectNode>(std::move(child), std::move(exprs),
+                                       std::move(names));
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right,
+                 std::vector<JoinNode::KeyPair> keys, ExprPtr residual) {
+  return std::make_shared<JoinNode>(std::move(left), std::move(right),
+                                    std::move(keys), std::move(residual));
+}
+
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                      std::vector<std::string> group_names,
+                      std::vector<AggSpec> aggs) {
+  return std::make_shared<AggregateNode>(std::move(child),
+                                         std::move(group_exprs),
+                                         std::move(group_names),
+                                         std::move(aggs));
+}
+
+PlanPtr MakeTopK(PlanPtr child, std::vector<SortSpec> sorts, size_t k) {
+  return std::make_shared<TopKNode>(std::move(child), std::move(sorts), k);
+}
+
+PlanPtr MakeDistinct(PlanPtr child) {
+  return std::make_shared<DistinctNode>(std::move(child));
+}
+
+void VisitPlan(const PlanPtr& plan,
+               const std::function<void(const PlanPtr&)>& fn) {
+  fn(plan);
+  for (const PlanPtr& child : plan->children()) VisitPlan(child, fn);
+}
+
+}  // namespace imp

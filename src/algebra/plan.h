@@ -1,0 +1,236 @@
+// Logical relational algebra plans — IMP's intermediate representation.
+//
+// Plans are immutable trees (Fig. 4 algebra): table access, selection,
+// projection, equi-join / cross product, group-by aggregation (sum, count,
+// avg, min, max), duplicate removal, and top-k. HAVING is a selection over
+// an aggregate's output. Plans provide:
+//  * output schema inference,
+//  * pretty printing,
+//  * template keys (constants replaced by '?'), used by the sketch manager
+//    to look up candidate sketches (Sec. 7.1).
+
+#ifndef IMP_ALGEBRA_PLAN_H_
+#define IMP_ALGEBRA_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace imp {
+
+enum class PlanKind : uint8_t {
+  kScan, kSelect, kProject, kJoin, kAggregate, kTopK, kDistinct,
+};
+
+/// Aggregation functions supported by the incremental engine (Sec. 5.2.5/6).
+enum class AggFunc : uint8_t { kSum, kCount, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc fn);
+
+/// One aggregation: fn(arg) AS name; arg == nullptr means COUNT(*).
+struct AggSpec {
+  AggFunc fn = AggFunc::kCount;
+  ExprPtr arg;       // over the aggregate input's schema
+  std::string name;  // output column name
+
+  ValueType OutputType() const;
+  std::string ToString(bool templated) const;
+};
+
+/// One ORDER BY key: output-schema column index + direction.
+struct SortSpec {
+  size_t column = 0;
+  bool ascending = true;
+};
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Abstract immutable plan node.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  PlanKind kind() const { return kind_; }
+  const Schema& output_schema() const { return output_schema_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+
+  /// Multi-line indented rendering; `templated` replaces constants by '?'.
+  std::string ToString(bool templated = false) const;
+
+  /// Canonical single string with constants templated — the sketch-store
+  /// key ("query template", Sec. 7.1).
+  std::string TemplateKey() const { return ToString(/*templated=*/true); }
+
+  /// Names of all base tables accessed by the subtree.
+  std::set<std::string> ReferencedTables() const;
+
+ protected:
+  PlanNode(PlanKind kind, Schema output_schema, std::vector<PlanPtr> children)
+      : kind_(kind),
+        output_schema_(std::move(output_schema)),
+        children_(std::move(children)) {}
+
+  /// Single-line label for this node ("Select[(a > 3)]").
+  virtual std::string Label(bool templated) const = 0;
+
+ private:
+  void ToStringRec(std::string* out, int indent, bool templated) const;
+
+  PlanKind kind_;
+  Schema output_schema_;
+  std::vector<PlanPtr> children_;
+};
+
+/// Base-table access; `filter` is an optional pushed-down scan predicate
+/// (used by the sketch use-rewrite and delta pre-filtering).
+class ScanNode final : public PlanNode {
+ public:
+  ScanNode(std::string table, Schema schema, ExprPtr filter = nullptr)
+      : PlanNode(PlanKind::kScan, std::move(schema), {}),
+        table_(std::move(table)),
+        filter_(std::move(filter)) {}
+
+  const std::string& table() const { return table_; }
+  const ExprPtr& filter() const { return filter_; }
+
+ protected:
+  std::string Label(bool templated) const override;
+
+ private:
+  std::string table_;
+  ExprPtr filter_;
+};
+
+/// Selection σ_pred.
+class SelectNode final : public PlanNode {
+ public:
+  SelectNode(PlanPtr child, ExprPtr predicate)
+      : PlanNode(PlanKind::kSelect, child->output_schema(), {child}),
+        predicate_(std::move(predicate)) {}
+
+  const ExprPtr& predicate() const { return predicate_; }
+  const PlanPtr& child() const { return children()[0]; }
+
+ protected:
+  std::string Label(bool templated) const override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Projection Π with generalized expressions and renaming.
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+              std::vector<std::string> names);
+
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+  const PlanPtr& child() const { return children()[0]; }
+
+ protected:
+  std::string Label(bool templated) const override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Inner equi-join (cross product when `keys` is empty) with an optional
+/// residual predicate over the concatenated schema.
+class JoinNode final : public PlanNode {
+ public:
+  /// (left column index, right column index) equality pairs.
+  using KeyPair = std::pair<size_t, size_t>;
+
+  JoinNode(PlanPtr left, PlanPtr right, std::vector<KeyPair> keys,
+           ExprPtr residual = nullptr);
+
+  const PlanPtr& left() const { return children()[0]; }
+  const PlanPtr& right() const { return children()[1]; }
+  const std::vector<KeyPair>& keys() const { return keys_; }
+  const ExprPtr& residual() const { return residual_; }
+
+ protected:
+  std::string Label(bool templated) const override;
+
+ private:
+  std::vector<KeyPair> keys_;
+  ExprPtr residual_;
+};
+
+/// Group-by aggregation γ. Output schema = group columns then aggregates.
+class AggregateNode final : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                std::vector<std::string> group_names,
+                std::vector<AggSpec> aggs);
+
+  const PlanPtr& child() const { return children()[0]; }
+  const std::vector<ExprPtr>& group_exprs() const { return group_exprs_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
+ protected:
+  std::string Label(bool templated) const override;
+
+ private:
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+};
+
+/// Top-k τ_{k,O}: first k tuples in the order induced by `sorts`.
+class TopKNode final : public PlanNode {
+ public:
+  TopKNode(PlanPtr child, std::vector<SortSpec> sorts, size_t k)
+      : PlanNode(PlanKind::kTopK, child->output_schema(), {child}),
+        sorts_(std::move(sorts)),
+        k_(k) {}
+
+  const PlanPtr& child() const { return children()[0]; }
+  const std::vector<SortSpec>& sorts() const { return sorts_; }
+  size_t k() const { return k_; }
+
+ protected:
+  std::string Label(bool templated) const override;
+
+ private:
+  std::vector<SortSpec> sorts_;
+  size_t k_;
+};
+
+/// Duplicate removal δ.
+class DistinctNode final : public PlanNode {
+ public:
+  explicit DistinctNode(PlanPtr child)
+      : PlanNode(PlanKind::kDistinct, child->output_schema(), {child}) {}
+
+  const PlanPtr& child() const { return children()[0]; }
+
+ protected:
+  std::string Label(bool) const override { return "Distinct"; }
+};
+
+// ---- Builders -------------------------------------------------------------
+
+PlanPtr MakeScan(std::string table, Schema schema, ExprPtr filter = nullptr);
+PlanPtr MakeSelect(PlanPtr child, ExprPtr predicate);
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names);
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right,
+                 std::vector<JoinNode::KeyPair> keys, ExprPtr residual = nullptr);
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                      std::vector<std::string> group_names,
+                      std::vector<AggSpec> aggs);
+PlanPtr MakeTopK(PlanPtr child, std::vector<SortSpec> sorts, size_t k);
+PlanPtr MakeDistinct(PlanPtr child);
+
+/// Pre-order traversal of the plan tree.
+void VisitPlan(const PlanPtr& plan,
+               const std::function<void(const PlanPtr&)>& fn);
+
+}  // namespace imp
+
+#endif  // IMP_ALGEBRA_PLAN_H_

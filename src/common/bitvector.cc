@@ -1,0 +1,120 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+#include "common/hash.h"
+
+namespace imp {
+
+void BitVector::Resize(size_t num_bits) {
+  if (num_bits <= num_bits_) return;
+  num_bits_ = num_bits;
+  words_.resize((num_bits + 63) / 64, 0);
+}
+
+size_t BitVector::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+  return c;
+}
+
+bool BitVector::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void BitVector::UnionWith(const BitVector& other) {
+  if (other.num_bits_ > num_bits_) Resize(other.num_bits_);
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::IntersectWith(const BitVector& other) {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= (i < other.words_.size() ? other.words_[i] : 0);
+  }
+}
+
+void BitVector::SubtractWith(const BitVector& other) {
+  size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                 : other.words_.size();
+  for (size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+}
+
+bool BitVector::Covers(const BitVector& other) const {
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    uint64_t mine = i < words_.size() ? words_[i] : 0;
+    if ((other.words_[i] & ~mine) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector::Intersects(const BitVector& other) const {
+  size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                 : other.words_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> BitVector::SetBits() const {
+  std::vector<size_t> out;
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      int b = std::countr_zero(w);
+      out.push_back(wi * 64 + static_cast<size_t>(b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVector::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i : SetBits()) {
+    if (!first) out += ", ";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  // Equality up to trailing zero words (vectors over different universes
+  // with identical set bits compare equal).
+  size_t n = words_.size() > other.words_.size() ? words_.size()
+                                                 : other.words_.size();
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+bool BitVector::operator<(const BitVector& other) const {
+  size_t n = words_.size() > other.words_.size() ? words_.size()
+                                                 : other.words_.size();
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return a < b;
+  }
+  return false;
+}
+
+uint64_t BitVector::Hash() const {
+  uint64_t h = 0xa0761d6478bd642fULL;
+  // Skip trailing zero words so equal vectors hash equally.
+  size_t last = words_.size();
+  while (last > 0 && words_[last - 1] == 0) --last;
+  for (size_t i = 0; i < last; ++i) h = HashCombine(h, HashInt64(words_[i]));
+  return h;
+}
+
+}  // namespace imp

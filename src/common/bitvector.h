@@ -1,0 +1,83 @@
+// Dynamic bitset used to encode provenance sketches compactly (Sec. 7.1:
+// "annotations ... are stored ... as bit sets"; Fig. 18 reports sketch
+// sizes assuming a bitvector encoding).
+
+#ifndef IMP_COMMON_BITVECTOR_H_
+#define IMP_COMMON_BITVECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace imp {
+
+/// Fixed-width dynamic bitset over 64-bit words.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// All-zero bitvector with `num_bits` addressable bits.
+  explicit BitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t num_bits() const { return num_bits_; }
+
+  /// Grow to at least `num_bits` (new bits are zero).
+  void Resize(size_t num_bits);
+
+  void Set(size_t i) {
+    IMP_DCHECK(i < num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Reset(size_t i) {
+    IMP_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(size_t i) const {
+    if (i >= num_bits_) return false;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const;
+  bool None() const;
+
+  /// In-place bitwise union / intersection / difference. The other vector
+  /// may have a different size; this vector grows as needed.
+  void UnionWith(const BitVector& other);
+  void IntersectWith(const BitVector& other);
+  void SubtractWith(const BitVector& other);
+
+  /// True iff every set bit of `other` is also set here.
+  bool Covers(const BitVector& other) const;
+  /// True iff some bit is set in both.
+  bool Intersects(const BitVector& other) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> SetBits() const;
+
+  /// Bytes used by the word storage (Fig. 18 accounting).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+  /// Render as "{1, 5, 9}".
+  std::string ToString() const;
+
+  bool operator==(const BitVector& other) const;
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+  /// Lexicographic order on words; total order for use as a map key.
+  bool operator<(const BitVector& other) const;
+
+  /// Hash consistent with operator==.
+  uint64_t Hash() const;
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_BITVECTOR_H_

@@ -1,0 +1,37 @@
+#include "common/bloom_filter.h"
+
+#include "common/hash.h"
+
+namespace imp {
+
+BloomFilter::BloomFilter(size_t expected_items, size_t bits_per_item) {
+  size_t bits = expected_items * bits_per_item;
+  if (bits < 64) bits = 64;
+  num_bits_ = bits;
+  // k = ln(2) * bits/item, clamped to a sane range.
+  num_hashes_ = static_cast<int>(bits_per_item * 0.69);
+  if (num_hashes_ < 1) num_hashes_ = 1;
+  if (num_hashes_ > 12) num_hashes_ = 12;
+  words_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::AddHash(uint64_t hash) {
+  uint64_t h1 = hash;
+  uint64_t h2 = HashInt64(hash);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    words_[bit >> 6] |= (uint64_t{1} << (bit & 63));
+  }
+}
+
+bool BloomFilter::MayContainHash(uint64_t hash) const {
+  uint64_t h1 = hash;
+  uint64_t h2 = HashInt64(hash);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    if (((words_[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace imp

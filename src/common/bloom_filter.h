@@ -1,0 +1,46 @@
+// Bloom filter used by IMP's join optimization (Sec. 7.2): each side of an
+// equi-join keeps a filter over its join-key values so delta tuples without
+// join partners can be pruned before the backend round trip.
+
+#ifndef IMP_COMMON_BLOOM_FILTER_H_
+#define IMP_COMMON_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace imp {
+
+/// Standard k-hash bloom filter with double hashing.
+class BloomFilter {
+ public:
+  /// Sized for `expected_items` at roughly `bits_per_item` bits each
+  /// (10 bits/item ~ 1% false-positive rate).
+  explicit BloomFilter(size_t expected_items = 1024, size_t bits_per_item = 10);
+
+  /// Insert a pre-hashed key.
+  void AddHash(uint64_t hash);
+  /// Membership test for a pre-hashed key (may return false positives).
+  bool MayContainHash(uint64_t hash) const;
+
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+  /// Restore from persisted state (see common/serde.h users).
+  void Restore(size_t num_bits, int num_hashes, std::vector<uint64_t> words) {
+    num_bits_ = num_bits;
+    num_hashes_ = num_hashes;
+    words_ = std::move(words);
+  }
+
+ private:
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_BLOOM_FILTER_H_

@@ -1,0 +1,60 @@
+// Deterministic random number generation for workload generators and
+// property tests (seeded, reproducible across runs).
+
+#ifndef IMP_COMMON_RANDOM_H_
+#define IMP_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace imp {
+
+/// Thin wrapper over mt19937_64 with the sampling helpers the workload
+/// generators need (uniform ints/doubles, Gaussian noise, Zipf skew).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double Gaussian(double stddev) {
+    std::normal_distribution<double> d(0.0, stddev);
+    return d(gen_);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return UniformDouble(0.0, 1.0) < p; }
+
+  /// Zipf-distributed rank in [1, n] with exponent s (rejection sampling).
+  int64_t Zipf(int64_t n, double s = 1.0) {
+    // Inverse-CDF approximation adequate for workload skew.
+    double u = UniformDouble(0.0, 1.0);
+    double x = std::pow(static_cast<double>(n), 1.0 - u);
+    if (s != 1.0) x = std::pow(x, 1.0 / s);
+    int64_t r = static_cast<int64_t>(x);
+    if (r < 1) r = 1;
+    if (r > n) r = n;
+    return r;
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_RANDOM_H_

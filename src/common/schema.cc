@@ -1,0 +1,51 @@
+#include "common/schema.h"
+
+namespace imp {
+
+namespace {
+/// The unqualified suffix of "qualifier.name", or the input itself.
+std::string BaseName(const std::string& name) {
+  auto pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+}  // namespace
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  // Pass 1: exact match on the stored name.
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      if (found) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  if (found) return found;
+  // Pass 2: match the unqualified suffix ("a" finds "r.a").
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (BaseName(columns_[i].name) == name) {
+      if (found) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out;
+  for (const auto& c : left.columns()) out.AddColumn(c.name, c.type);
+  for (const auto& c : right.columns()) out.AddColumn(c.name, c.type);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace imp

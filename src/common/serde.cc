@@ -1,0 +1,120 @@
+#include "common/serde.h"
+
+namespace imp {
+
+void SerdeWriter::WriteValue(const Value& v) {
+  WriteU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      WriteI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      WriteDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      WriteString(v.AsString());
+      break;
+  }
+}
+
+void SerdeWriter::WriteTuple(const Tuple& t) {
+  WriteU64(t.size());
+  for (const Value& v : t) WriteValue(v);
+}
+
+void SerdeWriter::WriteBitVector(const BitVector& bv) {
+  WriteU64(bv.num_bits());
+  WriteU64(bv.words().size());
+  for (uint64_t w : bv.words()) WriteU64(w);
+}
+
+Result<uint8_t> SerdeReader::ReadU8() {
+  IMP_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(buf_[pos_++]);
+}
+
+Result<uint64_t> SerdeReader::ReadU64() {
+  IMP_RETURN_NOT_OK(Need(8));
+  uint64_t v;
+  std::memcpy(&v, buf_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> SerdeReader::ReadI64() {
+  IMP_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> SerdeReader::ReadDouble() {
+  IMP_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Result<bool> SerdeReader::ReadBool() {
+  IMP_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+  return v != 0;
+}
+
+Result<std::string> SerdeReader::ReadString() {
+  IMP_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  IMP_RETURN_NOT_OK(Need(len));
+  std::string s = buf_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> SerdeReader::ReadValue() {
+  IMP_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      IMP_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      IMP_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Value::Double(v);
+    }
+    case ValueType::kString: {
+      IMP_ASSIGN_OR_RETURN(std::string s, ReadString());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::Internal("serde: bad value tag");
+}
+
+Result<Tuple> SerdeReader::ReadTuple() {
+  IMP_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  Tuple t;
+  t.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    IMP_ASSIGN_OR_RETURN(Value v, ReadValue());
+    t.push_back(std::move(v));
+  }
+  return t;
+}
+
+Result<BitVector> SerdeReader::ReadBitVector() {
+  IMP_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  IMP_ASSIGN_OR_RETURN(uint64_t words, ReadU64());
+  BitVector bv(bits);
+  if (words * 64 < bits || words > (bits + 63) / 64) {
+    return Status::Internal("serde: bitvector size mismatch");
+  }
+  for (uint64_t i = 0; i < words; ++i) {
+    IMP_ASSIGN_OR_RETURN(uint64_t w, ReadU64());
+    for (int b = 0; b < 64; ++b) {
+      size_t bit = static_cast<size_t>(i * 64 + b);
+      if (((w >> b) & 1) != 0 && bit < bits) bv.Set(bit);
+    }
+  }
+  return bv;
+}
+
+}  // namespace imp

@@ -1,0 +1,84 @@
+// Minimal binary serialization for operator-state persistence (Sec. 2:
+// "the system can persist the state that it maintains for its incremental
+// operators in the database ... to continue incremental maintenance from a
+// consistent state, e.g., when the database is restarted, or when we are
+// running out of memory and need to evict the operator states").
+
+#ifndef IMP_COMMON_SERDE_H_
+#define IMP_COMMON_SERDE_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace imp {
+
+/// Append-only little-endian binary writer.
+class SerdeWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU64(uint64_t v) {
+    char bytes[8];
+    std::memcpy(bytes, &v, 8);
+    buf_.append(bytes, 8);
+  }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    WriteU64(bits);
+  }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    buf_.append(s);
+  }
+  void WriteValue(const Value& v);
+  void WriteTuple(const Tuple& t);
+  void WriteBitVector(const BitVector& bv);
+
+  const std::string& buffer() const { return buf_; }
+  std::string TakeBuffer() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Cursor-based reader with bounds checking (returns error Status on
+/// truncated or corrupt input rather than crashing).
+class SerdeReader {
+ public:
+  explicit SerdeReader(const std::string& buf) : buf_(buf) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+  Result<Value> ReadValue();
+  Result<Tuple> ReadTuple();
+  Result<BitVector> ReadBitVector();
+
+  bool AtEnd() const { return pos_ >= buf_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > buf_.size()) {
+      return Status::Internal("serde: truncated state blob");
+    }
+    return Status::OK();
+  }
+
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_SERDE_H_

@@ -1,0 +1,72 @@
+// Tuples (rows) and helpers for hashing / ordering them.
+
+#ifndef IMP_COMMON_TUPLE_H_
+#define IMP_COMMON_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/value.h"
+
+namespace imp {
+
+/// A row is a flat vector of values; bag semantics is represented either by
+/// duplicated rows (full executor) or by signed multiplicities (deltas).
+using Tuple = std::vector<Value>;
+
+/// Hash of a full tuple, consistent with element-wise Value equality.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x51ed270b0a1f3c42ULL;
+    for (const Value& v : t) h = HashCombine(h, v.Hash());
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Element-wise equality.
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Lexicographic order (total, via Value::Compare).
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Render "(v1, v2, ...)" for debugging and test failure messages.
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+/// Approximate memory footprint of a tuple (for state accounting).
+inline size_t TupleMemoryBytes(const Tuple& t) {
+  size_t bytes = sizeof(Tuple) + t.capacity() * sizeof(Value);
+  for (const Value& v : t) {
+    if (v.is_string()) bytes += v.AsString().capacity();
+  }
+  return bytes;
+}
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_TUPLE_H_

@@ -1,0 +1,105 @@
+// Dynamically typed SQL value used by tuples, expressions and sketches.
+
+#ifndef IMP_COMMON_VALUE_H_
+#define IMP_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace imp {
+
+/// Runtime type tags for Value. Dates are represented as ISO-8601 strings
+/// (lexicographic order == chronological order), matching the generators.
+enum class ValueType : uint8_t { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+/// Name of a value type ("INT", "DOUBLE", ...), for plan printing.
+const char* ValueTypeName(ValueType type);
+
+/// A single SQL value: NULL, 64-bit integer, double, or string.
+///
+/// Numeric comparisons and arithmetic promote int -> double when the
+/// operands are mixed. Comparisons across non-numeric type classes order by
+/// type tag (NULL < numbers < strings), which gives a deterministic total
+/// order for sort/group operators.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  /// Interpret b as 1/0 integer (SQL booleans are modeled as ints).
+  static Value Bool(bool b) { return Int(b ? 1 : 0); }
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const {
+    IMP_DCHECK(is_int());
+    return std::get<int64_t>(rep_);
+  }
+  double AsDouble() const {
+    IMP_DCHECK(is_double());
+    return std::get<double>(rep_);
+  }
+  const std::string& AsString() const {
+    IMP_DCHECK(is_string());
+    return std::get<std::string>(rep_);
+  }
+
+  /// Numeric value as double (int promoted); checks that this is numeric.
+  double ToDouble() const;
+  /// Truthiness for predicate results: non-zero numeric is true; NULL false.
+  bool IsTrue() const;
+
+  /// Three-way comparison: negative / zero / positive. Total order over all
+  /// values (see class comment for cross-type ordering).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Arithmetic with numeric promotion; NULL-propagating.
+  static Value Add(const Value& a, const Value& b);
+  static Value Sub(const Value& a, const Value& b);
+  static Value Mul(const Value& a, const Value& b);
+  static Value Div(const Value& a, const Value& b);
+  static Value Mod(const Value& a, const Value& b);
+  static Value Neg(const Value& a);
+
+  /// 64-bit hash compatible with operator==.
+  uint64_t Hash() const;
+
+  /// SQL-ish rendering: NULL, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Approximate heap + inline footprint in bytes (for memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_VALUE_H_

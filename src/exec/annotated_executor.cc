@@ -1,0 +1,234 @@
+#include "exec/annotated_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "exec/zone_filter.h"
+
+namespace imp {
+
+BitVector AnnotatedRelation::SketchUnion() const {
+  BitVector out;
+  for (const AnnotatedRow& r : rows) out.UnionWith(r.sketch);
+  return out;
+}
+
+Relation AnnotatedRelation::ToRelation() const {
+  Relation out;
+  out.schema = schema;
+  out.rows.reserve(rows.size());
+  for (const AnnotatedRow& r : rows) out.rows.push_back(r.row);
+  return out;
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::Execute(const PlanPtr& plan) const {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return ExecScan(static_cast<const ScanNode&>(*plan));
+    case PlanKind::kSelect:
+      return ExecSelect(static_cast<const SelectNode&>(*plan));
+    case PlanKind::kProject:
+      return ExecProject(static_cast<const ProjectNode&>(*plan));
+    case PlanKind::kJoin:
+      return ExecJoin(static_cast<const JoinNode&>(*plan));
+    case PlanKind::kAggregate:
+      return ExecAggregate(static_cast<const AggregateNode&>(*plan));
+    case PlanKind::kTopK:
+      return ExecTopK(static_cast<const TopKNode&>(*plan));
+    case PlanKind::kDistinct:
+      return ExecDistinct(static_cast<const DistinctNode&>(*plan));
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::ExecScan(const ScanNode& node) const {
+  AnnotatedRelation out;
+  out.schema = node.output_schema();
+  auto filter = node.filter();
+  auto bound = bindings_.find(node.table());
+  if (bound != bindings_.end()) {
+    for (const AnnotatedRow& r : bound->second->rows) {
+      if (!filter || filter->Eval(r.row).IsTrue()) out.rows.push_back(r);
+    }
+    return out;
+  }
+  const Table* table = db_->GetTable(node.table());
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + node.table());
+  }
+  out.rows.reserve(table->NumRows());
+  for (const DataChunk& chunk : table->chunks()) {
+    if (filter && !ChunkMayMatch(*filter, chunk)) continue;  // zone map skip
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      Tuple row = chunk.GetRow(r);
+      if (filter && !filter->Eval(row).IsTrue()) continue;
+      AnnotatedRow ar;
+      ar.row = std::move(row);
+      if (annotator_) annotator_(node.table(), ar.row, &ar.sketch);
+      out.rows.push_back(std::move(ar));
+    }
+  }
+  return out;
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::ExecSelect(
+    const SelectNode& node) const {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, Execute(node.child()));
+  AnnotatedRelation out;
+  out.schema = node.output_schema();
+  for (AnnotatedRow& r : in.rows) {
+    if (node.predicate()->Eval(r.row).IsTrue()) out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::ExecProject(
+    const ProjectNode& node) const {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, Execute(node.child()));
+  AnnotatedRelation out;
+  out.schema = node.output_schema();
+  out.rows.reserve(in.rows.size());
+  for (AnnotatedRow& r : in.rows) {
+    AnnotatedRow pr;
+    pr.row.reserve(node.exprs().size());
+    for (const ExprPtr& e : node.exprs()) pr.row.push_back(e->Eval(r.row));
+    pr.sketch = std::move(r.sketch);  // Π propagates P unmodified (5.2.2)
+    out.rows.push_back(std::move(pr));
+  }
+  return out;
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::ExecJoin(const JoinNode& node) const {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation left, Execute(node.left()));
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation right, Execute(node.right()));
+  AnnotatedRelation out;
+  out.schema = node.output_schema();
+  const ExprPtr& residual = node.residual();
+
+  auto emit = [&](const AnnotatedRow& l, const AnnotatedRow& r) {
+    Tuple joined;
+    joined.reserve(l.row.size() + r.row.size());
+    joined.insert(joined.end(), l.row.begin(), l.row.end());
+    joined.insert(joined.end(), r.row.begin(), r.row.end());
+    if (residual && !residual->Eval(joined).IsTrue()) return;
+    AnnotatedRow jr;
+    jr.row = std::move(joined);
+    jr.sketch = l.sketch;
+    jr.sketch.UnionWith(r.sketch);  // P1 ∪ P2 (5.2.4)
+    out.rows.push_back(std::move(jr));
+  };
+
+  if (node.keys().empty()) {
+    for (const AnnotatedRow& l : left.rows) {
+      for (const AnnotatedRow& r : right.rows) emit(l, r);
+    }
+    return out;
+  }
+
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> ht;
+  ht.reserve(right.rows.size());
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    Tuple key;
+    for (const auto& [lc, rc] : node.keys()) {
+      (void)lc;
+      key.push_back(right.rows[i].row[rc]);
+    }
+    ht[std::move(key)].push_back(i);
+  }
+  for (const AnnotatedRow& l : left.rows) {
+    Tuple key;
+    for (const auto& [lc, rc] : node.keys()) {
+      (void)rc;
+      key.push_back(l.row[lc]);
+    }
+    auto it = ht.find(key);
+    if (it == ht.end()) continue;
+    for (size_t ri : it->second) emit(l, right.rows[ri]);
+  }
+  return out;
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::ExecAggregate(
+    const AggregateNode& node) const {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, Execute(node.child()));
+  AnnotatedRelation out;
+  out.schema = node.output_schema();
+
+  struct GroupState {
+    std::vector<AggAccumulator> accums;
+    BitVector sketch;
+  };
+  std::unordered_map<Tuple, GroupState, TupleHash, TupleEq> groups;
+
+  for (const AnnotatedRow& r : in.rows) {
+    Tuple key;
+    key.reserve(node.group_exprs().size());
+    for (const ExprPtr& g : node.group_exprs()) key.push_back(g->Eval(r.row));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.accums.reserve(node.aggs().size());
+      for (const AggSpec& spec : node.aggs()) {
+        it->second.accums.emplace_back(&spec);
+      }
+    }
+    for (AggAccumulator& acc : it->second.accums) acc.Add(r.row);
+    it->second.sketch.UnionWith(r.sketch);  // group sketch = union of inputs
+  }
+
+  if (groups.empty() && node.group_exprs().empty()) {
+    AnnotatedRow row;
+    for (const AggSpec& spec : node.aggs()) {
+      AggAccumulator acc(&spec);
+      row.row.push_back(acc.Finish());
+    }
+    out.rows.push_back(std::move(row));
+    return out;
+  }
+
+  out.rows.reserve(groups.size());
+  for (const auto& [key, state] : groups) {
+    AnnotatedRow row;
+    row.row = key;
+    for (const AggAccumulator& acc : state.accums) {
+      row.row.push_back(acc.Finish());
+    }
+    row.sketch = state.sketch;
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::ExecTopK(const TopKNode& node) const {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, Execute(node.child()));
+  AnnotatedRelation out;
+  out.schema = node.output_schema();
+  SortSpecLess less{&node.sorts()};
+  std::stable_sort(in.rows.begin(), in.rows.end(),
+                   [&](const AnnotatedRow& a, const AnnotatedRow& b) {
+                     return less(a.row, b.row);
+                   });
+  size_t k = node.k() < in.rows.size() ? node.k() : in.rows.size();
+  out.rows.assign(in.rows.begin(), in.rows.begin() + static_cast<long>(k));
+  return out;
+}
+
+Result<AnnotatedRelation> AnnotatedExecutor::ExecDistinct(
+    const DistinctNode& node) const {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, Execute(node.child()));
+  AnnotatedRelation out;
+  out.schema = node.output_schema();
+  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> index;
+  for (AnnotatedRow& r : in.rows) {
+    auto [it, inserted] = index.try_emplace(r.row, out.rows.size());
+    if (inserted) {
+      out.rows.push_back(std::move(r));
+    } else {
+      // Union the duplicate's sketch: a safe over-approximation of the
+      // witness set for the distinct tuple.
+      out.rows[it->second].sketch.UnionWith(r.sketch);
+    }
+  }
+  return out;
+}
+
+}  // namespace imp

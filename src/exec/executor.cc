@@ -1,0 +1,286 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "exec/zone_filter.h"
+
+namespace imp {
+
+std::string Relation::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const Tuple& row : rows) lines.push_back(TupleToString(row));
+  std::sort(lines.begin(), lines.end());
+  std::string out = "[" + schema.ToString() + "]\n";
+  for (const auto& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+bool Relation::SameBag(const Relation& other) const {
+  if (rows.size() != other.rows.size()) return false;
+  std::unordered_map<Tuple, int64_t, TupleHash, TupleEq> counts;
+  for (const Tuple& row : rows) counts[row]++;
+  for (const Tuple& row : other.rows) {
+    auto it = counts.find(row);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+void AggAccumulator::Add(const Tuple& row, int64_t mult) {
+  Value v = spec_->arg ? spec_->arg->Eval(row) : Value::Int(1);
+  if (v.is_null()) return;  // SQL aggregates skip NULLs
+  count_ += mult;
+  switch (spec_->fn) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (v.is_double()) {
+        saw_double_ = true;
+        dbl_sum_ += v.AsDouble() * static_cast<double>(mult);
+      } else {
+        int_sum_ += v.AsInt() * mult;
+      }
+      break;
+    case AggFunc::kMin:
+      IMP_DCHECK(mult > 0);
+      if (!has_minmax_ || v < minmax_) {
+        minmax_ = v;
+        has_minmax_ = true;
+      }
+      break;
+    case AggFunc::kMax:
+      IMP_DCHECK(mult > 0);
+      if (!has_minmax_ || minmax_ < v) {
+        minmax_ = v;
+        has_minmax_ = true;
+      }
+      break;
+  }
+}
+
+Value AggAccumulator::Finish() const {
+  switch (spec_->fn) {
+    case AggFunc::kCount:
+      return Value::Int(count_);
+    case AggFunc::kSum:
+      if (count_ == 0) return Value::Null();
+      if (saw_double_) {
+        return Value::Double(dbl_sum_ + static_cast<double>(int_sum_));
+      }
+      return Value::Int(int_sum_);
+    case AggFunc::kAvg: {
+      if (count_ == 0) return Value::Null();
+      double total = dbl_sum_ + static_cast<double>(int_sum_);
+      return Value::Double(total / static_cast<double>(count_));
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return has_minmax_ ? minmax_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<Relation> Executor::Execute(const PlanPtr& plan) const {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return ExecScan(static_cast<const ScanNode&>(*plan));
+    case PlanKind::kSelect:
+      return ExecSelect(static_cast<const SelectNode&>(*plan));
+    case PlanKind::kProject:
+      return ExecProject(static_cast<const ProjectNode&>(*plan));
+    case PlanKind::kJoin:
+      return ExecJoin(static_cast<const JoinNode&>(*plan));
+    case PlanKind::kAggregate:
+      return ExecAggregate(static_cast<const AggregateNode&>(*plan));
+    case PlanKind::kTopK:
+      return ExecTopK(static_cast<const TopKNode&>(*plan));
+    case PlanKind::kDistinct:
+      return ExecDistinct(static_cast<const DistinctNode&>(*plan));
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<Relation> Executor::ExecScan(const ScanNode& node) const {
+  Relation out;
+  out.schema = node.output_schema();
+  auto filter = node.filter();
+  auto bound = bindings_.find(node.table());
+  if (bound != bindings_.end()) {
+    for (const Tuple& row : bound->second->rows) {
+      if (!filter || filter->Eval(row).IsTrue()) out.rows.push_back(row);
+    }
+    return out;
+  }
+  const Table* table = db_->GetTable(node.table());
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + node.table());
+  }
+  out.rows.reserve(table->NumRows());
+  for (const DataChunk& chunk : table->chunks()) {
+    if (filter && !ChunkMayMatch(*filter, chunk)) {
+      ++scan_stats_.chunks_skipped;  // zone map pruned the whole chunk
+      continue;
+    }
+    ++scan_stats_.chunks_scanned;
+    scan_stats_.rows_scanned += chunk.num_rows();
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      Tuple row = chunk.GetRow(r);
+      if (!filter || filter->Eval(row).IsTrue()) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Relation> Executor::ExecSelect(const SelectNode& node) const {
+  IMP_ASSIGN_OR_RETURN(Relation in, Execute(node.child()));
+  Relation out;
+  out.schema = node.output_schema();
+  for (Tuple& row : in.rows) {
+    if (node.predicate()->Eval(row).IsTrue()) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> Executor::ExecProject(const ProjectNode& node) const {
+  IMP_ASSIGN_OR_RETURN(Relation in, Execute(node.child()));
+  Relation out;
+  out.schema = node.output_schema();
+  out.rows.reserve(in.rows.size());
+  for (const Tuple& row : in.rows) {
+    Tuple projected;
+    projected.reserve(node.exprs().size());
+    for (const ExprPtr& e : node.exprs()) projected.push_back(e->Eval(row));
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<Relation> Executor::ExecJoin(const JoinNode& node) const {
+  IMP_ASSIGN_OR_RETURN(Relation left, Execute(node.left()));
+  IMP_ASSIGN_OR_RETURN(Relation right, Execute(node.right()));
+  Relation out;
+  out.schema = node.output_schema();
+  const ExprPtr& residual = node.residual();
+
+  auto emit = [&](const Tuple& l, const Tuple& r) {
+    Tuple joined;
+    joined.reserve(l.size() + r.size());
+    joined.insert(joined.end(), l.begin(), l.end());
+    joined.insert(joined.end(), r.begin(), r.end());
+    if (!residual || residual->Eval(joined).IsTrue()) {
+      out.rows.push_back(std::move(joined));
+    }
+  };
+
+  if (node.keys().empty()) {
+    // Cross product with optional residual predicate.
+    for (const Tuple& l : left.rows) {
+      for (const Tuple& r : right.rows) emit(l, r);
+    }
+    return out;
+  }
+
+  // Hash join: build on the right side.
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> ht;
+  ht.reserve(right.rows.size());
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    Tuple key;
+    key.reserve(node.keys().size());
+    for (const auto& [lc, rc] : node.keys()) {
+      (void)lc;
+      key.push_back(right.rows[i][rc]);
+    }
+    ht[std::move(key)].push_back(i);
+  }
+  for (const Tuple& l : left.rows) {
+    Tuple key;
+    key.reserve(node.keys().size());
+    for (const auto& [lc, rc] : node.keys()) {
+      (void)rc;
+      key.push_back(l[lc]);
+    }
+    auto it = ht.find(key);
+    if (it == ht.end()) continue;
+    for (size_t ri : it->second) emit(l, right.rows[ri]);
+  }
+  return out;
+}
+
+Result<Relation> Executor::ExecAggregate(const AggregateNode& node) const {
+  IMP_ASSIGN_OR_RETURN(Relation in, Execute(node.child()));
+  Relation out;
+  out.schema = node.output_schema();
+
+  struct GroupState {
+    std::vector<AggAccumulator> accums;
+  };
+  std::unordered_map<Tuple, GroupState, TupleHash, TupleEq> groups;
+
+  for (const Tuple& row : in.rows) {
+    Tuple key;
+    key.reserve(node.group_exprs().size());
+    for (const ExprPtr& g : node.group_exprs()) key.push_back(g->Eval(row));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.accums.reserve(node.aggs().size());
+      for (const AggSpec& spec : node.aggs()) {
+        it->second.accums.emplace_back(&spec);
+      }
+    }
+    for (AggAccumulator& acc : it->second.accums) acc.Add(row);
+  }
+
+  // Aggregation without GROUP BY over an empty input still produces one row.
+  if (groups.empty() && node.group_exprs().empty()) {
+    Tuple row;
+    for (const AggSpec& spec : node.aggs()) {
+      AggAccumulator acc(&spec);
+      row.push_back(acc.Finish());
+    }
+    out.rows.push_back(std::move(row));
+    return out;
+  }
+
+  out.rows.reserve(groups.size());
+  for (const auto& [key, state] : groups) {
+    Tuple row = key;
+    for (const AggAccumulator& acc : state.accums) row.push_back(acc.Finish());
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> Executor::ExecTopK(const TopKNode& node) const {
+  IMP_ASSIGN_OR_RETURN(Relation in, Execute(node.child()));
+  Relation out;
+  out.schema = node.output_schema();
+  SortSpecLess less{&node.sorts()};
+  std::stable_sort(in.rows.begin(), in.rows.end(), less);
+  size_t k = node.k() < in.rows.size() ? node.k() : in.rows.size();
+  out.rows.assign(in.rows.begin(), in.rows.begin() + static_cast<long>(k));
+  return out;
+}
+
+Result<Relation> Executor::ExecDistinct(const DistinctNode& node) const {
+  IMP_ASSIGN_OR_RETURN(Relation in, Execute(node.child()));
+  Relation out;
+  out.schema = node.output_schema();
+  std::unordered_map<Tuple, bool, TupleHash, TupleEq> seen;
+  for (Tuple& row : in.rows) {
+    auto [it, inserted] = seen.try_emplace(row, true);
+    (void)it;
+    if (inserted) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace imp

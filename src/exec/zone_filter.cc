@@ -1,0 +1,97 @@
+#include "exec/zone_filter.h"
+
+namespace imp {
+
+namespace {
+
+/// May a comparison `col op lit` hold for some row, given the column's
+/// zone entry?
+bool ComparisonMayMatch(BinaryOp op, const DataChunk::ZoneEntry& z,
+                        const Value& lit) {
+  if (!z.valid || lit.is_null()) return false;  // all-null column / NULL lit
+  switch (op) {
+    case BinaryOp::kLt:
+      return z.min < lit;
+    case BinaryOp::kLe:
+      return z.min <= lit;
+    case BinaryOp::kGt:
+      return lit < z.max;
+    case BinaryOp::kGe:
+      return lit <= z.max;
+    case BinaryOp::kEq:
+      return z.min <= lit && lit <= z.max;
+    case BinaryOp::kNe:
+      return !(z.min == lit && z.max == lit);
+    default:
+      return true;
+  }
+}
+
+BinaryOp MirrorComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // =, <> are symmetric
+  }
+}
+
+}  // namespace
+
+bool ChunkMayMatch(const Expr& predicate, const DataChunk& chunk) {
+  switch (predicate.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(predicate).value().IsTrue();
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(predicate);
+      if (bin.op() == BinaryOp::kAnd) {
+        return ChunkMayMatch(*bin.left(), chunk) &&
+               ChunkMayMatch(*bin.right(), chunk);
+      }
+      if (bin.op() == BinaryOp::kOr) {
+        return ChunkMayMatch(*bin.left(), chunk) ||
+               ChunkMayMatch(*bin.right(), chunk);
+      }
+      if (!IsComparison(bin.op())) return true;
+      // col op lit
+      if (bin.left()->kind() == ExprKind::kColumnRef &&
+          bin.right()->kind() == ExprKind::kLiteral) {
+        size_t col = static_cast<const ColumnRefExpr&>(*bin.left()).index();
+        if (col >= chunk.num_columns()) return true;
+        return ComparisonMayMatch(
+            bin.op(), chunk.zone(col),
+            static_cast<const LiteralExpr&>(*bin.right()).value());
+      }
+      // lit op col
+      if (bin.right()->kind() == ExprKind::kColumnRef &&
+          bin.left()->kind() == ExprKind::kLiteral) {
+        size_t col = static_cast<const ColumnRefExpr&>(*bin.right()).index();
+        if (col >= chunk.num_columns()) return true;
+        return ComparisonMayMatch(
+            MirrorComparison(bin.op()), chunk.zone(col),
+            static_cast<const LiteralExpr&>(*bin.left()).value());
+      }
+      return true;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const BetweenExpr&>(predicate);
+      if (bt.input()->kind() != ExprKind::kColumnRef ||
+          bt.lo()->kind() != ExprKind::kLiteral ||
+          bt.hi()->kind() != ExprKind::kLiteral) {
+        return true;
+      }
+      size_t col = static_cast<const ColumnRefExpr&>(*bt.input()).index();
+      if (col >= chunk.num_columns()) return true;
+      const auto& z = chunk.zone(col);
+      if (!z.valid) return false;
+      const Value& lo = static_cast<const LiteralExpr&>(*bt.lo()).value();
+      const Value& hi = static_cast<const LiteralExpr&>(*bt.hi()).value();
+      return !(z.max < lo || hi < z.min);
+    }
+    default:
+      return true;  // NOT / column refs / anything else: unknown
+  }
+}
+
+}  // namespace imp

@@ -1,0 +1,21 @@
+// Zone-map predicate analysis: decide from a chunk's per-column min/max
+// whether a scan predicate can possibly match any row in the chunk. Used
+// by the scan operators to skip chunks — the physical-design mechanism
+// (zone maps, [32]) that provenance-based data skipping piggybacks on.
+
+#ifndef IMP_EXEC_ZONE_FILTER_H_
+#define IMP_EXEC_ZONE_FILTER_H_
+
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace imp {
+
+/// Conservative tri-state collapse: returns false only when `predicate` is
+/// provably false for every row of `chunk` (judging by the zone map);
+/// returns true whenever unsure.
+bool ChunkMayMatch(const Expr& predicate, const DataChunk& chunk);
+
+}  // namespace imp
+
+#endif  // IMP_EXEC_ZONE_FILTER_H_

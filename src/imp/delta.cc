@@ -1,0 +1,107 @@
+#include "imp/delta.h"
+
+#include <algorithm>
+
+namespace imp {
+
+std::string AnnotatedDeltaRow::ToString() const {
+  std::string out = mult >= 0 ? "Δ+" : "Δ-";
+  out += "<" + TupleToString(row) + ", " + sketch.ToString() + ">^" +
+         std::to_string(mult < 0 ? -mult : mult);
+  return out;
+}
+
+int64_t AnnotatedDelta::InsertCount() const {
+  int64_t n = 0;
+  for (const auto& r : rows) {
+    if (r.mult > 0) n += r.mult;
+  }
+  return n;
+}
+
+int64_t AnnotatedDelta::DeleteCount() const {
+  int64_t n = 0;
+  for (const auto& r : rows) {
+    if (r.mult < 0) n -= r.mult;
+  }
+  return n;
+}
+
+void AnnotatedDelta::Consolidate() {
+  if (rows.size() <= 1) return;
+  std::sort(rows.begin(), rows.end(),
+            [](const AnnotatedDeltaRow& a, const AnnotatedDeltaRow& b) {
+              TupleLess less;
+              if (less(a.row, b.row)) return true;
+              if (less(b.row, a.row)) return false;
+              return a.sketch < b.sketch;
+            });
+  std::vector<AnnotatedDeltaRow> merged;
+  TupleEq eq;
+  for (AnnotatedDeltaRow& r : rows) {
+    if (!merged.empty() && eq(merged.back().row, r.row) &&
+        merged.back().sketch == r.sketch) {
+      merged.back().mult += r.mult;
+    } else {
+      merged.push_back(std::move(r));
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const AnnotatedDeltaRow& r) {
+                                return r.mult == 0;
+                              }),
+               merged.end());
+  rows = std::move(merged);
+}
+
+std::string AnnotatedDelta::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rows[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+bool DeltaContext::empty() const {
+  for (const auto& [_, delta] : table_deltas) {
+    if (!delta.empty()) return false;
+  }
+  return true;
+}
+
+size_t DeltaContext::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [_, delta] : table_deltas) n += delta.size();
+  return n;
+}
+
+AnnotatedDelta AnnotateTableDelta(const TableDelta& delta,
+                                  const PartitionCatalog& catalog) {
+  AnnotatedDelta out;
+  out.rows.reserve(delta.records.size());
+  for (const DeltaRecord& rec : delta.records) {
+    BitVector sketch;
+    catalog.AnnotateRow(delta.table, rec.row, &sketch);
+    out.Append(rec.row, std::move(sketch), rec.mult);
+  }
+  return out;
+}
+
+DeltaContext MakeDeltaContext(const std::vector<TableDelta>& deltas,
+                              const PartitionCatalog& catalog) {
+  DeltaContext ctx;
+  for (const TableDelta& d : deltas) {
+    AnnotatedDelta annotated = AnnotateTableDelta(d, catalog);
+    AnnotatedDelta& slot = ctx.table_deltas[d.table];
+    if (slot.empty()) {
+      slot = std::move(annotated);
+    } else {
+      for (auto& r : annotated.rows) slot.rows.push_back(std::move(r));
+    }
+  }
+  return ctx;
+}
+
+}  // namespace imp

@@ -1,0 +1,82 @@
+// Sketch-annotated deltas (Sec. 4.3): the unit of work of the incremental
+// engine.
+//
+// A delta is a bag of ⟨tuple, sketch⟩ pairs with *signed* multiplicities
+// (Z-relation encoding): mult > 0 are insertions Δ+, mult < 0 deletions Δ-.
+// The paper's four-case join rule and ∪• application are plain arithmetic
+// under this encoding, which keeps the operator rules of Sec. 5 short and
+// the correctness argument of Sec. 6 directly executable.
+
+#ifndef IMP_IMP_DELTA_H_
+#define IMP_IMP_DELTA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "sketch/partition.h"
+#include "storage/database.h"
+
+namespace imp {
+
+/// One annotated delta tuple Δ±⟨t, P⟩^n.
+struct AnnotatedDeltaRow {
+  Tuple row;
+  BitVector sketch;
+  int64_t mult = 1;  ///< signed multiplicity
+
+  std::string ToString() const;
+};
+
+/// An annotated delta relation Δℛ.
+struct AnnotatedDelta {
+  std::vector<AnnotatedDeltaRow> rows;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+
+  void Append(Tuple row, BitVector sketch, int64_t mult) {
+    rows.push_back(AnnotatedDeltaRow{std::move(row), std::move(sketch), mult});
+  }
+
+  /// Total |Δ+| (sum of positive multiplicities).
+  int64_t InsertCount() const;
+  /// Total |Δ-| (absolute sum of negative multiplicities).
+  int64_t DeleteCount() const;
+
+  /// Merge rows with identical (tuple, sketch) and drop zero-multiplicity
+  /// rows; canonicalizes the delta.
+  void Consolidate();
+
+  std::string ToString() const;
+};
+
+/// Per-table annotated base deltas for one maintenance batch — the Δ𝒟
+/// passed to the IM (Def. 4.5).
+struct DeltaContext {
+  std::map<std::string, AnnotatedDelta> table_deltas;
+
+  const AnnotatedDelta* Find(const std::string& table) const {
+    auto it = table_deltas.find(table);
+    return it == table_deltas.end() ? nullptr : &it->second;
+  }
+  bool empty() const;
+  /// Total number of delta rows across tables.
+  size_t TotalRows() const;
+};
+
+/// annotate(ΔR, Φ): tag each backend delta record with the fragment its
+/// partition-attribute value belongs to (Def. 4.4).
+AnnotatedDelta AnnotateTableDelta(const TableDelta& delta,
+                                  const PartitionCatalog& catalog);
+
+/// Build a DeltaContext from backend deltas for several tables.
+DeltaContext MakeDeltaContext(const std::vector<TableDelta>& deltas,
+                              const PartitionCatalog& catalog);
+
+}  // namespace imp
+
+#endif  // IMP_IMP_DELTA_H_

@@ -1,0 +1,343 @@
+#include "imp/inc_aggregate.h"
+
+namespace imp {
+
+IncAggregate::IncAggregate(std::unique_ptr<IncOperator> child,
+                           std::vector<ExprPtr> group_exprs,
+                           std::vector<AggSpec> aggs, Schema output_schema,
+                           Options options, MaintainStats* stats)
+    : IncOperator([&] {
+        std::vector<std::unique_ptr<IncOperator>> c;
+        c.push_back(std::move(child));
+        return c;
+      }()),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      output_schema_(std::move(output_schema)),
+      options_(options),
+      stats_(stats) {}
+
+size_t IncAggregate::AggState::MemoryBytes() const {
+  size_t bytes = sizeof(AggState);
+  for (const auto& [v, _] : values) {
+    bytes += v.MemoryBytes() + sizeof(int64_t) + 3 * sizeof(void*);
+  }
+  return bytes;
+}
+
+BitVector IncAggregate::GroupState::SketchOf() const {
+  BitVector out;
+  for (const auto& [frag, count] : frag_counts) {
+    if (count > 0) {
+      out.Resize(frag + 1);
+      out.Set(frag);
+    }
+  }
+  return out;
+}
+
+size_t IncAggregate::GroupState::MemoryBytes() const {
+  size_t bytes = sizeof(GroupState);
+  for (const AggState& agg : aggs) bytes += agg.MemoryBytes();
+  bytes += frag_counts.size() * (2 * sizeof(int64_t) + 3 * sizeof(void*));
+  return bytes;
+}
+
+Tuple IncAggregate::GroupKeyOf(const Tuple& row) const {
+  Tuple key;
+  key.reserve(group_exprs_.size());
+  for (const ExprPtr& g : group_exprs_) key.push_back(g->Eval(row));
+  return key;
+}
+
+Status IncAggregate::ApplyMinMax(AggState* agg, const AggSpec& spec,
+                                 const Value& v, int64_t mult) {
+  const bool keep_smallest = spec.fn == AggFunc::kMin;
+  const size_t limit = options_.minmax_buffer;
+  auto& values = agg->values;
+
+  if (mult > 0) {
+    if (limit == 0 || values.size() < limit) {
+      values[v] += mult;
+    } else {
+      // Buffer full: accept only values better than the worst retained one.
+      const Value& worst =
+          keep_smallest ? values.rbegin()->first : values.begin()->first;
+      bool better = keep_smallest ? (v < worst) : (worst < v);
+      if (better || values.count(v) > 0) {
+        values[v] += mult;
+        // Evict the worst entry if we grew beyond the limit.
+        while (values.size() > limit) {
+          auto worst_it = keep_smallest ? std::prev(values.end())
+                                        : values.begin();
+          agg->overflow += worst_it->second;
+          values.erase(worst_it);
+        }
+      } else {
+        agg->overflow += mult;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Deletion.
+  int64_t remove = -mult;
+  auto it = values.find(v);
+  if (it != values.end()) {
+    it->second -= remove;
+    if (it->second < 0) {
+      return Status::NeedsRecapture("min/max multiset underflow");
+    }
+    if (it->second == 0) values.erase(it);
+  } else if (limit != 0 && agg->overflow >= remove) {
+    // The value was truncated away; it must be worse than everything
+    // retained, so it only affects the overflow count.
+    agg->overflow -= remove;
+  } else {
+    return Status::NeedsRecapture("deletion of untracked min/max value");
+  }
+  if (values.empty() && agg->overflow > 0) {
+    // We no longer know the best value (Sec. 7.2: "if all tuples from the
+    // buffer are deleted, we have to recapture the sketch").
+    return Status::NeedsRecapture("min/max buffer exhausted");
+  }
+  return Status::OK();
+}
+
+Status IncAggregate::ApplyRow(GroupState* state, const Tuple& row,
+                              const BitVector& sketch, int64_t mult) {
+  state->count += mult;
+  if (state->count < 0) {
+    return Status::NeedsRecapture("group multiplicity went negative");
+  }
+  for (size_t bit : sketch.SetBits()) {
+    int64_t& c = state->frag_counts[bit];
+    c += mult;
+    if (c < 0) return Status::NeedsRecapture("fragment count went negative");
+    if (c == 0) state->frag_counts.erase(bit);
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    AggState& agg = state->aggs[i];
+    Value v = spec.arg ? spec.arg->Eval(row) : Value::Int(1);
+    if (v.is_null()) continue;  // SQL aggregates skip NULLs
+    switch (spec.fn) {
+      case AggFunc::kCount:
+        agg.nonnull_count += mult;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        agg.nonnull_count += mult;
+        if (v.is_double()) {
+          agg.saw_double = true;
+          agg.dbl_sum += v.AsDouble() * static_cast<double>(mult);
+        } else {
+          agg.int_sum += v.AsInt() * mult;
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        Status st = ApplyMinMax(&agg, spec, v, mult);
+        if (!st.ok()) return st;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Tuple IncAggregate::OutputRow(const Tuple& key, const GroupState& state) const {
+  Tuple out = key;
+  out.reserve(key.size() + aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    const AggState& agg = state.aggs[i];
+    switch (spec.fn) {
+      case AggFunc::kCount:
+        out.push_back(Value::Int(agg.nonnull_count));
+        break;
+      case AggFunc::kSum:
+        if (agg.nonnull_count == 0) {
+          out.push_back(Value::Null());
+        } else if (agg.saw_double) {
+          out.push_back(
+              Value::Double(agg.dbl_sum + static_cast<double>(agg.int_sum)));
+        } else {
+          out.push_back(Value::Int(agg.int_sum));
+        }
+        break;
+      case AggFunc::kAvg:
+        if (agg.nonnull_count == 0) {
+          out.push_back(Value::Null());
+        } else {
+          double total = agg.dbl_sum + static_cast<double>(agg.int_sum);
+          out.push_back(
+              Value::Double(total / static_cast<double>(agg.nonnull_count)));
+        }
+        break;
+      case AggFunc::kMin:
+        out.push_back(agg.values.empty() ? Value::Null()
+                                         : agg.values.begin()->first);
+        break;
+      case AggFunc::kMax:
+        out.push_back(agg.values.empty() ? Value::Null()
+                                         : agg.values.rbegin()->first);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<AnnotatedRelation> IncAggregate::Build(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
+  groups_.clear();
+  for (const AnnotatedRow& r : in.rows) {
+    Tuple key = GroupKeyOf(r.row);
+    auto [it, inserted] = groups_.try_emplace(std::move(key));
+    if (inserted) it->second.aggs.resize(aggs_.size());
+    Status st = ApplyRow(&it->second, r.row, r.sketch, 1);
+    IMP_RETURN_NOT_OK(st);
+  }
+  // Aggregation without GROUP BY always has exactly one (possibly empty)
+  // group.
+  if (group_exprs_.empty() && groups_.empty()) {
+    groups_.try_emplace(Tuple{}).first->second.aggs.resize(aggs_.size());
+  }
+  AnnotatedRelation out;
+  out.schema = output_schema_;
+  out.rows.reserve(groups_.size());
+  for (const auto& [key, state] : groups_) {
+    if (!GroupExists(state) && !group_exprs_.empty()) continue;
+    out.rows.push_back(AnnotatedRow{OutputRow(key, state), state.SketchOf()});
+  }
+  return out;
+}
+
+Result<AnnotatedDelta> IncAggregate::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
+  AnnotatedDelta out;
+  if (in.empty()) return out;
+
+  // Lazily snapshot the previous output of each touched group.
+  struct PreState {
+    bool existed = false;
+    Tuple out_row;
+    BitVector sketch;
+  };
+  std::unordered_map<Tuple, PreState, TupleHash, TupleEq> touched;
+
+  for (const AnnotatedDeltaRow& r : in.rows) {
+    Tuple key = GroupKeyOf(r.row);
+    auto [it, inserted] = groups_.try_emplace(key);
+    if (inserted) it->second.aggs.resize(aggs_.size());
+    auto [snap_it, snap_new] = touched.try_emplace(key);
+    if (snap_new) {
+      bool global_group = group_exprs_.empty();
+      snap_it->second.existed = GroupExists(it->second) || global_group;
+      if (snap_it->second.existed) {
+        snap_it->second.out_row = OutputRow(key, it->second);
+        snap_it->second.sketch = it->second.SketchOf();
+      }
+    }
+    Status st = ApplyRow(&it->second, r.row, r.sketch, r.mult);
+    IMP_RETURN_NOT_OK(st);
+  }
+
+  for (auto& [key, pre] : touched) {
+    auto it = groups_.find(key);
+    IMP_CHECK(it != groups_.end());
+    const GroupState& state = it->second;
+    bool exists_now = GroupExists(state) || group_exprs_.empty();
+    if (exists_now) {
+      Tuple new_row = OutputRow(key, state);
+      BitVector new_sketch = state.SketchOf();
+      if (pre.existed && TupleEq{}(pre.out_row, new_row) &&
+          pre.sketch == new_sketch) {
+        continue;  // no observable change; skip the Δ-/Δ+ pair
+      }
+      if (pre.existed) {
+        out.Append(std::move(pre.out_row), std::move(pre.sketch), -1);
+      }
+      out.Append(std::move(new_row), std::move(new_sketch), +1);
+    } else {
+      if (pre.existed) {
+        out.Append(std::move(pre.out_row), std::move(pre.sketch), -1);
+      }
+      if (state.count == 0) groups_.erase(it);  // group fully deleted
+    }
+  }
+  return out;
+}
+
+size_t IncAggregate::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, state] : groups_) {
+    bytes += TupleMemoryBytes(key) + state.MemoryBytes();
+  }
+  return bytes;
+}
+
+void IncAggregate::SaveState(SerdeWriter* writer) const {
+  writer->WriteU64(groups_.size());
+  for (const auto& [key, state] : groups_) {
+    writer->WriteTuple(key);
+    writer->WriteI64(state.count);
+    writer->WriteU64(state.frag_counts.size());
+    for (const auto& [frag, count] : state.frag_counts) {
+      writer->WriteU64(frag);
+      writer->WriteI64(count);
+    }
+    writer->WriteU64(state.aggs.size());
+    for (const AggState& agg : state.aggs) {
+      writer->WriteI64(agg.nonnull_count);
+      writer->WriteI64(agg.int_sum);
+      writer->WriteDouble(agg.dbl_sum);
+      writer->WriteBool(agg.saw_double);
+      writer->WriteU64(agg.values.size());
+      for (const auto& [v, count] : agg.values) {
+        writer->WriteValue(v);
+        writer->WriteI64(count);
+      }
+      writer->WriteI64(agg.overflow);
+    }
+  }
+}
+
+Status IncAggregate::LoadState(SerdeReader* reader) {
+  groups_.clear();
+  IMP_ASSIGN_OR_RETURN(uint64_t num_groups, reader->ReadU64());
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    IMP_ASSIGN_OR_RETURN(Tuple key, reader->ReadTuple());
+    GroupState state;
+    IMP_ASSIGN_OR_RETURN(state.count, reader->ReadI64());
+    IMP_ASSIGN_OR_RETURN(uint64_t num_frags, reader->ReadU64());
+    for (uint64_t f = 0; f < num_frags; ++f) {
+      IMP_ASSIGN_OR_RETURN(uint64_t frag, reader->ReadU64());
+      IMP_ASSIGN_OR_RETURN(int64_t count, reader->ReadI64());
+      state.frag_counts[frag] = count;
+    }
+    IMP_ASSIGN_OR_RETURN(uint64_t num_aggs, reader->ReadU64());
+    if (num_aggs != aggs_.size()) {
+      return Status::Internal("aggregate state does not match plan");
+    }
+    state.aggs.resize(num_aggs);
+    for (uint64_t a = 0; a < num_aggs; ++a) {
+      AggState& agg = state.aggs[a];
+      IMP_ASSIGN_OR_RETURN(agg.nonnull_count, reader->ReadI64());
+      IMP_ASSIGN_OR_RETURN(agg.int_sum, reader->ReadI64());
+      IMP_ASSIGN_OR_RETURN(agg.dbl_sum, reader->ReadDouble());
+      IMP_ASSIGN_OR_RETURN(agg.saw_double, reader->ReadBool());
+      IMP_ASSIGN_OR_RETURN(uint64_t num_values, reader->ReadU64());
+      for (uint64_t v = 0; v < num_values; ++v) {
+        IMP_ASSIGN_OR_RETURN(Value value, reader->ReadValue());
+        IMP_ASSIGN_OR_RETURN(int64_t count, reader->ReadI64());
+        agg.values[value] = count;
+      }
+      IMP_ASSIGN_OR_RETURN(agg.overflow, reader->ReadI64());
+    }
+    groups_.emplace(std::move(key), std::move(state));
+  }
+  return Status::OK();
+}
+
+}  // namespace imp

@@ -1,0 +1,192 @@
+#include "imp/inc_operators.h"
+
+#include <map>
+
+namespace imp {
+
+size_t IncOperator::TotalStateBytes() const {
+  size_t bytes = StateBytes();
+  for (const auto& child : children_) bytes += child->TotalStateBytes();
+  return bytes;
+}
+
+void IncOperator::SaveTree(SerdeWriter* writer) const {
+  SaveState(writer);
+  for (const auto& child : children_) child->SaveTree(writer);
+}
+
+Status IncOperator::LoadTree(SerdeReader* reader) {
+  IMP_RETURN_NOT_OK(LoadState(reader));
+  for (const auto& child : children_) {
+    IMP_RETURN_NOT_OK(child->LoadTree(reader));
+  }
+  return Status::OK();
+}
+
+// ---- IncScan ---------------------------------------------------------------
+
+IncScan::IncScan(std::string table, ExprPtr filter, const Database* db,
+                 const PartitionCatalog* catalog, Schema schema,
+                 MaintainStats* stats)
+    : IncOperator({}),
+      table_(std::move(table)),
+      filter_(std::move(filter)),
+      db_(db),
+      catalog_(catalog),
+      schema_(std::move(schema)),
+      stats_(stats) {}
+
+Result<AnnotatedRelation> IncScan::Build(const DeltaContext&) {
+  AnnotatedRelation out;
+  out.schema = schema_;
+  const Table* table = db_->GetTable(table_);
+  if (table == nullptr) return Status::NotFound("no such table: " + table_);
+  out.rows.reserve(table->NumRows());
+  table->ForEachRow([&](const Tuple& row) {
+    if (filter_ && !filter_->Eval(row).IsTrue()) return;
+    AnnotatedRow ar;
+    ar.row = row;
+    catalog_->AnnotateRow(table_, row, &ar.sketch);
+    out.rows.push_back(std::move(ar));
+  });
+  return out;
+}
+
+Result<AnnotatedDelta> IncScan::Process(const DeltaContext& ctx) {
+  AnnotatedDelta out;
+  const AnnotatedDelta* in = ctx.Find(table_);
+  if (in == nullptr) return out;
+  stats_->delta_rows_processed += in->size();
+  if (!filter_) return *in;
+  for (const AnnotatedDeltaRow& r : in->rows) {
+    if (filter_->Eval(r.row).IsTrue()) out.rows.push_back(r);
+  }
+  return out;
+}
+
+// ---- IncSelect --------------------------------------------------------------
+
+IncSelect::IncSelect(std::unique_ptr<IncOperator> child, ExprPtr predicate)
+    : IncOperator([&] {
+        std::vector<std::unique_ptr<IncOperator>> c;
+        c.push_back(std::move(child));
+        return c;
+      }()),
+      predicate_(std::move(predicate)) {}
+
+Result<AnnotatedRelation> IncSelect::Build(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
+  AnnotatedRelation out;
+  out.schema = in.schema;
+  for (AnnotatedRow& r : in.rows) {
+    if (predicate_->Eval(r.row).IsTrue()) out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<AnnotatedDelta> IncSelect::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
+  AnnotatedDelta out;
+  for (AnnotatedDeltaRow& r : in.rows) {
+    if (predicate_->Eval(r.row).IsTrue()) out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+// ---- IncProject -------------------------------------------------------------
+
+IncProject::IncProject(std::unique_ptr<IncOperator> child,
+                       std::vector<ExprPtr> exprs, Schema output_schema)
+    : IncOperator([&] {
+        std::vector<std::unique_ptr<IncOperator>> c;
+        c.push_back(std::move(child));
+        return c;
+      }()),
+      exprs_(std::move(exprs)),
+      output_schema_(std::move(output_schema)) {}
+
+Result<AnnotatedRelation> IncProject::Build(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
+  AnnotatedRelation out;
+  out.schema = output_schema_;
+  out.rows.reserve(in.rows.size());
+  for (AnnotatedRow& r : in.rows) {
+    AnnotatedRow pr;
+    pr.row.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) pr.row.push_back(e->Eval(r.row));
+    pr.sketch = std::move(r.sketch);
+    out.rows.push_back(std::move(pr));
+  }
+  return out;
+}
+
+Result<AnnotatedDelta> IncProject::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
+  AnnotatedDelta out;
+  out.rows.reserve(in.rows.size());
+  for (AnnotatedDeltaRow& r : in.rows) {
+    Tuple projected;
+    projected.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(r.row));
+    out.Append(std::move(projected), std::move(r.sketch), r.mult);
+  }
+  return out;
+}
+
+// ---- IncMerge (μ) -----------------------------------------------------------
+
+void IncMerge::Build(const AnnotatedRelation& result) {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  for (const AnnotatedRow& r : result.rows) {
+    for (size_t bit : r.sketch.SetBits()) {
+      if (bit >= counters_.size()) counters_.resize(bit + 1, 0);
+      ++counters_[bit];
+    }
+  }
+}
+
+SketchDelta IncMerge::Process(const AnnotatedDelta& delta) {
+  // Snapshot the pre-batch counts of touched fragments, apply the whole
+  // batch, then emit one transition per fragment (Sec. 5.1: zero -> nonzero
+  // inserts the fragment, nonzero -> zero removes it).
+  std::map<size_t, int64_t> before;
+  for (const AnnotatedDeltaRow& r : delta.rows) {
+    for (size_t bit : r.sketch.SetBits()) {
+      if (bit >= counters_.size()) counters_.resize(bit + 1, 0);
+      before.emplace(bit, counters_[bit]);
+      counters_[bit] += r.mult;
+    }
+  }
+  SketchDelta out;
+  for (const auto& [bit, old_count] : before) {
+    int64_t new_count = counters_[bit];
+    IMP_CHECK_MSG(new_count >= 0, "negative merge counter");
+    if (old_count == 0 && new_count != 0) out.added.push_back(bit);
+    if (old_count != 0 && new_count == 0) out.removed.push_back(bit);
+  }
+  return out;
+}
+
+BitVector IncMerge::CurrentSketch() const {
+  BitVector out(counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] > 0) out.Set(i);
+  }
+  return out;
+}
+
+void IncMerge::SaveState(SerdeWriter* writer) const {
+  writer->WriteU64(counters_.size());
+  for (int64_t c : counters_) writer->WriteI64(c);
+}
+
+Status IncMerge::LoadState(SerdeReader* reader) {
+  IMP_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  counters_.assign(n, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    IMP_ASSIGN_OR_RETURN(counters_[i], reader->ReadI64());
+  }
+  return Status::OK();
+}
+
+}  // namespace imp

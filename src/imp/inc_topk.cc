@@ -1,0 +1,229 @@
+#include "imp/inc_topk.h"
+
+namespace imp {
+
+IncTopK::IncTopK(std::unique_ptr<IncOperator> child,
+                 std::vector<SortSpec> sorts, size_t k, Options options,
+                 MaintainStats* stats)
+    : IncOperator([&] {
+        std::vector<std::unique_ptr<IncOperator>> c;
+        c.push_back(std::move(child));
+        return c;
+      }()),
+      sorts_(std::move(sorts)),
+      k_(k),
+      options_(options),
+      stats_(stats),
+      tree_(SortKeyLess{&sorts_}) {}
+
+Tuple IncTopK::SortKeyOf(const Tuple& row) const {
+  Tuple key;
+  key.reserve(sorts_.size());
+  for (const SortSpec& s : sorts_) key.push_back(row[s.column]);
+  return key;
+}
+
+Status IncTopK::ApplyRow(const Tuple& row, const BitVector& sketch,
+                         int64_t mult) {
+  Tuple key = SortKeyOf(row);
+  if (mult > 0) {
+    size_t limit = options_.buffer;
+    if (limit != 0 && !tree_.empty() &&
+        stored_count_ >= static_cast<int64_t>(limit)) {
+      // Buffer full: rows sorting strictly after the last retained key can
+      // never enter the retained prefix without deletions, so drop them.
+      const Tuple& last = tree_.rbegin()->first;
+      SortKeyLess less{&sorts_};
+      if (less(last, key)) {
+        dropped_count_ += mult;
+        return Status::OK();
+      }
+    }
+    tree_[key][InnerKey{row, sketch}] += mult;
+    stored_count_ += mult;
+    EnforceBuffer();
+    return Status::OK();
+  }
+
+  // Deletion.
+  int64_t remove = -mult;
+  auto outer = tree_.find(key);
+  if (outer != tree_.end()) {
+    auto inner = outer->second.find(InnerKey{row, sketch});
+    if (inner != outer->second.end()) {
+      inner->second -= remove;
+      stored_count_ -= remove;
+      if (inner->second < 0 || stored_count_ < 0) {
+        return Status::NeedsRecapture("top-k multiplicity underflow");
+      }
+      if (inner->second == 0) outer->second.erase(inner);
+      if (outer->second.empty()) tree_.erase(outer);
+      if (options_.buffer != 0 && dropped_count_ > 0 &&
+          stored_count_ < static_cast<int64_t>(k_)) {
+        return Status::NeedsRecapture("top-k buffer exhausted");
+      }
+      return Status::OK();
+    }
+  }
+  // Not retained: must be a row dropped by truncation (sorting after the
+  // retained suffix); anything else means inconsistent input.
+  if (options_.buffer != 0 && dropped_count_ >= remove) {
+    bool after_tail = tree_.empty();
+    if (!after_tail) {
+      SortKeyLess less{&sorts_};
+      after_tail = !less(key, tree_.rbegin()->first);
+    }
+    if (after_tail) {
+      dropped_count_ -= remove;
+      return Status::OK();
+    }
+  }
+  return Status::NeedsRecapture("deletion of untracked top-k row");
+}
+
+void IncTopK::EnforceBuffer() {
+  size_t limit = options_.buffer;
+  if (limit == 0) return;
+  if (limit < k_) limit = k_;
+  // Evict whole tail entries while doing so keeps at least `limit` rows.
+  while (!tree_.empty()) {
+    auto outer = std::prev(tree_.end());
+    auto inner = std::prev(outer->second.end());
+    int64_t m = inner->second;
+    if (stored_count_ - m < static_cast<int64_t>(limit)) break;
+    dropped_count_ += m;
+    stored_count_ -= m;
+    outer->second.erase(inner);
+    if (outer->second.empty()) tree_.erase(outer);
+  }
+}
+
+std::vector<AnnotatedDeltaRow> IncTopK::ComputeTopK() const {
+  std::vector<AnnotatedDeltaRow> out;
+  int64_t remaining = static_cast<int64_t>(k_);
+  for (const auto& [key, inner] : tree_) {
+    (void)key;
+    for (const auto& [ik, mult] : inner) {
+      if (remaining <= 0) return out;
+      int64_t take = mult < remaining ? mult : remaining;
+      out.push_back(AnnotatedDeltaRow{ik.row, ik.sketch, take});
+      remaining -= take;
+    }
+    if (remaining <= 0) break;
+  }
+  return out;
+}
+
+Result<AnnotatedRelation> IncTopK::Build(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
+  tree_.clear();
+  stored_count_ = 0;
+  dropped_count_ = 0;
+  for (const AnnotatedRow& r : in.rows) {
+    Status st = ApplyRow(r.row, r.sketch, 1);
+    IMP_RETURN_NOT_OK(st);
+  }
+  last_output_ = ComputeTopK();
+  AnnotatedRelation out;
+  out.schema = in.schema;
+  for (const AnnotatedDeltaRow& r : last_output_) {
+    for (int64_t i = 0; i < r.mult; ++i) {
+      out.rows.push_back(AnnotatedRow{r.row, r.sketch});
+    }
+  }
+  return out;
+}
+
+Result<AnnotatedDelta> IncTopK::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
+  AnnotatedDelta out;
+  if (in.empty()) return out;
+  for (const AnnotatedDeltaRow& r : in.rows) {
+    Status st = ApplyRow(r.row, r.sketch, r.mult);
+    IMP_RETURN_NOT_OK(st);
+  }
+  std::vector<AnnotatedDeltaRow> now = ComputeTopK();
+  // Δ- τ_{k,O}(S), Δ+ τ_{k,O}(S') — skip when the output is unchanged.
+  bool same = now.size() == last_output_.size();
+  for (size_t i = 0; same && i < now.size(); ++i) {
+    same = now[i].mult == last_output_[i].mult &&
+           TupleEq{}(now[i].row, last_output_[i].row) &&
+           now[i].sketch == last_output_[i].sketch;
+  }
+  if (same) return out;
+  for (const AnnotatedDeltaRow& r : last_output_) {
+    out.Append(r.row, r.sketch, -r.mult);
+  }
+  for (const AnnotatedDeltaRow& r : now) {
+    out.Append(r.row, r.sketch, r.mult);
+  }
+  last_output_ = std::move(now);
+  out.Consolidate();
+  return out;
+}
+
+void IncTopK::SaveState(SerdeWriter* writer) const {
+  writer->WriteI64(stored_count_);
+  writer->WriteI64(dropped_count_);
+  writer->WriteU64(tree_.size());
+  for (const auto& [key, inner] : tree_) {
+    writer->WriteTuple(key);
+    writer->WriteU64(inner.size());
+    for (const auto& [ik, mult] : inner) {
+      writer->WriteTuple(ik.row);
+      writer->WriteBitVector(ik.sketch);
+      writer->WriteI64(mult);
+    }
+  }
+  writer->WriteU64(last_output_.size());
+  for (const AnnotatedDeltaRow& r : last_output_) {
+    writer->WriteTuple(r.row);
+    writer->WriteBitVector(r.sketch);
+    writer->WriteI64(r.mult);
+  }
+}
+
+Status IncTopK::LoadState(SerdeReader* reader) {
+  tree_.clear();
+  last_output_.clear();
+  IMP_ASSIGN_OR_RETURN(stored_count_, reader->ReadI64());
+  IMP_ASSIGN_OR_RETURN(dropped_count_, reader->ReadI64());
+  IMP_ASSIGN_OR_RETURN(uint64_t num_keys, reader->ReadU64());
+  for (uint64_t k = 0; k < num_keys; ++k) {
+    IMP_ASSIGN_OR_RETURN(Tuple key, reader->ReadTuple());
+    InnerMap& inner = tree_[key];
+    IMP_ASSIGN_OR_RETURN(uint64_t num_inner, reader->ReadU64());
+    for (uint64_t i = 0; i < num_inner; ++i) {
+      IMP_ASSIGN_OR_RETURN(Tuple row, reader->ReadTuple());
+      IMP_ASSIGN_OR_RETURN(BitVector sketch, reader->ReadBitVector());
+      IMP_ASSIGN_OR_RETURN(int64_t mult, reader->ReadI64());
+      inner[InnerKey{std::move(row), std::move(sketch)}] = mult;
+    }
+  }
+  IMP_ASSIGN_OR_RETURN(uint64_t num_out, reader->ReadU64());
+  for (uint64_t i = 0; i < num_out; ++i) {
+    AnnotatedDeltaRow r;
+    IMP_ASSIGN_OR_RETURN(r.row, reader->ReadTuple());
+    IMP_ASSIGN_OR_RETURN(r.sketch, reader->ReadBitVector());
+    IMP_ASSIGN_OR_RETURN(r.mult, reader->ReadI64());
+    last_output_.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+size_t IncTopK::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, inner] : tree_) {
+    bytes += TupleMemoryBytes(key) + 3 * sizeof(void*);
+    for (const auto& [ik, _] : inner) {
+      bytes += TupleMemoryBytes(ik.row) + ik.sketch.MemoryBytes() +
+               sizeof(int64_t) + 3 * sizeof(void*);
+    }
+  }
+  for (const AnnotatedDeltaRow& r : last_output_) {
+    bytes += TupleMemoryBytes(r.row) + r.sketch.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace imp

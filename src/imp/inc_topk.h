@@ -1,0 +1,93 @@
+// Incremental top-k (Sec. 5.2.7) with the top-l buffer optimization
+// (Sec. 7.2 / 8.4.3).
+//
+// State is the nested ordered map of the paper: an outer red-black tree
+// (std::map) from order-by key to an inner map from annotated tuple to
+// multiplicity. Deltas are computed by re-emitting: Δ- of the previous
+// top-k output and Δ+ of the new one (identical outputs are skipped).
+// With a finite buffer l >= k only the best l input rows (by multiplicity)
+// are retained; deletions that exhaust the buffer while dropped rows exist
+// surface as NeedsRecapture, which makes the maintainer rebuild state —
+// exactly the paper's "if there are less than k groups stored in the
+// state, our IMP will fully maintain the sketches".
+
+#ifndef IMP_IMP_INC_TOPK_H_
+#define IMP_IMP_INC_TOPK_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "imp/inc_operators.h"
+
+namespace imp {
+
+class IncTopK final : public IncOperator {
+ public:
+  struct Options {
+    /// Retain only the best `buffer` rows (total multiplicity); 0 = all.
+    size_t buffer = 0;
+  };
+
+  IncTopK(std::unique_ptr<IncOperator> child, std::vector<SortSpec> sorts,
+          size_t k, Options options, MaintainStats* stats);
+
+  Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
+  Result<AnnotatedDelta> Process(const DeltaContext& ctx) override;
+  size_t StateBytes() const override;
+  void SaveState(SerdeWriter* writer) const override;
+  Status LoadState(SerdeReader* reader) override;
+
+  /// Total multiplicity currently retained in the tree.
+  int64_t StoredCount() const { return stored_count_; }
+  /// Multiplicity of rows dropped by buffer truncation.
+  int64_t DroppedCount() const { return dropped_count_; }
+
+ private:
+  struct SortKeyLess {
+    const std::vector<SortSpec>* sorts;
+    bool operator()(const Tuple& a, const Tuple& b) const {
+      for (size_t i = 0; i < sorts->size(); ++i) {
+        int c = a[i].Compare(b[i]);  // keys store sort columns positionally
+        if (c != 0) return (*sorts)[i].ascending ? c < 0 : c > 0;
+      }
+      return false;
+    }
+  };
+
+  struct InnerKey {
+    Tuple row;
+    BitVector sketch;
+    bool operator<(const InnerKey& o) const {
+      TupleLess less;
+      if (less(row, o.row)) return true;
+      if (less(o.row, row)) return false;
+      return sketch < o.sketch;
+    }
+  };
+
+  using InnerMap = std::map<InnerKey, int64_t>;
+  using OuterMap = std::map<Tuple, InnerMap, SortKeyLess>;
+
+  Tuple SortKeyOf(const Tuple& row) const;
+  /// Apply one signed row to the tree, honoring the buffer limit.
+  Status ApplyRow(const Tuple& row, const BitVector& sketch, int64_t mult);
+  /// Trim worst entries while more than max(buffer, k) rows are stored.
+  void EnforceBuffer();
+  /// Current top-k output rows with multiplicities.
+  std::vector<AnnotatedDeltaRow> ComputeTopK() const;
+
+  std::vector<SortSpec> sorts_;
+  size_t k_;
+  Options options_;
+  MaintainStats* stats_;
+  OuterMap tree_;
+  int64_t stored_count_ = 0;
+  int64_t dropped_count_ = 0;
+  std::vector<AnnotatedDeltaRow> last_output_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_IMP_INC_TOPK_H_

@@ -1,0 +1,101 @@
+// The incremental maintenance procedure I (Def. 4.5): builds an incremental
+// operator tree mirroring a query plan, initializes its state alongside
+// sketch capture, and turns backend deltas into sketch deltas.
+//
+// Responsibilities:
+//  * operator tree construction (Sec. 5.2) plus the merge operator μ,
+//  * state initialization from the current database ("the state of the
+//    incremental operators for this query", Sec. 2),
+//  * the selection push-down analysis that lets delta fetching pre-filter
+//    rows in the backend (Sec. 7.2),
+//  * recapture-on-truncation: when a truncated min/max or top-k buffer runs
+//    dry the maintainer transparently rebuilds all state (Sec. 8.4.3).
+
+#ifndef IMP_IMP_MAINTAINER_H_
+#define IMP_IMP_MAINTAINER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "imp/inc_operators.h"
+#include "sketch/sketch.h"
+
+namespace imp {
+
+/// Tunables for the incremental engine (all paper optimizations).
+struct MaintainerOptions {
+  bool bloom_filters = true;       ///< Sec. 7.2 join bloom filters
+  bool selection_pushdown = true;  ///< Sec. 7.2 delta pre-filtering
+  size_t minmax_buffer = 0;        ///< top-l buffer for min/max (0 = all)
+  size_t topk_buffer = 0;          ///< top-l buffer for top-k (0 = all)
+};
+
+/// Incremental maintenance procedure for one query's sketch.
+class Maintainer {
+ public:
+  Maintainer(const Database* db, const PartitionCatalog* catalog, PlanPtr plan,
+             MaintainerOptions options = {});
+
+  /// Build all operator state by evaluating the (annotated) query once and
+  /// record the accurate sketch — the capture step (Fig. 2, blue pipeline).
+  Result<ProvenanceSketch> Initialize();
+
+  /// Incrementally maintain with raw backend deltas, advancing the sketch
+  /// to `new_version`. Returns the sketch delta ΔP. On buffer exhaustion
+  /// the maintainer recaptures internally (counted in stats().recaptures)
+  /// and returns the diff between old and new sketch.
+  Result<SketchDelta> Maintain(const std::vector<TableDelta>& deltas,
+                               uint64_t new_version);
+
+  /// Convenience: fetch the pending deltas for all referenced tables from
+  /// the backend (applying selection push-down) and maintain up to the
+  /// database's current version.
+  Result<SketchDelta> MaintainFromBackend();
+
+  const ProvenanceSketch& sketch() const { return sketch_; }
+  uint64_t maintained_version() const { return sketch_.valid_version; }
+  const PlanPtr& plan() const { return plan_; }
+
+  /// Predicate to push into the delta fetch for `table`, or an empty
+  /// function when nothing can be pushed (Sec. 7.2 delta filtering).
+  std::function<bool(const Tuple&)> DeltaPredicate(
+      const std::string& table) const;
+  /// The pushed-down expression itself (for tests / inspection).
+  ExprPtr DeltaPredicateExpr(const std::string& table) const;
+
+  /// Total bytes of incremental operator state (Figs. 13e/f, 15, 17).
+  size_t StateBytes() const;
+
+  /// Persist the complete maintenance state — sketch, merge counters and
+  /// every stateful operator — into a blob (Sec. 2: persist operator state
+  /// in the database to survive restarts / memory-pressure eviction).
+  std::string SerializeState() const;
+  /// Restore state persisted by SerializeState. The maintainer must have
+  /// been constructed for the same plan, catalog and options.
+  Status RestoreState(const std::string& blob);
+
+  const MaintainStats& stats() const { return stats_; }
+  MaintainStats* mutable_stats() { return &stats_; }
+
+ private:
+  std::unique_ptr<IncOperator> BuildOperator(const PlanPtr& plan);
+  void ComputePushdowns();
+
+  const Database* db_;
+  const PartitionCatalog* catalog_;
+  PlanPtr plan_;
+  MaintainerOptions options_;
+  MaintainStats stats_;
+  std::unique_ptr<IncOperator> root_;
+  IncMerge merge_;
+  ProvenanceSketch sketch_;
+  std::map<std::string, ExprPtr> pushdown_preds_;
+  std::map<std::string, size_t> scan_counts_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_IMP_MAINTAINER_H_

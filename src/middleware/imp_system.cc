@@ -1,0 +1,313 @@
+#include "middleware/imp_system.h"
+
+#include <chrono>
+
+#include "sketch/reuse.h"
+#include "sketch/safety.h"
+#include "sketch/use_rewrite.h"
+
+namespace imp {
+
+namespace {
+/// Seconds elapsed since `start`.
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+ImpSystem::ImpSystem(Database* db, ImpConfig config)
+    : db_(db), config_(config), binder_(db) {}
+
+Status ImpSystem::RegisterPartition(RangePartition partition) {
+  return catalog_.Register(std::move(partition));
+}
+
+Status ImpSystem::PartitionTable(const std::string& table,
+                                 const std::string& attribute,
+                                 size_t num_fragments) {
+  const Table* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  auto idx = t->schema().IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound("no such column: " + table + "." + attribute);
+  }
+  std::vector<Value> values = t->ColumnValues(*idx);
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot partition empty table " + table);
+  }
+  return catalog_.Register(RangePartition::EquiDepth(
+      table, attribute, *idx, std::move(values), num_fragments));
+}
+
+Result<SketchEntry*> ImpSystem::TryCreateEntry(const std::string& key,
+                                               const PlanPtr& plan) {
+  // Determine which partitioned tables referenced by the query have a safe
+  // partition attribute; only those may be filtered by the sketch.
+  std::set<std::string> filter_tables;
+  for (const std::string& table : plan->ReferencedTables()) {
+    const RangePartition* part = catalog_.Find(table);
+    if (part == nullptr) continue;
+    SafetyResult safety =
+        AnalyzeSketchSafety(plan, table, part->attr_index());
+    if (safety.safe) filter_tables.insert(table);
+  }
+  if (filter_tables.empty()) return Status::NotFound("no safe partition");
+
+  auto entry = std::make_unique<SketchEntry>();
+  entry->state_key =
+      "imp_state/" + key + "#" + std::to_string(sketches_.size());
+  entry->plan = plan;
+  entry->filter_tables = std::move(filter_tables);
+
+  auto start = std::chrono::steady_clock::now();
+  if (config_.mode == ExecutionMode::kIncremental) {
+    entry->maintainer = std::make_unique<Maintainer>(db_, &catalog_, plan,
+                                                     config_.maintainer);
+    IMP_ASSIGN_OR_RETURN(entry->sketch, entry->maintainer->Initialize());
+  } else {
+    CaptureEngine capture(db_, &catalog_);
+    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(plan));
+  }
+  stats_.capture_seconds += SecondsSince(start);
+  ++stats_.sketch_captures;
+  return sketches_.Insert(key, std::move(entry));
+}
+
+Status ImpSystem::EnsureMaintainer(SketchEntry* entry) {
+  if (config_.mode != ExecutionMode::kIncremental) return Status::OK();
+  if (entry->maintainer != nullptr) return Status::OK();
+  if (!entry->state_evicted) {
+    return Status::Internal("sketch entry lost its maintainer");
+  }
+  // Fetch the persisted operator state from the backend (Sec. 2: "if the
+  // operator states for a sketch's query are not currently in memory, they
+  // will be fetched from the database").
+  const std::string* blob = db_->GetStateBlob(entry->state_key);
+  if (blob == nullptr) {
+    return Status::NotFound("no persisted state for " + entry->state_key);
+  }
+  entry->maintainer = std::make_unique<Maintainer>(db_, &catalog_, entry->plan,
+                                                   config_.maintainer);
+  IMP_RETURN_NOT_OK(entry->maintainer->RestoreState(*blob));
+  entry->state_evicted = false;
+  return Status::OK();
+}
+
+Status ImpSystem::EvictSketchStates() {
+  if (config_.mode != ExecutionMode::kIncremental) return Status::OK();
+  for (SketchEntry* entry : sketches_.AllEntries()) {
+    if (entry->maintainer == nullptr) continue;
+    db_->PutStateBlob(entry->state_key, entry->maintainer->SerializeState());
+    entry->maintainer.reset();
+    entry->state_evicted = true;
+  }
+  return Status::OK();
+}
+
+Status ImpSystem::RecaptureEntry(SketchEntry* entry) {
+  // Re-derive which partitioned tables are safely filterable (partition
+  // attributes may have changed).
+  entry->filter_tables.clear();
+  for (const std::string& table : entry->plan->ReferencedTables()) {
+    const RangePartition* part = catalog_.Find(table);
+    if (part == nullptr) continue;
+    if (AnalyzeSketchSafety(entry->plan, table, part->attr_index()).safe) {
+      entry->filter_tables.insert(table);
+    }
+  }
+  if (config_.mode == ExecutionMode::kIncremental) {
+    entry->maintainer = std::make_unique<Maintainer>(
+        db_, &catalog_, entry->plan, config_.maintainer);
+    entry->state_evicted = false;
+    db_->EraseStateBlob(entry->state_key);
+    IMP_ASSIGN_OR_RETURN(entry->sketch, entry->maintainer->Initialize());
+  } else {
+    CaptureEngine capture(db_, &catalog_);
+    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(entry->plan));
+  }
+  ++stats_.sketch_captures;
+  return Status::OK();
+}
+
+Status ImpSystem::RepartitionTable(const std::string& table,
+                                   const std::string& attribute,
+                                   size_t num_fragments) {
+  IMP_RETURN_NOT_OK(catalog_.Unregister(table));
+  const Table* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  auto idx = t->schema().IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound("no such column: " + table + "." + attribute);
+  }
+  IMP_RETURN_NOT_OK(catalog_.Register(RangePartition::EquiDepth(
+      table, attribute, *idx, t->ColumnValues(*idx), num_fragments)));
+  // Global fragment ids changed: every sketch must be recaptured.
+  for (SketchEntry* entry : sketches_.AllEntries()) {
+    IMP_RETURN_NOT_OK(RecaptureEntry(entry));
+  }
+  return Status::OK();
+}
+
+Status ImpSystem::MaintainEntry(SketchEntry* entry) {
+  IMP_RETURN_NOT_OK(EnsureMaintainer(entry));
+  if (entry->valid_version() >= db_->CurrentVersion()) return Status::OK();
+  // Skip entries with no pending deltas on their tables (version bumps from
+  // updates to unrelated tables do not make a sketch stale).
+  bool stale = false;
+  for (const std::string& table : entry->plan->ReferencedTables()) {
+    if (db_->PendingDeltaCount(table, entry->valid_version()) > 0) {
+      stale = true;
+      break;
+    }
+  }
+  if (!stale) {
+    entry->sketch.valid_version = db_->CurrentVersion();
+    if (entry->maintainer) {
+      // Fast-forward the maintainer's version with an empty delta.
+      IMP_RETURN_NOT_OK(
+          entry->maintainer->Maintain({}, db_->CurrentVersion()).status());
+    }
+    return Status::OK();
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  if (config_.retain_sketch_history) entry->history.push_back(entry->sketch);
+  if (config_.mode == ExecutionMode::kIncremental) {
+    IMP_RETURN_NOT_OK(entry->maintainer->MaintainFromBackend().status());
+    entry->sketch = entry->maintainer->sketch();
+  } else {
+    // Full maintenance: re-run the capture query (Sec. 1).
+    CaptureEngine capture(db_, &catalog_);
+    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(entry->plan));
+  }
+  stats_.maintain_seconds += SecondsSince(start);
+  ++stats_.maintenances;
+  return Status::OK();
+}
+
+Result<Relation> ImpSystem::AnswerWithEntry(SketchEntry* entry,
+                                            const PlanPtr& plan) {
+  IMP_RETURN_NOT_OK(MaintainEntry(entry));
+  auto start = std::chrono::steady_clock::now();
+  PlanPtr rewritten = ApplyUseRewrite(plan, catalog_, entry->sketch,
+                                      &entry->filter_tables);
+  Executor exec(db_);
+  Result<Relation> result = exec.Execute(rewritten);
+  stats_.query_seconds += SecondsSince(start);
+  if (result.ok()) ++stats_.sketch_uses;
+  return result;
+}
+
+Result<Relation> ImpSystem::QueryPlan(const PlanPtr& plan) {
+  ++stats_.queries;
+  if (config_.mode == ExecutionMode::kNoSketch ||
+      catalog_.total_fragments() == 0) {
+    auto start = std::chrono::steady_clock::now();
+    Executor exec(db_);
+    Result<Relation> result = exec.Execute(plan);
+    stats_.query_seconds += SecondsSince(start);
+    return result;
+  }
+
+  // Prefilter candidate sketches by query template, then apply the reuse
+  // check from [37] (Sec. 2: "determine whether a sketch captured for a
+  // query Q' in the past can be safely used to answer Q").
+  std::string key = plan->TemplateKey();
+  SketchEntry* entry = nullptr;
+  for (SketchEntry* candidate : sketches_.Candidates(key)) {
+    if (CanReuseSketch(candidate->plan, plan)) {
+      entry = candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    Result<SketchEntry*> created = TryCreateEntry(key, plan);
+    if (!created.ok()) {
+      // No safe partition: fall back to plain execution (the paper's
+      // "counterexample" queries that do not profit from PBDS).
+      auto start = std::chrono::steady_clock::now();
+      Executor exec(db_);
+      Result<Relation> result = exec.Execute(plan);
+      stats_.query_seconds += SecondsSince(start);
+      return result;
+    }
+    entry = created.value();
+  }
+  return AnswerWithEntry(entry, plan);
+}
+
+Result<Relation> ImpSystem::Query(const std::string& sql) {
+  IMP_ASSIGN_OR_RETURN(PlanPtr plan, binder_.BindQuery(sql));
+  return QueryPlan(plan);
+}
+
+Result<uint64_t> ImpSystem::UpdateBound(const BoundUpdate& update) {
+  ++stats_.updates;
+  auto start = std::chrono::steady_clock::now();
+  Result<uint64_t> version = [&]() -> Result<uint64_t> {
+    switch (update.kind) {
+      case BoundUpdate::Kind::kInsert:
+        return db_->Insert(update.table, update.rows);
+      case BoundUpdate::Kind::kDelete: {
+        auto pred = update.where ? ExprPredicate(update.where)
+                                 : [](const Tuple&) { return true; };
+        return db_->Delete(update.table, pred);
+      }
+      case BoundUpdate::Kind::kUpdate: {
+        // UPDATE = DELETE matching rows + INSERT modified rows.
+        const Table* table = db_->GetTable(update.table);
+        if (table == nullptr) {
+          return Status::NotFound("no such table: " + update.table);
+        }
+        auto pred = update.where ? ExprPredicate(update.where)
+                                 : [](const Tuple&) { return true; };
+        std::vector<Tuple> modified;
+        table->ForEachRow([&](const Tuple& row) {
+          if (!pred(row)) return;
+          Tuple next = row;
+          for (const auto& [col, expr] : update.sets) {
+            next[col] = expr->Eval(row);
+          }
+          modified.push_back(std::move(next));
+        });
+        IMP_RETURN_NOT_OK(db_->Delete(update.table, pred).status());
+        return db_->Insert(update.table, modified);
+      }
+    }
+    return Status::Internal("unhandled update kind");
+  }();
+  stats_.update_seconds += SecondsSince(start);
+  if (!version.ok()) return version;
+  NoteUpdate();
+  return version;
+}
+
+Result<uint64_t> ImpSystem::Update(const std::string& sql) {
+  IMP_ASSIGN_OR_RETURN(BoundStatement bound, binder_.BindSql(sql));
+  if (bound.kind == Statement::Kind::kSelect) {
+    return Status::InvalidArgument("Update() called with a query");
+  }
+  return UpdateBound(bound.update);
+}
+
+void ImpSystem::NoteUpdate() {
+  if (config_.strategy != MaintenanceStrategy::kEager) return;
+  if (++pending_update_statements_ < config_.eager_batch_size) return;
+  pending_update_statements_ = 0;
+  // Eagerly maintain every sketch that may be affected (Sec. 2).
+  for (SketchEntry* entry : sketches_.AllEntries()) {
+    MaintainEntry(entry);  // best effort; errors surface on use
+  }
+}
+
+Status ImpSystem::MaintainAll() {
+  for (SketchEntry* entry : sketches_.AllEntries()) {
+    IMP_RETURN_NOT_OK(MaintainEntry(entry));
+  }
+  pending_update_statements_ = 0;
+  return Status::OK();
+}
+
+}  // namespace imp

@@ -1,0 +1,125 @@
+// The IMP middleware (Fig. 2): sits between the user and the backend DBMS,
+// accepts SQL queries and updates, manages provenance sketches, and decides
+// per query whether to (i) capture a new sketch, (ii) use an existing
+// non-stale sketch, or (iii) incrementally maintain a stale sketch and then
+// use it.
+//
+// Three execution modes reproduce the paper's compared systems:
+//   kNoSketch        — NS baseline: queries run directly on the backend;
+//   kFullMaintenance — FM baseline: sketches are used, staleness triggers a
+//                      full re-run of the capture query;
+//   kIncremental     — IMP: staleness is repaired by the incremental engine.
+// Maintenance timing follows the configured strategy: lazy (maintain when a
+// stale sketch is needed) or eager (maintain after every batch of updates).
+
+#ifndef IMP_MIDDLEWARE_IMP_SYSTEM_H_
+#define IMP_MIDDLEWARE_IMP_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/executor.h"
+#include "middleware/sketch_manager.h"
+#include "sql/binder.h"
+
+namespace imp {
+
+enum class ExecutionMode : uint8_t { kNoSketch, kFullMaintenance, kIncremental };
+enum class MaintenanceStrategy : uint8_t { kLazy, kEager };
+
+/// System configuration.
+struct ImpConfig {
+  ExecutionMode mode = ExecutionMode::kIncremental;
+  MaintenanceStrategy strategy = MaintenanceStrategy::kLazy;
+  /// Eager mode: number of update statements buffered before maintenance.
+  size_t eager_batch_size = 1;
+  /// Incremental engine tunables (bloom filters, push-down, buffers).
+  MaintainerOptions maintainer;
+  /// Keep superseded sketch versions (Sec. 2 immutable-sketch versioning).
+  bool retain_sketch_history = false;
+};
+
+/// Wall-clock accounting split by pipeline stage.
+struct ImpSystemStats {
+  size_t queries = 0;
+  size_t updates = 0;
+  size_t sketch_captures = 0;    ///< capture-query executions
+  size_t sketch_uses = 0;        ///< queries answered through a sketch
+  size_t maintenances = 0;       ///< incremental/full maintenance runs
+  double capture_seconds = 0;
+  double maintain_seconds = 0;
+  double query_seconds = 0;      ///< instrumented/plain query execution
+  double update_seconds = 0;
+
+  double TotalSeconds() const {
+    return capture_seconds + maintain_seconds + query_seconds + update_seconds;
+  }
+  void Reset() { *this = ImpSystemStats{}; }
+};
+
+class ImpSystem {
+ public:
+  ImpSystem(Database* db, ImpConfig config = {});
+
+  /// Register a range partition for sketching (part of Φ).
+  Status RegisterPartition(RangePartition partition);
+  /// Convenience: build an equi-depth partition from the table's current
+  /// contents (Sec. 7.4) and register it.
+  Status PartitionTable(const std::string& table, const std::string& attribute,
+                        size_t num_fragments);
+
+  /// Run a SQL query through the sketch pipeline of Fig. 2.
+  Result<Relation> Query(const std::string& sql);
+  /// Run a bound plan (bypasses the parser; used by benchmarks).
+  Result<Relation> QueryPlan(const PlanPtr& plan);
+
+  /// Apply a SQL update (INSERT / DELETE / UPDATE); returns the new version.
+  Result<uint64_t> Update(const std::string& sql);
+  /// Apply a bound update.
+  Result<uint64_t> UpdateBound(const BoundUpdate& update);
+
+  /// Force maintenance of every stale sketch (flushes eager buffering).
+  Status MaintainAll();
+
+  /// Persist every sketch's incremental operator state into the backend's
+  /// blob store and release the in-memory state (Sec. 2: eviction under
+  /// memory pressure / restart recovery). States are transparently
+  /// restored on the next use of each sketch.
+  Status EvictSketchStates();
+
+  /// Replace `table`'s range partition with a fresh equi-depth partition
+  /// over its current contents and recapture all sketches (Sec. 7.4:
+  /// significant distribution changes -> update ranges and recapture).
+  Status RepartitionTable(const std::string& table,
+                          const std::string& attribute, size_t num_fragments);
+
+  Database* db() { return db_; }
+  const PartitionCatalog& catalog() const { return catalog_; }
+  SketchManager& sketches() { return sketches_; }
+  const ImpSystemStats& stats() const { return stats_; }
+  ImpSystemStats* mutable_stats() { return &stats_; }
+  const ImpConfig& config() const { return config_; }
+
+ private:
+  Result<Relation> AnswerWithEntry(SketchEntry* entry, const PlanPtr& plan);
+  Result<SketchEntry*> TryCreateEntry(const std::string& key,
+                                      const PlanPtr& plan);
+  Status MaintainEntry(SketchEntry* entry);
+  /// Re-materialize an evicted maintainer from the backend blob store.
+  Status EnsureMaintainer(SketchEntry* entry);
+  /// Rebuild an entry's state + sketch from scratch (repartitioning).
+  Status RecaptureEntry(SketchEntry* entry);
+  void NoteUpdate();
+
+  Database* db_;
+  ImpConfig config_;
+  PartitionCatalog catalog_;
+  SketchManager sketches_;
+  Binder binder_;
+  ImpSystemStats stats_;
+  size_t pending_update_statements_ = 0;
+};
+
+}  // namespace imp
+
+#endif  // IMP_MIDDLEWARE_IMP_SYSTEM_H_

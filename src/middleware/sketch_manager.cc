@@ -1,0 +1,68 @@
+#include "middleware/sketch_manager.h"
+
+namespace imp {
+
+std::vector<SketchEntry*> SketchManager::Candidates(
+    const std::string& template_key) {
+  std::vector<SketchEntry*> out;
+  auto it = entries_.find(template_key);
+  if (it == entries_.end()) return out;
+  out.reserve(it->second.size());
+  for (auto& entry : it->second) out.push_back(entry.get());
+  return out;
+}
+
+SketchEntry* SketchManager::Insert(std::string template_key,
+                                   std::unique_ptr<SketchEntry> entry) {
+  auto& bucket = entries_[std::move(template_key)];
+  bucket.push_back(std::move(entry));
+  return bucket.back().get();
+}
+
+void SketchManager::Erase(const std::string& template_key) {
+  entries_.erase(template_key);
+}
+
+size_t SketchManager::size() const {
+  size_t n = 0;
+  for (const auto& [_, bucket] : entries_) n += bucket.size();
+  return n;
+}
+
+std::vector<SketchEntry*> SketchManager::EntriesReferencing(
+    const std::string& table) {
+  std::vector<SketchEntry*> out;
+  for (auto& [_, bucket] : entries_) {
+    for (auto& entry : bucket) {
+      if (entry->plan->ReferencedTables().count(table) > 0) {
+        out.push_back(entry.get());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SketchEntry*> SketchManager::AllEntries() {
+  std::vector<SketchEntry*> out;
+  for (auto& [_, bucket] : entries_) {
+    for (auto& entry : bucket) out.push_back(entry.get());
+  }
+  return out;
+}
+
+size_t SketchManager::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, bucket] : entries_) {
+    bytes += key.size();
+    for (const auto& entry : bucket) {
+      bytes += entry->sketch.MemoryBytes();
+      for (const ProvenanceSketch& old : entry->history) {
+        bytes += old.MemoryBytes();
+      }
+      if (entry->maintainer) bytes += entry->maintainer->StateBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace imp

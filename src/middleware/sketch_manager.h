@@ -1,0 +1,65 @@
+// The sketch store (Sec. 7.1): a hash table keyed by query template whose
+// entries hold the sketch, the query it was captured for, the state of the
+// incremental operators (the Maintainer), and the database version the
+// sketch was last maintained at.
+
+#ifndef IMP_MIDDLEWARE_SKETCH_MANAGER_H_
+#define IMP_MIDDLEWARE_SKETCH_MANAGER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "imp/maintainer.h"
+#include "sketch/capture.h"
+#include "sketch/sketch.h"
+
+namespace imp {
+
+/// One managed sketch. In incremental mode the Maintainer owns the sketch
+/// and operator state; in full-maintenance mode only the sketch versions
+/// are kept and staleness triggers recapture. Sketches are treated as
+/// immutable: old versions are retained in `history`.
+struct SketchEntry {
+  std::string state_key;        ///< backend blob-store key for eviction
+  PlanPtr plan;                 ///< the query the sketch was captured for
+  std::set<std::string> filter_tables;  ///< safe, partitioned tables
+  std::unique_ptr<Maintainer> maintainer;  ///< incremental mode only
+  bool state_evicted = false;   ///< maintainer state lives in the backend
+  ProvenanceSketch sketch;      ///< current version (mirrors maintainer's)
+  std::vector<ProvenanceSketch> history;  ///< retained past versions
+
+  uint64_t valid_version() const { return sketch.valid_version; }
+};
+
+/// Template-keyed sketch store. Each template may hold several sketches
+/// (captured for different constants); lookup returns the candidates and
+/// the middleware applies the reuse check from [37] (sketch/reuse.h).
+class SketchManager {
+ public:
+  /// Candidate entries for a template (empty when none).
+  std::vector<SketchEntry*> Candidates(const std::string& template_key);
+  SketchEntry* Insert(std::string template_key,
+                      std::unique_ptr<SketchEntry> entry);
+  void Erase(const std::string& template_key);
+
+  /// Total number of stored sketch entries.
+  size_t size() const;
+  /// Entries whose plan references `table`.
+  std::vector<SketchEntry*> EntriesReferencing(const std::string& table);
+  /// All entries.
+  std::vector<SketchEntry*> AllEntries();
+
+  /// Total bytes of sketches + operator state across entries.
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<std::unique_ptr<SketchEntry>>>
+      entries_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_MIDDLEWARE_SKETCH_MANAGER_H_

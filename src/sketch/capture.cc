@@ -1,0 +1,24 @@
+#include "sketch/capture.h"
+
+namespace imp {
+
+Result<ProvenanceSketch> CaptureEngine::Capture(const PlanPtr& plan) const {
+  IMP_ASSIGN_OR_RETURN(auto pair, CaptureWithResult(plan));
+  return pair.second;
+}
+
+Result<std::pair<Relation, ProvenanceSketch>> CaptureEngine::CaptureWithResult(
+    const PlanPtr& plan) const {
+  AnnotatedExecutor exec(
+      db_, [this](const std::string& table, const Tuple& row, BitVector* out) {
+        catalog_->AnnotateRow(table, row, out);
+      });
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation result, exec.Execute(plan));
+  ProvenanceSketch sketch;
+  sketch.fragments = result.SketchUnion();
+  sketch.fragments.Resize(catalog_->total_fragments());
+  sketch.valid_version = db_->CurrentVersion();
+  return std::make_pair(result.ToRelation(), std::move(sketch));
+}
+
+}  // namespace imp

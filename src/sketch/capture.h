@@ -1,0 +1,38 @@
+// Sketch capture: runs the instrumented (annotated) version of a query and
+// returns the accurate provenance sketch. Re-running capture is also the
+// full-maintenance (FM) baseline of the evaluation.
+
+#ifndef IMP_SKETCH_CAPTURE_H_
+#define IMP_SKETCH_CAPTURE_H_
+
+#include <utility>
+
+#include "exec/annotated_executor.h"
+#include "sketch/sketch.h"
+
+namespace imp {
+
+/// Executes capture queries Q^{R,F} against the backend.
+class CaptureEngine {
+ public:
+  CaptureEngine(const Database* db, const PartitionCatalog* catalog)
+      : db_(db), catalog_(catalog) {}
+
+  /// Capture the accurate sketch for `plan` under the catalog's partitions,
+  /// valid as of the backend's current version.
+  Result<ProvenanceSketch> Capture(const PlanPtr& plan) const;
+
+  /// Capture and also return the (un-annotated) query result — IMP uses
+  /// this when a fresh sketch is captured to answer the triggering query in
+  /// the same pass (Fig. 2, dashed blue then green pipelines).
+  Result<std::pair<Relation, ProvenanceSketch>> CaptureWithResult(
+      const PlanPtr& plan) const;
+
+ private:
+  const Database* db_;
+  const PartitionCatalog* catalog_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_SKETCH_CAPTURE_H_

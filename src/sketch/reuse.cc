@@ -1,0 +1,346 @@
+#include "sketch/reuse.h"
+
+#include <set>
+
+namespace imp {
+
+namespace {
+
+/// Columns of the current operator output that are monotone aggregate
+/// results (SUM with the generator-guaranteed non-negative args, COUNT).
+struct ReuseContext {
+  bool above_aggregate = false;
+  std::set<size_t> monotone_cols;
+};
+
+bool LiteralPairOk(const Value& captured, const Value& query, BinaryOp op,
+                   bool literal_on_right, bool monotone_position) {
+  if (captured == query) return true;
+  if (!monotone_position) return false;
+  BinaryOp effective = op;
+  if (!literal_on_right) {
+    // `lit < x` is `x > lit`, etc.
+    switch (op) {
+      case BinaryOp::kLt: effective = BinaryOp::kGt; break;
+      case BinaryOp::kLe: effective = BinaryOp::kGe; break;
+      case BinaryOp::kGt: effective = BinaryOp::kLt; break;
+      case BinaryOp::kGe: effective = BinaryOp::kLe; break;
+      default: break;
+    }
+  }
+  switch (effective) {
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return query >= captured;  // Q at least as selective
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      return query <= captured;
+    default:
+      return false;  // =, <> with differing constants
+  }
+}
+
+bool IsLiteral(const ExprPtr& e) { return e->kind() == ExprKind::kLiteral; }
+const Value& LitOf(const ExprPtr& e) {
+  return static_cast<const LiteralExpr&>(*e).value();
+}
+
+/// True when the comparison operand `x` may carry a relaxed threshold:
+/// below aggregates any column expression qualifies; above aggregates only
+/// monotone aggregate outputs do.
+bool MonotonePosition(const ExprPtr& x, const ReuseContext& ctx) {
+  if (!ctx.above_aggregate) return true;
+  if (x->kind() != ExprKind::kColumnRef) return false;
+  return ctx.monotone_cols.count(
+             static_cast<const ColumnRefExpr&>(*x).index()) > 0;
+}
+
+/// Lockstep structural walk of two expressions; differing literals are
+/// validated against the threshold rules.
+bool ExprsReusable(const ExprPtr& s, const ExprPtr& q,
+                   const ReuseContext& ctx) {
+  if (s->kind() != q->kind()) return false;
+  switch (s->kind()) {
+    case ExprKind::kLiteral:
+      // A bare literal outside a comparison must match exactly.
+      return LitOf(s) == LitOf(q);
+    case ExprKind::kColumnRef: {
+      const auto& a = static_cast<const ColumnRefExpr&>(*s);
+      const auto& b = static_cast<const ColumnRefExpr&>(*q);
+      return a.index() == b.index();
+    }
+    case ExprKind::kUnary: {
+      const auto& a = static_cast<const UnaryExpr&>(*s);
+      const auto& b = static_cast<const UnaryExpr&>(*q);
+      return a.op() == b.op() && ExprsReusable(a.child(), b.child(), ctx);
+    }
+    case ExprKind::kBetween: {
+      const auto& a = static_cast<const BetweenExpr&>(*s);
+      const auto& b = static_cast<const BetweenExpr&>(*q);
+      if (!ExprsReusable(a.input(), b.input(), ctx)) return false;
+      if (IsLiteral(a.lo()) && IsLiteral(b.lo()) && IsLiteral(a.hi()) &&
+          IsLiteral(b.hi())) {
+        if (LitOf(a.lo()) == LitOf(b.lo()) && LitOf(a.hi()) == LitOf(b.hi())) {
+          return true;
+        }
+        // Narrowing is fine in monotone positions: [lo_Q,hi_Q] ⊆ [lo,hi].
+        return MonotonePosition(a.input(), ctx) &&
+               LitOf(b.lo()) >= LitOf(a.lo()) && LitOf(b.hi()) <= LitOf(a.hi());
+      }
+      return ExprsReusable(a.lo(), b.lo(), ctx) &&
+             ExprsReusable(a.hi(), b.hi(), ctx);
+    }
+    case ExprKind::kBinary: {
+      const auto& a = static_cast<const BinaryExpr&>(*s);
+      const auto& b = static_cast<const BinaryExpr&>(*q);
+      if (a.op() != b.op()) return false;
+      if (IsComparison(a.op())) {
+        bool lit_right = IsLiteral(a.left()) == false && IsLiteral(a.right());
+        bool lit_left = IsLiteral(a.left()) && IsLiteral(a.right()) == false;
+        if (lit_right && IsLiteral(b.right()) && !IsLiteral(b.left())) {
+          if (!ExprsReusable(a.left(), b.left(), ctx)) return false;
+          return LiteralPairOk(LitOf(a.right()), LitOf(b.right()), a.op(),
+                               /*literal_on_right=*/true,
+                               MonotonePosition(a.left(), ctx));
+        }
+        if (lit_left && IsLiteral(b.left()) && !IsLiteral(b.right())) {
+          if (!ExprsReusable(a.right(), b.right(), ctx)) return false;
+          return LiteralPairOk(LitOf(a.left()), LitOf(b.left()), a.op(),
+                               /*literal_on_right=*/false,
+                               MonotonePosition(a.right(), ctx));
+        }
+      }
+      return ExprsReusable(a.left(), b.left(), ctx) &&
+             ExprsReusable(a.right(), b.right(), ctx);
+    }
+  }
+  return false;
+}
+
+/// Walks both plans in lockstep, threading the HAVING context.
+bool PlansReusable(const PlanPtr& s, const PlanPtr& q, ReuseContext ctx) {
+  if (s->kind() != q->kind()) return false;
+  switch (s->kind()) {
+    case PlanKind::kScan: {
+      const auto& a = static_cast<const ScanNode&>(*s);
+      const auto& b = static_cast<const ScanNode&>(*q);
+      if (a.table() != b.table()) return false;
+      if ((a.filter() == nullptr) != (b.filter() == nullptr)) return false;
+      ReuseContext below;  // scan filters are below any aggregate
+      if (a.filter() && !ExprsReusable(a.filter(), b.filter(), below)) {
+        return false;
+      }
+      return true;
+    }
+    case PlanKind::kSelect: {
+      const auto& a = static_cast<const SelectNode&>(*s);
+      const auto& b = static_cast<const SelectNode&>(*q);
+      if (!ExprsReusable(a.predicate(), b.predicate(), ctx)) return false;
+      return PlansReusable(a.child(), b.child(), ctx);
+    }
+    case PlanKind::kProject: {
+      const auto& a = static_cast<const ProjectNode&>(*s);
+      const auto& b = static_cast<const ProjectNode&>(*q);
+      if (a.exprs().size() != b.exprs().size()) return false;
+      for (size_t i = 0; i < a.exprs().size(); ++i) {
+        // Projection expressions must match exactly (no thresholds here).
+        ReuseContext strict;
+        strict.above_aggregate = true;  // forces literal equality
+        if (!ExprsReusable(a.exprs()[i], b.exprs()[i], strict)) return false;
+      }
+      // A projection renames/reorders; the HAVING context does not survive
+      // it in our plans (HAVING sits directly above the aggregate).
+      ReuseContext below = ctx;
+      below.above_aggregate = false;
+      below.monotone_cols.clear();
+      return PlansReusable(a.child(), b.child(), below);
+    }
+    case PlanKind::kJoin: {
+      const auto& a = static_cast<const JoinNode&>(*s);
+      const auto& b = static_cast<const JoinNode&>(*q);
+      if (a.keys() != b.keys()) return false;
+      if ((a.residual() == nullptr) != (b.residual() == nullptr)) return false;
+      ReuseContext below;
+      if (a.residual() &&
+          !ExprsReusable(a.residual(), b.residual(), below)) {
+        return false;
+      }
+      return PlansReusable(a.left(), b.left(), below) &&
+             PlansReusable(a.right(), b.right(), below);
+    }
+    case PlanKind::kAggregate: {
+      const auto& a = static_cast<const AggregateNode&>(*s);
+      const auto& b = static_cast<const AggregateNode&>(*q);
+      if (a.aggs().size() != b.aggs().size() ||
+          a.group_exprs().size() != b.group_exprs().size()) {
+        return false;
+      }
+      ReuseContext strict;
+      strict.above_aggregate = true;
+      for (size_t i = 0; i < a.group_exprs().size(); ++i) {
+        if (!ExprsReusable(a.group_exprs()[i], b.group_exprs()[i], strict)) {
+          return false;
+        }
+      }
+      for (size_t i = 0; i < a.aggs().size(); ++i) {
+        if (a.aggs()[i].fn != b.aggs()[i].fn) return false;
+        if ((a.aggs()[i].arg == nullptr) != (b.aggs()[i].arg == nullptr)) {
+          return false;
+        }
+        if (a.aggs()[i].arg &&
+            !ExprsReusable(a.aggs()[i].arg, b.aggs()[i].arg, strict)) {
+          return false;
+        }
+      }
+      ReuseContext below;
+      return PlansReusable(a.child(), b.child(), below);
+    }
+    case PlanKind::kTopK: {
+      const auto& a = static_cast<const TopKNode&>(*s);
+      const auto& b = static_cast<const TopKNode&>(*q);
+      if (a.k() != b.k() || a.sorts().size() != b.sorts().size()) return false;
+      for (size_t i = 0; i < a.sorts().size(); ++i) {
+        if (a.sorts()[i].column != b.sorts()[i].column ||
+            a.sorts()[i].ascending != b.sorts()[i].ascending) {
+          return false;
+        }
+      }
+      return PlansReusable(a.child(), b.child(), ctx);
+    }
+    case PlanKind::kDistinct:
+      return PlansReusable(static_cast<const DistinctNode&>(*s).child(),
+                           static_cast<const DistinctNode&>(*q).child(), ctx);
+  }
+  return false;
+}
+
+/// Set up the HAVING context for a select directly above an aggregate.
+ReuseContext HavingContext(const AggregateNode& agg) {
+  ReuseContext ctx;
+  ctx.above_aggregate = true;
+  size_t base = agg.group_exprs().size();
+  for (size_t i = 0; i < agg.aggs().size(); ++i) {
+    AggFunc fn = agg.aggs()[i].fn;
+    if (fn == AggFunc::kSum || fn == AggFunc::kCount) {
+      ctx.monotone_cols.insert(base + i);
+    }
+  }
+  return ctx;
+}
+
+/// Entry walk: detect Select-above-Aggregate (HAVING) pairs to thread the
+/// right context into the predicate comparison.
+bool WalkTop(const PlanPtr& s, const PlanPtr& q) {
+  if (s->kind() != q->kind()) return false;
+  if (s->kind() == PlanKind::kSelect) {
+    const auto& a = static_cast<const SelectNode&>(*s);
+    const auto& b = static_cast<const SelectNode&>(*q);
+    if (a.child()->kind() == PlanKind::kAggregate) {
+      ReuseContext ctx =
+          HavingContext(static_cast<const AggregateNode&>(*a.child()));
+      if (!ExprsReusable(a.predicate(), b.predicate(), ctx)) return false;
+      return WalkTop(a.child(), b.child());
+    }
+    ReuseContext below;
+    if (!ExprsReusable(a.predicate(), b.predicate(), below)) return false;
+    return WalkTop(a.child(), b.child());
+  }
+  if (s->children().size() != q->children().size()) return false;
+  // Compare this node's own expressions via PlansReusable on a shallow
+  // basis, then recurse so HAVING detection applies at every level.
+  switch (s->kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kJoin:
+    case PlanKind::kProject:
+    case PlanKind::kAggregate:
+    case PlanKind::kTopK:
+    case PlanKind::kDistinct: {
+      // Delegate non-select structure checks (without descending into
+      // selects incorrectly) to PlansReusable on a copy of this node with
+      // its children compared by WalkTop.
+      break;
+    }
+    default:
+      return false;
+  }
+  // Check node-local structure by calling PlansReusable with a context that
+  // only validates this node; simplest is to re-dispatch per kind here.
+  ReuseContext below;
+  switch (s->kind()) {
+    case PlanKind::kScan:
+      return PlansReusable(s, q, below);
+    case PlanKind::kProject: {
+      const auto& a = static_cast<const ProjectNode&>(*s);
+      const auto& b = static_cast<const ProjectNode&>(*q);
+      if (a.exprs().size() != b.exprs().size()) return false;
+      ReuseContext strict;
+      strict.above_aggregate = true;
+      for (size_t i = 0; i < a.exprs().size(); ++i) {
+        if (!ExprsReusable(a.exprs()[i], b.exprs()[i], strict)) return false;
+      }
+      return WalkTop(a.child(), b.child());
+    }
+    case PlanKind::kJoin: {
+      const auto& a = static_cast<const JoinNode&>(*s);
+      const auto& b = static_cast<const JoinNode&>(*q);
+      if (a.keys() != b.keys()) return false;
+      if ((a.residual() == nullptr) != (b.residual() == nullptr)) return false;
+      if (a.residual() && !ExprsReusable(a.residual(), b.residual(), below)) {
+        return false;
+      }
+      return WalkTop(a.left(), b.left()) && WalkTop(a.right(), b.right());
+    }
+    case PlanKind::kAggregate: {
+      const auto& a = static_cast<const AggregateNode&>(*s);
+      const auto& b = static_cast<const AggregateNode&>(*q);
+      if (a.aggs().size() != b.aggs().size() ||
+          a.group_exprs().size() != b.group_exprs().size()) {
+        return false;
+      }
+      ReuseContext strict;
+      strict.above_aggregate = true;
+      for (size_t i = 0; i < a.group_exprs().size(); ++i) {
+        if (!ExprsReusable(a.group_exprs()[i], b.group_exprs()[i], strict)) {
+          return false;
+        }
+      }
+      for (size_t i = 0; i < a.aggs().size(); ++i) {
+        if (a.aggs()[i].fn != b.aggs()[i].fn) return false;
+        if ((a.aggs()[i].arg == nullptr) != (b.aggs()[i].arg == nullptr)) {
+          return false;
+        }
+        if (a.aggs()[i].arg &&
+            !ExprsReusable(a.aggs()[i].arg, b.aggs()[i].arg, strict)) {
+          return false;
+        }
+      }
+      return WalkTop(a.child(), b.child());
+    }
+    case PlanKind::kTopK: {
+      const auto& a = static_cast<const TopKNode&>(*s);
+      const auto& b = static_cast<const TopKNode&>(*q);
+      if (a.k() != b.k() || a.sorts().size() != b.sorts().size()) return false;
+      for (size_t i = 0; i < a.sorts().size(); ++i) {
+        if (a.sorts()[i].column != b.sorts()[i].column ||
+            a.sorts()[i].ascending != b.sorts()[i].ascending) {
+          return false;
+        }
+      }
+      return WalkTop(a.child(), b.child());
+    }
+    case PlanKind::kDistinct:
+      return WalkTop(static_cast<const DistinctNode&>(*s).child(),
+                     static_cast<const DistinctNode&>(*q).child());
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool CanReuseSketch(const PlanPtr& captured, const PlanPtr& query) {
+  if (captured->TemplateKey() != query->TemplateKey()) return false;
+  return WalkTop(captured, query);
+}
+
+}  // namespace imp

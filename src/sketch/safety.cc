@@ -1,0 +1,242 @@
+#include "sketch/safety.h"
+
+#include <map>
+#include <set>
+
+namespace imp {
+
+namespace {
+
+/// Analysis state flowing up the plan from the target table's scan.
+struct Trace {
+  bool contains = false;          // subtree scans the target table
+  bool unsafe = false;            // definitive failure
+  std::string reason;
+  std::set<size_t> attr_cols;     // output columns carrying the attribute
+  bool group_aligned = false;     // an aggregate above R was group-aligned
+  bool pending_monotone = false;  // aggregate seen; awaiting monotone HAVING
+  // Aggregate output columns eligible for monotone HAVING checks
+  // (SUM with non-negative arg / COUNT).
+  std::set<size_t> monotone_agg_cols;
+};
+
+Trace Fail(std::string reason) {
+  Trace t;
+  t.contains = true;
+  t.unsafe = true;
+  t.reason = std::move(reason);
+  return t;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const std::string& table, size_t attr_index,
+           const SafetyOptions& options)
+      : table_(table), attr_index_(attr_index), options_(options) {}
+
+  Trace Walk(const PlanPtr& plan) {
+    switch (plan->kind()) {
+      case PlanKind::kScan: {
+        const auto& scan = static_cast<const ScanNode&>(*plan);
+        Trace t;
+        if (scan.table() == table_) {
+          t.contains = true;
+          t.attr_cols.insert(attr_index_);
+        }
+        return t;
+      }
+      case PlanKind::kSelect:
+        return WalkSelect(static_cast<const SelectNode&>(*plan));
+      case PlanKind::kProject:
+        return WalkProject(static_cast<const ProjectNode&>(*plan));
+      case PlanKind::kJoin:
+        return WalkJoin(static_cast<const JoinNode&>(*plan));
+      case PlanKind::kAggregate:
+        return WalkAggregate(static_cast<const AggregateNode&>(*plan));
+      case PlanKind::kTopK:
+        return WalkTopK(static_cast<const TopKNode&>(*plan));
+      case PlanKind::kDistinct:
+        return Walk(static_cast<const DistinctNode&>(*plan).child());
+    }
+    return Fail("unknown operator");
+  }
+
+ private:
+  Trace WalkSelect(const SelectNode& node) {
+    Trace t = Walk(node.child());
+    if (!t.contains || t.unsafe) return t;
+    if (t.pending_monotone) {
+      // This is the HAVING above a non-aligned aggregate: rule R3 requires
+      // every conjunct to be a monotone-increasing condition.
+      if (PredicateIsMonotone(node.predicate(), t.monotone_agg_cols)) {
+        t.pending_monotone = false;
+      } else {
+        return Fail("HAVING condition not monotone over non-aligned aggregate");
+      }
+    }
+    return t;
+  }
+
+  Trace WalkProject(const ProjectNode& node) {
+    Trace t = Walk(node.child());
+    if (!t.contains || t.unsafe) return t;
+    std::set<size_t> attr_cols;
+    std::set<size_t> monotone_cols;
+    for (size_t i = 0; i < node.exprs().size(); ++i) {
+      const ExprPtr& e = node.exprs()[i];
+      if (e->kind() != ExprKind::kColumnRef) continue;
+      size_t src = static_cast<const ColumnRefExpr&>(*e).index();
+      if (t.attr_cols.count(src)) attr_cols.insert(i);
+      if (t.monotone_agg_cols.count(src)) monotone_cols.insert(i);
+    }
+    t.attr_cols = std::move(attr_cols);
+    t.monotone_agg_cols = std::move(monotone_cols);
+    return t;
+  }
+
+  Trace WalkJoin(const JoinNode& node) {
+    Trace left = Walk(node.left());
+    Trace right = Walk(node.right());
+    if (left.contains && right.contains) {
+      return Fail("self-joins of the sketched table are not supported");
+    }
+    if (!left.contains && !right.contains) return Trace{};
+    size_t left_width = node.left()->output_schema().size();
+    Trace t = left.contains ? left : right;
+    if (t.unsafe) return t;
+    if (right.contains) {
+      // Shift column indices into the concatenated schema.
+      std::set<size_t> shifted;
+      for (size_t c : t.attr_cols) shifted.insert(c + left_width);
+      t.attr_cols = std::move(shifted);
+      std::set<size_t> shifted_m;
+      for (size_t c : t.monotone_agg_cols) shifted_m.insert(c + left_width);
+      t.monotone_agg_cols = std::move(shifted_m);
+    }
+    // Extend the attribute's equivalence class across equi-join keys.
+    for (const auto& [lc, rc] : node.keys()) {
+      size_t l = lc;
+      size_t r = rc + left_width;
+      if (t.attr_cols.count(l)) t.attr_cols.insert(r);
+      if (t.attr_cols.count(r)) t.attr_cols.insert(l);
+    }
+    return t;
+  }
+
+  Trace WalkAggregate(const AggregateNode& node) {
+    Trace t = Walk(node.child());
+    if (!t.contains || t.unsafe) return t;
+    if (t.pending_monotone) {
+      return Fail("nested aggregation above a non-aligned aggregate");
+    }
+    // Rule R2: group-aligned if a group-by expression is the attribute.
+    std::set<size_t> attr_out;
+    for (size_t i = 0; i < node.group_exprs().size(); ++i) {
+      const ExprPtr& g = node.group_exprs()[i];
+      if (g->kind() == ExprKind::kColumnRef &&
+          t.attr_cols.count(static_cast<const ColumnRefExpr&>(*g).index())) {
+        attr_out.insert(i);
+      }
+    }
+    if (!attr_out.empty()) {
+      t.attr_cols = std::move(attr_out);
+      t.group_aligned = true;
+      t.monotone_agg_cols.clear();
+      return t;
+    }
+    // Not aligned: rule R3 may still apply via a monotone HAVING above.
+    t.attr_cols.clear();
+    t.pending_monotone = true;
+    t.monotone_agg_cols.clear();
+    size_t base = node.group_exprs().size();
+    for (size_t i = 0; i < node.aggs().size(); ++i) {
+      const AggSpec& agg = node.aggs()[i];
+      bool eligible = agg.fn == AggFunc::kCount ||
+                      (agg.fn == AggFunc::kSum && options_.assume_nonnegative);
+      if (eligible) t.monotone_agg_cols.insert(base + i);
+    }
+    return t;
+  }
+
+  Trace WalkTopK(const TopKNode& node) {
+    Trace t = Walk(node.child());
+    if (!t.contains || t.unsafe) return t;
+    if (t.pending_monotone) {
+      return Fail("top-k above a non-aligned aggregate without monotone HAVING");
+    }
+    if (t.group_aligned) return t;  // rule R4, aggregate case
+    // Rule R4, base case: ordering on the attribute itself (any prefix of
+    // sort keys ending at the attribute keeps fragments order-aligned; we
+    // require the primary sort key).
+    if (!node.sorts().empty() && t.attr_cols.count(node.sorts()[0].column)) {
+      return t;
+    }
+    return Fail("top-k not ordered on the partition attribute");
+  }
+
+  /// True if `pred` is a conjunction of monotone-increasing conditions:
+  /// (monotone agg column) > / >= constant, or constant < / <= (column).
+  bool PredicateIsMonotone(const ExprPtr& pred,
+                           const std::set<size_t>& monotone_cols) {
+    if (pred->kind() != ExprKind::kBinary) return false;
+    const auto& bin = static_cast<const BinaryExpr&>(*pred);
+    if (bin.op() == BinaryOp::kAnd) {
+      return PredicateIsMonotone(bin.left(), monotone_cols) &&
+             PredicateIsMonotone(bin.right(), monotone_cols);
+    }
+    auto is_col = [&](const ExprPtr& e) {
+      return e->kind() == ExprKind::kColumnRef &&
+             monotone_cols.count(static_cast<const ColumnRefExpr&>(*e).index());
+    };
+    auto is_lit = [](const ExprPtr& e) {
+      return e->kind() == ExprKind::kLiteral;
+    };
+    switch (bin.op()) {
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return is_col(bin.left()) && is_lit(bin.right());
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+        return is_lit(bin.left()) && is_col(bin.right());
+      default:
+        return false;
+    }
+  }
+
+  const std::string& table_;
+  size_t attr_index_;
+  const SafetyOptions& options_;
+};
+
+}  // namespace
+
+SafetyResult AnalyzeSketchSafety(const PlanPtr& plan, const std::string& table,
+                                 size_t attr_index,
+                                 const SafetyOptions& options) {
+  Analyzer analyzer(table, attr_index, options);
+  Trace t = analyzer.Walk(plan);
+  SafetyResult result;
+  if (!t.contains) {
+    result.safe = false;
+    result.reason = "query does not access table " + table;
+    return result;
+  }
+  if (t.unsafe) {
+    result.safe = false;
+    result.reason = t.reason;
+    return result;
+  }
+  if (t.pending_monotone) {
+    result.safe = false;
+    result.reason = "aggregate over " + table +
+                    " is neither group-aligned nor guarded by a monotone HAVING";
+    return result;
+  }
+  result.safe = true;
+  result.reason = t.group_aligned
+                      ? "group-aligned partition attribute (rule R2/R4)"
+                      : "monotone query shape (rules R1/R3)";
+  return result;
+}
+
+}  // namespace imp

@@ -1,0 +1,52 @@
+// Safety analysis: decides whether *any* range partition of table R on
+// attribute a yields a safe sketch for query Q (Sec. 4.4: "An attribute a
+// is safe for a query Q if every sketch based on some range partition on a
+// is safe. We use the safety test from [37]").
+//
+// This reproduces the PBDS test as documented rules (see DESIGN.md §1):
+//   R1  queries without aggregation/top-k (monotone algebra): every
+//       attribute is safe — removing non-provenance data cannot create or
+//       change results of σ/Π/⋈/δ.
+//   R2  aggregation: a is safe when it is (or is equi-join-equivalent to) a
+//       group-by attribute of the aggregate above R — fragments are then
+//       group-aligned, so skipped fragments remove whole groups only.
+//   R3  aggregation + HAVING where every HAVING condition is monotone
+//       increasing (SUM(arg)/COUNT(*) compared with > or >= against a
+//       constant, with `assume_nonnegative` declaring SUM args
+//       non-negative): every attribute of R is safe — partial groups can
+//       only shrink, so no failing group can start passing. This matches
+//       the running example (partition `sales` on price, group by brand).
+//   R4  top-k: safe when ordering on a itself over a monotone subtree, or
+//       when a group-aligned aggregate (R2) feeds the top-k — absent groups
+//       cannot enter the top-k and present groups keep their values.
+
+#ifndef IMP_SKETCH_SAFETY_H_
+#define IMP_SKETCH_SAFETY_H_
+
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace imp {
+
+/// Outcome of the safety test, with the rule applied (for diagnostics).
+struct SafetyResult {
+  bool safe = false;
+  std::string reason;
+};
+
+/// Options for the heuristic parts of the test.
+struct SafetyOptions {
+  /// Declare that SUM arguments are non-negative in this database, enabling
+  /// rule R3 (the paper's running example relies on this property).
+  bool assume_nonnegative = true;
+};
+
+/// Test whether attribute `attr_index` of `table` is safe for `plan`.
+SafetyResult AnalyzeSketchSafety(const PlanPtr& plan, const std::string& table,
+                                 size_t attr_index,
+                                 const SafetyOptions& options = {});
+
+}  // namespace imp
+
+#endif  // IMP_SKETCH_SAFETY_H_

@@ -1,0 +1,36 @@
+#include "sketch/sketch.h"
+
+namespace imp {
+
+std::string SketchDelta::ToString() const {
+  std::string out = "+{";
+  for (size_t i = 0; i < added.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(added[i]);
+  }
+  out += "} -{";
+  for (size_t i = 0; i < removed.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(removed[i]);
+  }
+  out += "}";
+  return out;
+}
+
+ProvenanceSketch ApplySketchDelta(const ProvenanceSketch& sketch,
+                                  const SketchDelta& delta,
+                                  uint64_t new_version) {
+  ProvenanceSketch out;
+  out.fragments = sketch.fragments;
+  for (size_t f : delta.added) {
+    out.fragments.Resize(f + 1);
+    out.fragments.Set(f);
+  }
+  for (size_t f : delta.removed) {
+    if (f < out.fragments.num_bits()) out.fragments.Reset(f);
+  }
+  out.valid_version = new_version;
+  return out;
+}
+
+}  // namespace imp

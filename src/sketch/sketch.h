@@ -1,0 +1,53 @@
+// Provenance sketches (Def. 4.2) and sketch deltas (Sec. 4.2).
+
+#ifndef IMP_SKETCH_SKETCH_H_
+#define IMP_SKETCH_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "sketch/partition.h"
+
+namespace imp {
+
+/// A provenance sketch P: a set of global fragment ids plus the backend
+/// version it is valid for. Sketches are immutable values (Sec. 2 treats
+/// sketches as immutable and retains versions); applying a delta produces a
+/// new sketch.
+struct ProvenanceSketch {
+  BitVector fragments;        ///< set of ranges, over the global id space
+  uint64_t valid_version = 0; ///< backend snapshot this sketch reflects
+
+  size_t NumFragments() const { return fragments.Count(); }
+
+  /// Over-approximation test: does this sketch contain all fragments of
+  /// `accurate`? (Def. 4.5 correctness condition.)
+  bool Covers(const ProvenanceSketch& accurate) const {
+    return fragments.Covers(accurate.fragments);
+  }
+
+  /// Bitvector encoding size in bytes (Fig. 18 accounting).
+  size_t MemoryBytes() const { return fragments.MemoryBytes(); }
+
+  std::string ToString() const { return fragments.ToString(); }
+};
+
+/// ΔP: fragments to insert into / delete from a sketch (Sec. 4.2: Δ+P, Δ-P).
+struct SketchDelta {
+  std::vector<size_t> added;
+  std::vector<size_t> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+  std::string ToString() const;
+};
+
+/// P ∪• ΔP: apply a delta to a sketch, producing the next version.
+ProvenanceSketch ApplySketchDelta(const ProvenanceSketch& sketch,
+                                  const SketchDelta& delta,
+                                  uint64_t new_version);
+
+}  // namespace imp
+
+#endif  // IMP_SKETCH_SKETCH_H_

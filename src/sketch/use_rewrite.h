@@ -1,0 +1,35 @@
+// Use-rewrite: instrument a query so the partitioned table's scan skips all
+// data outside a sketch (Sec. 1: "WHERE (price BETWEEN 1001 AND 1500) OR
+// (price BETWEEN 1501 AND 10000)", with adjacent ranges merged).
+
+#ifndef IMP_SKETCH_USE_REWRITE_H_
+#define IMP_SKETCH_USE_REWRITE_H_
+
+#include <set>
+
+#include "algebra/plan.h"
+#include "sketch/sketch.h"
+
+namespace imp {
+
+/// Build the range predicate for `table`'s fragments that are set in
+/// `sketch` (adjacent fragments merged, per footnote 2 of the paper).
+/// Returns nullptr when the table has no partition or the sketch selects
+/// every fragment (no filtering possible). An always-false literal is
+/// returned for an empty sketch.
+ExprPtr SketchScanPredicate(const PartitionCatalog& catalog,
+                            const std::string& table,
+                            const ProvenanceSketch& sketch);
+
+/// Rewrite `plan` so every scan of a partitioned table filters by the
+/// sketch's ranges (conjoined with any existing scan filter). When
+/// `only_tables` is non-null, only scans of those tables are instrumented
+/// (the middleware restricts filtering to tables whose partition attribute
+/// passed the safety test).
+PlanPtr ApplyUseRewrite(const PlanPtr& plan, const PartitionCatalog& catalog,
+                        const ProvenanceSketch& sketch,
+                        const std::set<std::string>* only_tables = nullptr);
+
+}  // namespace imp
+
+#endif  // IMP_SKETCH_USE_REWRITE_H_

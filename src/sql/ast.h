@@ -1,0 +1,145 @@
+// Parsed (unbound) SQL AST produced by the parser and consumed by the
+// binder. Names are unresolved strings; expressions are untyped.
+
+#ifndef IMP_SQL_AST_H_
+#define IMP_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "expr/expr.h"  // for BinaryOp / UnaryOp enums
+
+namespace imp {
+
+struct ParsedExpr;
+using ParsedExprPtr = std::shared_ptr<ParsedExpr>;
+
+/// Untyped expression node.
+struct ParsedExpr {
+  enum class Kind { kLiteral, kName, kStar, kBinary, kUnary, kBetween, kFunc };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;                       // kLiteral
+  std::string name;                    // kName ("a" or "t.a"), kFunc (lowercase)
+  BinaryOp bin_op = BinaryOp::kAnd;    // kBinary
+  UnaryOp un_op = UnaryOp::kNot;       // kUnary
+  std::vector<ParsedExprPtr> args;     // children
+
+  static ParsedExprPtr Lit(Value v) {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = Kind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ParsedExprPtr Name(std::string n) {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = Kind::kName;
+    e->name = std::move(n);
+    return e;
+  }
+  static ParsedExprPtr Star() {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = Kind::kStar;
+    return e;
+  }
+  static ParsedExprPtr Binary(BinaryOp op, ParsedExprPtr l, ParsedExprPtr r) {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = Kind::kBinary;
+    e->bin_op = op;
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+  static ParsedExprPtr Unary(UnaryOp op, ParsedExprPtr c) {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = Kind::kUnary;
+    e->un_op = op;
+    e->args = {std::move(c)};
+    return e;
+  }
+  static ParsedExprPtr Between(ParsedExprPtr in, ParsedExprPtr lo,
+                               ParsedExprPtr hi) {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = Kind::kBetween;
+    e->args = {std::move(in), std::move(lo), std::move(hi)};
+    return e;
+  }
+  static ParsedExprPtr Func(std::string fname, std::vector<ParsedExprPtr> args) {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = Kind::kFunc;
+    e->name = std::move(fname);
+    e->args = std::move(args);
+    return e;
+  }
+};
+
+struct SelectStmt;
+
+/// FROM item: base table, derived table (subquery) or JOIN tree.
+struct TableRef {
+  enum class Kind { kTable, kSubquery, kJoin };
+
+  Kind kind = Kind::kTable;
+  std::string table;   // kTable
+  std::string alias;   // optional
+  std::shared_ptr<SelectStmt> subquery;              // kSubquery
+  std::shared_ptr<TableRef> left, right;             // kJoin
+  ParsedExprPtr on_condition;                        // kJoin
+};
+
+struct SelectItem {
+  ParsedExprPtr expr;
+  std::string alias;  // optional
+};
+
+struct OrderItem {
+  ParsedExprPtr expr;
+  bool ascending = true;
+};
+
+/// SELECT [DISTINCT] items FROM refs [WHERE] [GROUP BY] [HAVING]
+/// [ORDER BY] [LIMIT].
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::shared_ptr<TableRef>> from;  // comma-separated list
+  ParsedExprPtr where;
+  std::vector<ParsedExprPtr> group_by;
+  ParsedExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ParsedExprPtr>> rows;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ParsedExprPtr where;  // may be null (delete all)
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ParsedExprPtr>> sets;
+  ParsedExprPtr where;  // may be null
+};
+
+/// Any supported SQL statement.
+struct Statement {
+  enum class Kind { kSelect, kInsert, kDelete, kUpdate };
+
+  Kind kind = Kind::kSelect;
+  std::shared_ptr<SelectStmt> select;
+  std::shared_ptr<InsertStmt> insert;
+  std::shared_ptr<DeleteStmt> del;
+  std::shared_ptr<UpdateStmt> update;
+};
+
+}  // namespace imp
+
+#endif  // IMP_SQL_AST_H_

@@ -1,0 +1,64 @@
+// Binder: resolves a parsed AST against the catalog and produces bound
+// relational algebra plans (queries) or bound update operations.
+//
+// Notable behaviours:
+//  * comma-separated FROM lists (implicit joins) are converted into
+//    left-deep equi-join trees by pulling equality conjuncts out of WHERE,
+//    and single-table WHERE conjuncts are pushed below the joins — this is
+//    what enables IMP's selection push-down analysis to pre-filter deltas;
+//  * aggregate queries become Aggregate -> (HAVING-)Select -> Project
+//    [-> TopK] [-> Distinct] pipelines; HAVING aggregate calls are
+//    deduplicated against SELECT-list aggregates;
+//  * `to_date(s, fmt)` folds to its string literal (dates are ISO strings).
+
+#ifndef IMP_SQL_BINDER_H_
+#define IMP_SQL_BINDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace imp {
+
+/// A bound data-modification statement.
+struct BoundUpdate {
+  enum class Kind { kInsert, kDelete, kUpdate };
+
+  Kind kind = Kind::kInsert;
+  std::string table;
+  std::vector<Tuple> rows;                        // kInsert
+  ExprPtr where;                                  // kDelete/kUpdate (may be null)
+  std::vector<std::pair<size_t, ExprPtr>> sets;   // kUpdate: column -> expr
+};
+
+/// A bound statement: either a query plan or an update.
+struct BoundStatement {
+  Statement::Kind kind = Statement::Kind::kSelect;
+  PlanPtr query;
+  BoundUpdate update;
+};
+
+class Binder {
+ public:
+  explicit Binder(const Database* db) : db_(db) {}
+
+  Result<BoundStatement> Bind(const Statement& stmt) const;
+  Result<PlanPtr> BindSelect(const SelectStmt& stmt) const;
+
+  /// Parse + bind a SELECT in one call.
+  Result<PlanPtr> BindQuery(const std::string& sql) const;
+  /// Parse + bind any statement in one call.
+  Result<BoundStatement> BindSql(const std::string& sql) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_SQL_BINDER_H_

@@ -1,0 +1,131 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace imp {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.pos = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.type = TokenType::kIdent;
+      tok.text = sql.substr(start, i - start);
+      tok.upper = tok.text;
+      for (char& ch : tok.upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          is_double = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        } else {
+          i = save;
+        }
+      }
+      tok.text = sql.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.dbl_val = std::stod(tok.text);
+      } else {
+        tok.type = TokenType::kInt;
+        try {
+          tok.int_val = std::stoll(tok.text);
+        } catch (...) {
+          return Status::ParseError("integer literal out of range: " + tok.text);
+        }
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        s.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = [&](const char* sym) {
+      return i + 1 < n && sql[i] == sym[0] && sql[i + 1] == sym[1];
+    };
+    tok.type = TokenType::kSymbol;
+    if (two("<=") || two(">=") || two("<>") || two("!=")) {
+      tok.text = sql.substr(i, 2);
+      i += 2;
+    } else if (std::string("()*,.;+-/%=<>").find(c) != std::string::npos) {
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i));
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.pos = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace imp

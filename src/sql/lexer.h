@@ -1,0 +1,43 @@
+// SQL lexer: tokenizes the SQL subset supported by IMP's middleware.
+
+#ifndef IMP_SQL_LEXER_H_
+#define IMP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace imp {
+
+enum class TokenType : uint8_t {
+  kIdent,    // table / column / function names and keywords
+  kInt,      // integer literal
+  kDouble,   // floating literal
+  kString,   // 'quoted'
+  kSymbol,   // ( ) , . ; * + - / % = < <= <> != > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier upper-cased copy in `upper`
+  std::string upper;  // for keyword matching
+  int64_t int_val = 0;
+  double dbl_val = 0.0;
+  size_t pos = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kIdent && upper == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenize `sql`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace imp
+
+#endif  // IMP_SQL_LEXER_H_

@@ -1,0 +1,463 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace imp {
+
+namespace {
+
+/// Token-stream cursor with helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<std::shared_ptr<SelectStmt>> ParseSelectStmt();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError(std::string("expected '") + sym + "' near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool AtKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+
+  static bool IsReserved(const Token& t) {
+    static const char* kReserved[] = {
+        "SELECT", "FROM",  "WHERE", "GROUP",  "BY",     "HAVING", "ORDER",
+        "LIMIT",  "JOIN",  "ON",    "AND",    "OR",     "NOT",    "BETWEEN",
+        "AS",     "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+        "DISTINCT", "ASC", "DESC",  "INNER",  "NULL",
+    };
+    if (t.type != TokenType::kIdent) return false;
+    for (const char* kw : kReserved) {
+      if (t.upper == kw) return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseIdent() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdent || IsReserved(t)) {
+      return Status::ParseError("expected identifier near '" + t.text + "'");
+    }
+    return Next().text;
+  }
+
+  // Expression precedence climbing: or < and < not < cmp/between < add < mul
+  // < unary < primary.
+  Result<ParsedExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ParsedExprPtr> ParseOr();
+  Result<ParsedExprPtr> ParseAnd();
+  Result<ParsedExprPtr> ParseNot();
+  Result<ParsedExprPtr> ParseComparison();
+  Result<ParsedExprPtr> ParseAdditive();
+  Result<ParsedExprPtr> ParseMultiplicative();
+  Result<ParsedExprPtr> ParseUnary();
+  Result<ParsedExprPtr> ParsePrimary();
+
+  Result<std::shared_ptr<TableRef>> ParseTableRef();
+  Result<std::shared_ptr<TableRef>> ParseTableRefPrimary();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseUpdate();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<ParsedExprPtr> Parser::ParseOr() {
+  IMP_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAnd());
+  while (AcceptKeyword("OR")) {
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAnd());
+    left = ParsedExpr::Binary(BinaryOp::kOr, left, right);
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseAnd() {
+  IMP_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseNot());
+  while (AtKeyword("AND")) {
+    Next();
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseNot());
+    left = ParsedExpr::Binary(BinaryOp::kAnd, left, right);
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseNot() {
+  if (AcceptKeyword("NOT")) {
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr child, ParseNot());
+    return ParsedExpr::Unary(UnaryOp::kNot, child);
+  }
+  return ParseComparison();
+}
+
+Result<ParsedExprPtr> Parser::ParseComparison() {
+  IMP_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAdditive());
+  const Token& t = Peek();
+  if (t.IsKeyword("BETWEEN")) {
+    Next();
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr lo, ParseAdditive());
+    IMP_RETURN_NOT_OK(ExpectKeyword("AND"));
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr hi, ParseAdditive());
+    return ParsedExpr::Between(left, lo, hi);
+  }
+  BinaryOp op;
+  if (t.IsSymbol("=")) {
+    op = BinaryOp::kEq;
+  } else if (t.IsSymbol("<>") || t.IsSymbol("!=")) {
+    op = BinaryOp::kNe;
+  } else if (t.IsSymbol("<")) {
+    op = BinaryOp::kLt;
+  } else if (t.IsSymbol("<=")) {
+    op = BinaryOp::kLe;
+  } else if (t.IsSymbol(">")) {
+    op = BinaryOp::kGt;
+  } else if (t.IsSymbol(">=")) {
+    op = BinaryOp::kGe;
+  } else {
+    return left;
+  }
+  Next();
+  IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAdditive());
+  return ParsedExpr::Binary(op, left, right);
+}
+
+Result<ParsedExprPtr> Parser::ParseAdditive() {
+  IMP_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseMultiplicative());
+  while (true) {
+    if (AcceptSymbol("+")) {
+      IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseMultiplicative());
+      left = ParsedExpr::Binary(BinaryOp::kAdd, left, right);
+    } else if (AcceptSymbol("-")) {
+      IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseMultiplicative());
+      left = ParsedExpr::Binary(BinaryOp::kSub, left, right);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ParsedExprPtr> Parser::ParseMultiplicative() {
+  IMP_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseUnary());
+  while (true) {
+    if (AcceptSymbol("*")) {
+      IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+      left = ParsedExpr::Binary(BinaryOp::kMul, left, right);
+    } else if (AcceptSymbol("/")) {
+      IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+      left = ParsedExpr::Binary(BinaryOp::kDiv, left, right);
+    } else if (AcceptSymbol("%")) {
+      IMP_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+      left = ParsedExpr::Binary(BinaryOp::kMod, left, right);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ParsedExprPtr> Parser::ParseUnary() {
+  if (AcceptSymbol("-")) {
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr child, ParseUnary());
+    return ParsedExpr::Unary(UnaryOp::kNeg, child);
+  }
+  if (AcceptSymbol("+")) return ParseUnary();
+  return ParsePrimary();
+}
+
+Result<ParsedExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInt: {
+      Next();
+      return ParsedExpr::Lit(Value::Int(t.int_val));
+    }
+    case TokenType::kDouble: {
+      Next();
+      return ParsedExpr::Lit(Value::Double(t.dbl_val));
+    }
+    case TokenType::kString: {
+      Next();
+      return ParsedExpr::Lit(Value::String(t.text));
+    }
+    case TokenType::kSymbol:
+      if (t.IsSymbol("(")) {
+        Next();
+        IMP_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseExpr());
+        IMP_RETURN_NOT_OK(ExpectSymbol(")"));
+        return inner;
+      }
+      if (t.IsSymbol("*")) {
+        Next();
+        return ParsedExpr::Star();
+      }
+      break;
+    case TokenType::kIdent: {
+      if (t.IsKeyword("NULL")) {
+        Next();
+        return ParsedExpr::Lit(Value::Null());
+      }
+      if (IsReserved(t)) break;
+      // name | name.name | func(args)
+      std::string name = Next().text;
+      if (AcceptSymbol("(")) {
+        std::string fname = name;
+        for (char& c : fname) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        std::vector<ParsedExprPtr> args;
+        if (!AcceptSymbol(")")) {
+          do {
+            IMP_ASSIGN_OR_RETURN(ParsedExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (AcceptSymbol(","));
+          IMP_RETURN_NOT_OK(ExpectSymbol(")"));
+        }
+        return ParsedExpr::Func(std::move(fname), std::move(args));
+      }
+      if (AcceptSymbol(".")) {
+        IMP_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+        return ParsedExpr::Name(name + "." + col);
+      }
+      return ParsedExpr::Name(std::move(name));
+    }
+    default:
+      break;
+  }
+  return Status::ParseError("unexpected token '" + t.text +
+                            "' in expression");
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseTableRefPrimary() {
+  auto ref = std::make_shared<TableRef>();
+  if (AcceptSymbol("(")) {
+    // Either a derived table or a parenthesized join tree.
+    if (AtKeyword("SELECT")) {
+      IMP_ASSIGN_OR_RETURN(auto sub, ParseSelectStmt());
+      IMP_RETURN_NOT_OK(ExpectSymbol(")"));
+      ref->kind = TableRef::Kind::kSubquery;
+      ref->subquery = std::move(sub);
+    } else {
+      IMP_ASSIGN_OR_RETURN(auto inner, ParseTableRef());
+      IMP_RETURN_NOT_OK(ExpectSymbol(")"));
+      ref = std::move(inner);
+    }
+  } else {
+    IMP_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+    ref->kind = TableRef::Kind::kTable;
+    ref->table = std::move(name);
+  }
+  // Optional alias: [AS] ident.
+  if (AcceptKeyword("AS")) {
+    IMP_ASSIGN_OR_RETURN(std::string alias, ParseIdent());
+    ref->alias = std::move(alias);
+  } else if (Peek().type == TokenType::kIdent && !IsReserved(Peek())) {
+    ref->alias = Next().text;
+  }
+  return ref;
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseTableRef() {
+  IMP_ASSIGN_OR_RETURN(auto left, ParseTableRefPrimary());
+  while (AtKeyword("JOIN") || AtKeyword("INNER")) {
+    AcceptKeyword("INNER");
+    IMP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    IMP_ASSIGN_OR_RETURN(auto right, ParseTableRefPrimary());
+    IMP_RETURN_NOT_OK(ExpectKeyword("ON"));
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr cond, ParseExpr());
+    auto join = std::make_shared<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    join->on_condition = std::move(cond);
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  IMP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto stmt = std::make_shared<SelectStmt>();
+  stmt->distinct = AcceptKeyword("DISTINCT");
+  do {
+    SelectItem item;
+    IMP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (AcceptKeyword("AS")) {
+      IMP_ASSIGN_OR_RETURN(item.alias, ParseIdent());
+    } else if (Peek().type == TokenType::kIdent && !IsReserved(Peek())) {
+      item.alias = Next().text;
+    }
+    stmt->items.push_back(std::move(item));
+  } while (AcceptSymbol(","));
+
+  IMP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  do {
+    IMP_ASSIGN_OR_RETURN(auto ref, ParseTableRef());
+    stmt->from.push_back(std::move(ref));
+  } while (AcceptSymbol(","));
+
+  if (AcceptKeyword("WHERE")) {
+    IMP_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (AcceptKeyword("GROUP")) {
+    IMP_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      IMP_ASSIGN_OR_RETURN(ParsedExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("HAVING")) {
+    IMP_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (AcceptKeyword("ORDER")) {
+    IMP_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      IMP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("LIMIT")) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kInt || t.int_val < 0) {
+      return Status::ParseError("LIMIT expects a non-negative integer");
+    }
+    Next();
+    stmt->limit = static_cast<size_t>(t.int_val);
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  IMP_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  IMP_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  auto insert = std::make_shared<InsertStmt>();
+  IMP_ASSIGN_OR_RETURN(insert->table, ParseIdent());
+  IMP_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  do {
+    IMP_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<ParsedExprPtr> row;
+    do {
+      IMP_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (AcceptSymbol(","));
+    IMP_RETURN_NOT_OK(ExpectSymbol(")"));
+    insert->rows.push_back(std::move(row));
+  } while (AcceptSymbol(","));
+  Statement out;
+  out.kind = Statement::Kind::kInsert;
+  out.insert = std::move(insert);
+  return out;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  IMP_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  IMP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  auto del = std::make_shared<DeleteStmt>();
+  IMP_ASSIGN_OR_RETURN(del->table, ParseIdent());
+  if (AcceptKeyword("WHERE")) {
+    IMP_ASSIGN_OR_RETURN(del->where, ParseExpr());
+  }
+  Statement out;
+  out.kind = Statement::Kind::kDelete;
+  out.del = std::move(del);
+  return out;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  IMP_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  auto update = std::make_shared<UpdateStmt>();
+  IMP_ASSIGN_OR_RETURN(update->table, ParseIdent());
+  IMP_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    IMP_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+    IMP_RETURN_NOT_OK(ExpectSymbol("="));
+    IMP_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+    update->sets.emplace_back(std::move(col), std::move(e));
+  } while (AcceptSymbol(","));
+  if (AcceptKeyword("WHERE")) {
+    IMP_ASSIGN_OR_RETURN(update->where, ParseExpr());
+  }
+  Statement out;
+  out.kind = Statement::Kind::kUpdate;
+  out.update = std::move(update);
+  return out;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Result<Statement> result = [&]() -> Result<Statement> {
+    if (AtKeyword("SELECT")) {
+      IMP_ASSIGN_OR_RETURN(auto sel, ParseSelectStmt());
+      Statement out;
+      out.kind = Statement::Kind::kSelect;
+      out.select = std::move(sel);
+      return out;
+    }
+    if (AtKeyword("INSERT")) return ParseInsert();
+    if (AtKeyword("DELETE")) return ParseDelete();
+    if (AtKeyword("UPDATE")) return ParseUpdate();
+    return Status::ParseError("expected SELECT, INSERT, DELETE or UPDATE");
+  }();
+  if (!result.ok()) return result;
+  AcceptSymbol(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError("trailing input near '" + Peek().text + "'");
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  IMP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  IMP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::ParseError("not a SELECT statement");
+  }
+  return stmt.select;
+}
+
+}  // namespace imp

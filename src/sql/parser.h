@@ -1,0 +1,27 @@
+// Recursive-descent SQL parser for the subset IMP's middleware accepts:
+//   SELECT [DISTINCT] exprs FROM <refs> [WHERE] [GROUP BY] [HAVING]
+//     [ORDER BY ... [ASC|DESC]] [LIMIT n]
+//   with FROM refs: table [alias] | (subquery) alias | ref JOIN ref ON cond,
+//   comma-separated lists (implicit joins), nested subqueries in FROM;
+//   INSERT INTO t VALUES (...), (...); DELETE FROM t [WHERE];
+//   UPDATE t SET c = e, ... [WHERE].
+
+#ifndef IMP_SQL_PARSER_H_
+#define IMP_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace imp {
+
+/// Parse a single SQL statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parse a SELECT statement directly.
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace imp
+
+#endif  // IMP_SQL_PARSER_H_

@@ -1,0 +1,99 @@
+#include "storage/database.h"
+
+namespace imp {
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  tables_[name] = std::make_unique<Table>(name, std::move(schema));
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+Status Database::BulkLoad(const std::string& table,
+                          const std::vector<Tuple>& rows) {
+  Table* t = GetMutableTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  for (const Tuple& row : rows) t->AppendRow(row);
+  return Status::OK();
+}
+
+Result<uint64_t> Database::Insert(const std::string& table,
+                                  const std::vector<Tuple>& rows) {
+  Table* t = GetMutableTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  uint64_t v = ++version_;
+  for (const Tuple& row : rows) {
+    t->AppendRow(row);
+    t->AppendDelta(DeltaRecord{row, /*mult=*/1, v});
+  }
+  return v;
+}
+
+Result<uint64_t> Database::Delete(
+    const std::string& table, const std::function<bool(const Tuple&)>& pred,
+    size_t limit) {
+  Table* t = GetMutableTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  uint64_t v = ++version_;
+  std::vector<Tuple> removed = t->DeleteWhereLimit(pred, limit);
+  for (Tuple& row : removed) {
+    t->AppendDelta(DeltaRecord{std::move(row), /*mult=*/-1, v});
+  }
+  return v;
+}
+
+TableDelta Database::ScanDelta(
+    const std::string& table, uint64_t from_version, uint64_t to_version,
+    const std::function<bool(const Tuple&)>& pred) const {
+  TableDelta out;
+  out.table = table;
+  const Table* t = GetTable(table);
+  if (t == nullptr) return out;
+  for (const DeltaRecord& rec : t->delta_log()) {
+    if (rec.version <= from_version || rec.version > to_version) continue;
+    if (pred && !pred(rec.row)) continue;
+    out.records.push_back(rec);
+  }
+  return out;
+}
+
+size_t Database::PendingDeltaCount(const std::string& table,
+                                   uint64_t from_version) const {
+  const Table* t = GetTable(table);
+  if (t == nullptr) return 0;
+  size_t n = 0;
+  for (const DeltaRecord& rec : t->delta_log()) {
+    if (rec.version > from_version) ++n;
+  }
+  return n;
+}
+
+size_t Database::MemoryBytes() const {
+  size_t bytes = sizeof(Database);
+  for (const auto& [_, table] : tables_) bytes += table->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace imp

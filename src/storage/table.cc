@@ -1,0 +1,165 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace imp {
+
+void DataChunk::AppendRow(const Tuple& row) {
+  IMP_DCHECK(row.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(row[c]);
+    if (!row[c].is_null()) {
+      ZoneEntry& z = zone_[c];
+      if (!z.valid) {
+        z.min = row[c];
+        z.max = row[c];
+        z.valid = true;
+      } else {
+        if (row[c] < z.min) z.min = row[c];
+        if (z.max < row[c]) z.max = row[c];
+      }
+    }
+  }
+  ++num_rows_;
+}
+
+Tuple DataChunk::GetRow(size_t row) const {
+  Tuple out;
+  out.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) out.push_back(columns_[c][row]);
+  return out;
+}
+
+size_t DataChunk::MemoryBytes() const {
+  size_t bytes = sizeof(DataChunk);
+  for (const auto& col : columns_) {
+    bytes += col.capacity() * sizeof(Value);
+    for (const Value& v : col) {
+      if (v.is_string()) bytes += v.AsString().capacity();
+    }
+  }
+  return bytes;
+}
+
+void Table::AppendRow(const Tuple& row) {
+  IMP_CHECK_MSG(row.size() == schema_.size(), name_.c_str());
+  if (chunks_.empty() || chunks_.back().Full()) {
+    chunks_.emplace_back(schema_.size());
+  }
+  chunks_.back().AppendRow(row);
+  ++num_rows_;
+  // Keep materialized hash indexes current.
+  for (auto& [col, index] : hash_indexes_) {
+    index[row[col]].push_back(
+        RowLoc{static_cast<uint32_t>(chunks_.size() - 1),
+               static_cast<uint32_t>(chunks_.back().num_rows() - 1)});
+  }
+}
+
+std::vector<Tuple> Table::DeleteWhere(
+    const std::function<bool(const Tuple&)>& pred) {
+  return DeleteWhereLimit(pred, SIZE_MAX);
+}
+
+std::vector<Tuple> Table::DeleteWhereLimit(
+    const std::function<bool(const Tuple&)>& pred, size_t limit) {
+  std::vector<Tuple> removed;
+  std::vector<DataChunk> kept;
+  size_t kept_rows = 0;
+  for (const DataChunk& chunk : chunks_) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      Tuple row = chunk.GetRow(r);
+      if (removed.size() < limit && pred(row)) {
+        removed.push_back(std::move(row));
+        continue;
+      }
+      if (kept.empty() || kept.back().Full()) kept.emplace_back(schema_.size());
+      kept.back().AppendRow(row);
+      ++kept_rows;
+    }
+  }
+  chunks_ = std::move(kept);
+  num_rows_ = kept_rows;
+  // Row locations changed wholesale; drop indexes (rebuilt lazily).
+  hash_indexes_.clear();
+  return removed;
+}
+
+void Table::ForEachRow(const std::function<void(const Tuple&)>& fn) const {
+  for (const DataChunk& chunk : chunks_) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) fn(chunk.GetRow(r));
+  }
+}
+
+void Table::TruncateDeltaLog(uint64_t version) {
+  auto it = std::partition_point(
+      delta_log_.begin(), delta_log_.end(),
+      [version](const DeltaRecord& rec) { return rec.version <= version; });
+  delta_log_.erase(delta_log_.begin(), it);
+}
+
+std::pair<Value, Value> Table::ColumnMinMax(size_t col) const {
+  Value min, max;
+  bool first = true;
+  for (const DataChunk& chunk : chunks_) {
+    const auto& column = chunk.column(col);
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      const Value& v = column[r];
+      if (v.is_null()) continue;
+      if (first) {
+        min = v;
+        max = v;
+        first = false;
+      } else {
+        if (v < min) min = v;
+        if (max < v) max = v;
+      }
+    }
+  }
+  return {min, max};
+}
+
+std::vector<Value> Table::ColumnValues(size_t col) const {
+  std::vector<Value> out;
+  out.reserve(num_rows_);
+  for (const DataChunk& chunk : chunks_) {
+    const auto& column = chunk.column(col);
+    out.insert(out.end(), column.begin(), column.begin() + chunk.num_rows());
+  }
+  return out;
+}
+
+void Table::BuildIndex(size_t col) const {
+  HashIndex index;
+  index.reserve(num_rows_);
+  for (uint32_t c = 0; c < chunks_.size(); ++c) {
+    const auto& column = chunks_[c].column(col);
+    for (uint32_t r = 0; r < chunks_[c].num_rows(); ++r) {
+      index[column[r]].push_back(RowLoc{c, r});
+    }
+  }
+  hash_indexes_[col] = std::move(index);
+}
+
+const std::vector<Table::RowLoc>* Table::IndexProbe(size_t col,
+                                                    const Value& v) const {
+  IMP_CHECK(col < schema_.size());
+  auto it = hash_indexes_.find(col);
+  if (it == hash_indexes_.end()) {
+    BuildIndex(col);
+    it = hash_indexes_.find(col);
+  }
+  auto hit = it->second.find(v);
+  return hit == it->second.end() ? nullptr : &hit->second;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const DataChunk& chunk : chunks_) bytes += chunk.MemoryBytes();
+  for (const DeltaRecord& rec : delta_log_) {
+    bytes += sizeof(DeltaRecord) + TupleMemoryBytes(rec.row);
+  }
+  return bytes;
+}
+
+}  // namespace imp

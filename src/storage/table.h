@@ -1,0 +1,151 @@
+// Columnar chunked tables and per-table delta logs.
+//
+// This is the storage layer of the in-memory backend that stands in for the
+// paper's PostgreSQL instance. Layout follows Sec. 7.1: data is stored in a
+// columnar representation for horizontal chunks of a table ("data chunks").
+// Every update statement appends signed delta records stamped with the
+// statement's snapshot version, which is what IMP later fetches to maintain
+// sketches ("we extract the delta between the current version of the
+// database and the database instance at the original time of capture").
+
+#ifndef IMP_STORAGE_TABLE_H_
+#define IMP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace imp {
+
+/// One horizontal chunk of a table in columnar layout. Each chunk keeps a
+/// zone map (per-column min/max, [32] in the paper) so scans with range
+/// predicates — in particular the sketch use-rewrite's fragment ranges —
+/// can skip whole chunks. This is the physical-design hook that makes
+/// provenance-based data skipping actually skip data in our backend.
+class DataChunk {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit DataChunk(size_t num_columns)
+      : columns_(num_columns), zone_(num_columns), num_rows_(0) {}
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  bool Full() const { return num_rows_ >= kDefaultCapacity; }
+
+  void AppendRow(const Tuple& row);
+  /// Value of column `col` in row `row` (bounds-checked in debug builds).
+  const Value& At(size_t row, size_t col) const {
+    IMP_DCHECK(row < num_rows_ && col < columns_.size());
+    return columns_[col][row];
+  }
+  /// Materialize row `row` as a tuple.
+  Tuple GetRow(size_t row) const;
+
+  const std::vector<Value>& column(size_t col) const { return columns_[col]; }
+
+  /// Zone-map entry of a column: min/max over non-null values; `valid` is
+  /// false when the column holds no non-null values yet.
+  struct ZoneEntry {
+    Value min;
+    Value max;
+    bool valid = false;
+  };
+  const ZoneEntry& zone(size_t col) const { return zone_[col]; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<Value>> columns_;
+  std::vector<ZoneEntry> zone_;
+  size_t num_rows_;
+};
+
+/// Signed, versioned delta record: mult > 0 for insertions (Δ+), mult < 0
+/// for deletions (Δ-). `version` is the snapshot id of the statement that
+/// produced the change.
+struct DeltaRecord {
+  Tuple row;
+  int64_t mult = 1;
+  uint64_t version = 0;
+};
+
+/// A base table: schema + chunks + append-only delta log.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return num_rows_; }
+  const std::vector<DataChunk>& chunks() const { return chunks_; }
+
+  /// Append a row to the base data (does not touch the delta log; the
+  /// Database wrapper records deltas with version stamps).
+  void AppendRow(const Tuple& row);
+
+  /// Remove all rows matching `pred`; returns the removed rows. Rebuilds
+  /// the chunk storage (delete is rare relative to scans in the workloads).
+  std::vector<Tuple> DeleteWhere(
+      const std::function<bool(const Tuple&)>& pred);
+
+  /// Remove up to `limit` arbitrary rows matching `pred`.
+  std::vector<Tuple> DeleteWhereLimit(
+      const std::function<bool(const Tuple&)>& pred, size_t limit);
+
+  /// Invoke `fn` on every row (materializing row tuples chunk by chunk).
+  void ForEachRow(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Delta log access (used by Database::ScanDelta).
+  const std::vector<DeltaRecord>& delta_log() const { return delta_log_; }
+  void AppendDelta(DeltaRecord rec) { delta_log_.push_back(std::move(rec)); }
+  /// Drop delta records at or below `version` (log truncation once every
+  /// sketch has been maintained past that point).
+  void TruncateDeltaLog(uint64_t version);
+
+  /// Min / max of an integer or double column over the base data; used to
+  /// build range partitions covering the whole domain.
+  std::pair<Value, Value> ColumnMinMax(size_t col) const;
+
+  /// All values of a column (for equi-depth histogram construction).
+  std::vector<Value> ColumnValues(size_t col) const;
+
+  /// Position of a row in the chunked storage.
+  struct RowLoc {
+    uint32_t chunk = 0;
+    uint32_t row = 0;
+  };
+
+  /// Probe the hash index on `col` for rows with value `v`. The index is
+  /// built lazily on first use (an access-method cache, so logically
+  /// const), kept up to date by AppendRow and dropped by DeleteWhere*.
+  /// Returns nullptr when no row matches.
+  const std::vector<RowLoc>* IndexProbe(size_t col, const Value& v) const;
+
+  /// True once an index on `col` has been materialized.
+  bool HasIndex(size_t col) const { return hash_indexes_.count(col) > 0; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  using HashIndex = std::unordered_map<Value, std::vector<RowLoc>, ValueHash>;
+  void BuildIndex(size_t col) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<DataChunk> chunks_;
+  size_t num_rows_ = 0;
+  std::vector<DeltaRecord> delta_log_;
+  mutable std::map<size_t, HashIndex> hash_indexes_;
+};
+
+}  // namespace imp
+
+#endif  // IMP_STORAGE_TABLE_H_

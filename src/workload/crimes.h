@@ -1,0 +1,42 @@
+// Crimes-dataset substitute (DESIGN.md substitutions): the paper uses the
+// Chicago "Crimes 2001-present" CSV (7.3M rows, 1.87GB). We generate a
+// synthetic table with the same schema fields used by CQ1/CQ2 and realistic
+// category cardinalities (beats, districts, community areas, wards, years),
+// so the two evaluation queries exercise identical group-by/HAVING shapes.
+
+#ifndef IMP_WORKLOAD_CRIMES_H_
+#define IMP_WORKLOAD_CRIMES_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "storage/database.h"
+
+namespace imp {
+
+struct CrimesSpec {
+  size_t num_rows = 200000;
+  uint64_t seed = 11;
+  // Real Chicago cardinalities.
+  int64_t num_beats = 304;
+  int64_t num_districts = 25;
+  int64_t num_community_areas = 77;
+  int64_t num_wards = 50;
+  int64_t year_lo = 2001;
+  int64_t year_hi = 2025;
+};
+
+/// Schema: id, beat, district, community_area, ward, year, arrest.
+Status CreateCrimesTable(Database* db, const CrimesSpec& spec);
+
+/// A fresh incident row for insert workloads.
+Tuple CrimesRow(const CrimesSpec& spec, int64_t id, Rng* rng);
+
+/// CQ1: crimes per (beat, year).
+std::string CrimesCq1Sql();
+/// CQ2: areas with more than `threshold` crimes.
+std::string CrimesCq2Sql(int64_t threshold = 1000);
+
+}  // namespace imp
+
+#endif  // IMP_WORKLOAD_CRIMES_H_

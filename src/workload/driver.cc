@@ -1,0 +1,68 @@
+#include "workload/driver.h"
+
+#include <chrono>
+#include <memory>
+
+#include "workload/synthetic.h"
+
+namespace imp {
+
+Result<WorkloadResult> RunMixedWorkload(ImpSystem* system, QueryGen query_gen,
+                                        UpdateGen update_gen,
+                                        const MixedWorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  WorkloadResult result;
+  ImpSystemStats before = system->stats();
+  auto start = std::chrono::steady_clock::now();
+
+  size_t ops = 0;
+  while (ops < spec.total_ops) {
+    for (size_t u = 0; u < spec.updates_per_round && ops < spec.total_ops;
+         ++u, ++ops) {
+      BoundUpdate update = update_gen(rng);
+      IMP_RETURN_NOT_OK(system->UpdateBound(update).status());
+      ++result.updates_run;
+    }
+    for (size_t q = 0; q < spec.queries_per_round && ops < spec.total_ops;
+         ++q, ++ops) {
+      std::string sql = query_gen(rng);
+      IMP_RETURN_NOT_OK(system->Query(sql).status());
+      ++result.queries_run;
+    }
+  }
+
+  result.total_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  ImpSystemStats after = system->stats();
+  result.stats.queries = after.queries - before.queries;
+  result.stats.updates = after.updates - before.updates;
+  result.stats.sketch_captures = after.sketch_captures - before.sketch_captures;
+  result.stats.sketch_uses = after.sketch_uses - before.sketch_uses;
+  result.stats.maintenances = after.maintenances - before.maintenances;
+  result.stats.capture_seconds = after.capture_seconds - before.capture_seconds;
+  result.stats.maintain_seconds =
+      after.maintain_seconds - before.maintain_seconds;
+  result.stats.query_seconds = after.query_seconds - before.query_seconds;
+  result.stats.update_seconds = after.update_seconds - before.update_seconds;
+  return result;
+}
+
+UpdateGen SyntheticInsertGen(std::string table, size_t rows_per_update,
+                             size_t num_groups, int64_t start_id) {
+  auto next_id = std::make_shared<int64_t>(start_id);
+  SyntheticSpec spec;
+  spec.num_groups = num_groups;
+  return [table = std::move(table), rows_per_update, spec,
+          next_id](Rng& rng) {
+    BoundUpdate update;
+    update.kind = BoundUpdate::Kind::kInsert;
+    update.table = table;
+    for (size_t i = 0; i < rows_per_update; ++i) {
+      update.rows.push_back(SyntheticRow(spec, (*next_id)++, &rng));
+    }
+    return update;
+  };
+}
+
+}  // namespace imp

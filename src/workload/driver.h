@@ -1,0 +1,50 @@
+// Mixed query/update workload driver (Sec. 8.1): interleaves queries and
+// updates at a configurable query-update ratio and measures end-to-end cost
+// including capture and maintenance.
+
+#ifndef IMP_WORKLOAD_DRIVER_H_
+#define IMP_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "middleware/imp_system.h"
+
+namespace imp {
+
+/// Ratio and sizing of a mixed workload.
+struct MixedWorkloadSpec {
+  size_t total_ops = 1000;       ///< queries + updates
+  size_t queries_per_round = 1;  ///< e.g. 5 for 1U5Q
+  size_t updates_per_round = 1;  ///< e.g. 5 for 5U1Q
+  uint64_t seed = 123;
+};
+
+struct WorkloadResult {
+  double total_seconds = 0;
+  size_t queries_run = 0;
+  size_t updates_run = 0;
+  ImpSystemStats stats;  ///< the system's stats delta over the run
+};
+
+/// Produces the SQL text of the next query (constants may vary per call;
+/// all calls should share one query template so sketches are reused).
+using QueryGen = std::function<std::string(Rng&)>;
+/// Produces the next bound update.
+using UpdateGen = std::function<BoundUpdate(Rng&)>;
+
+/// Run `spec.total_ops` operations against `system`, alternating rounds of
+/// `updates_per_round` updates and `queries_per_round` queries.
+Result<WorkloadResult> RunMixedWorkload(ImpSystem* system, QueryGen query_gen,
+                                        UpdateGen update_gen,
+                                        const MixedWorkloadSpec& spec);
+
+/// Helper: an UpdateGen inserting `rows_per_update` synthetic rows into a
+/// synthetic table (see workload/synthetic.h).
+UpdateGen SyntheticInsertGen(std::string table, size_t rows_per_update,
+                             size_t num_groups, int64_t start_id);
+
+}  // namespace imp
+
+#endif  // IMP_WORKLOAD_DRIVER_H_

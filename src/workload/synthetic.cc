@@ -1,0 +1,105 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+namespace imp {
+
+Schema SyntheticSchema() {
+  Schema s;
+  for (const char* name :
+       {"id", "a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}) {
+    s.AddColumn(name, ValueType::kInt);
+  }
+  return s;
+}
+
+Tuple SyntheticRow(const SyntheticSpec& spec, int64_t id, Rng* rng) {
+  Tuple row;
+  row.reserve(11);
+  int64_t a = rng->UniformInt(0, static_cast<int64_t>(spec.num_groups) - 1);
+  row.push_back(Value::Int(id));
+  row.push_back(Value::Int(a));
+  // b..j linearly correlated with a, Gaussian noise, clamped non-negative
+  // (keeps SUM-based HAVING conditions monotone; see safety rule R3).
+  static const double kCoefs[] = {3.0, 2.0, 1.5, 1.0, 0.8, 0.5, 0.4, 0.3, 0.2};
+  for (double coef : kCoefs) {
+    double v = static_cast<double>(a) * coef + rng->Gaussian(spec.noise);
+    if (v < 0) v = 0;
+    row.push_back(Value::Int(static_cast<int64_t>(v)));
+  }
+  return row;
+}
+
+Status CreateSyntheticTable(Database* db, const SyntheticSpec& spec) {
+  IMP_RETURN_NOT_OK(db->CreateTable(spec.name, SyntheticSchema()));
+  Rng rng(spec.seed);
+  std::vector<Tuple> rows;
+  rows.reserve(spec.num_rows);
+  for (size_t i = 0; i < spec.num_rows; ++i) {
+    rows.push_back(SyntheticRow(spec, static_cast<int64_t>(i), &rng));
+  }
+  if (spec.cluster_by_a) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Tuple& x, const Tuple& y) {
+                       return x[1] < y[1];
+                     });
+  }
+  return db->BulkLoad(spec.name, rows);
+}
+
+Tuple JoinLeftRow(const JoinPairSpec& spec, int64_t id, int64_t key, Rng* rng) {
+  Tuple row;
+  row.reserve(4);
+  row.push_back(Value::Int(id));
+  row.push_back(Value::Int(key));
+  double b = static_cast<double>(key) * 2.0 + rng->Gaussian(spec.noise);
+  double c = static_cast<double>(key) * 1.5 + rng->Gaussian(spec.noise);
+  row.push_back(Value::Int(b < 0 ? 0 : static_cast<int64_t>(b)));
+  row.push_back(Value::Int(c < 0 ? 0 : static_cast<int64_t>(c)));
+  return row;
+}
+
+Status CreateJoinPair(Database* db, const JoinPairSpec& spec) {
+  Schema left_schema;
+  for (const char* name : {"id", "a", "b", "c"}) {
+    left_schema.AddColumn(name, ValueType::kInt);
+  }
+  Schema right_schema;
+  right_schema.AddColumn("ttid", ValueType::kInt);
+  right_schema.AddColumn("w", ValueType::kInt);
+
+  IMP_RETURN_NOT_OK(db->CreateTable(spec.left_name, left_schema));
+  IMP_RETURN_NOT_OK(db->CreateTable(spec.right_name, right_schema));
+
+  Rng rng(spec.seed);
+  // Left: left_per_key rows per key in [0, distinct_keys).
+  std::vector<Tuple> left_rows;
+  left_rows.reserve(spec.distinct_keys * spec.left_per_key);
+  int64_t id = 0;
+  for (size_t key = 0; key < spec.distinct_keys; ++key) {
+    for (size_t r = 0; r < spec.left_per_key; ++r) {
+      left_rows.push_back(
+          JoinLeftRow(spec, id++, static_cast<int64_t>(key), &rng));
+    }
+  }
+  IMP_RETURN_NOT_OK(db->BulkLoad(spec.left_name, left_rows));
+
+  // Right: right_per_key rows per key; a (1 - selectivity) fraction of keys
+  // is shifted outside the left key domain so those rows never join.
+  std::vector<Tuple> right_rows;
+  right_rows.reserve(spec.distinct_keys * spec.right_per_key);
+  int64_t dead_key = static_cast<int64_t>(spec.distinct_keys) + 1000000;
+  for (size_t key = 0; key < spec.distinct_keys; ++key) {
+    bool joins = rng.Chance(spec.selectivity);
+    int64_t k = joins ? static_cast<int64_t>(key) : dead_key++;
+    for (size_t r = 0; r < spec.right_per_key; ++r) {
+      Tuple row;
+      row.push_back(Value::Int(k));
+      row.push_back(Value::Int(rng.UniformInt(0, 1000)));
+      right_rows.push_back(std::move(row));
+    }
+  }
+  return db->BulkLoad(spec.right_name, right_rows);
+}
+
+}  // namespace imp

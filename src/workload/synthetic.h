@@ -1,0 +1,66 @@
+// Synthetic dataset generator (Sec. 8 "Datasets and Workloads"): tables
+// with a key attribute `id`, one uniformly random attribute `a`, and
+// further attributes linearly correlated with `a` subject to Gaussian
+// noise. Also builds the join-helper tables used by the join
+// microbenchmarks (Q_join, Q_joinsel) with controlled multiplicities and
+// selectivities.
+
+#ifndef IMP_WORKLOAD_SYNTHETIC_H_
+#define IMP_WORKLOAD_SYNTHETIC_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "storage/database.h"
+
+namespace imp {
+
+/// Parameters of one synthetic table. Schema:
+///   id INT, a INT, b INT, c INT, d INT, e INT, f INT, g INT, h INT,
+///   i INT, j INT                                   (11 attributes, Sec. 8)
+/// a ~ Uniform[0, num_groups); b..j = a * coef + N(0, noise) clamped >= 0.
+struct SyntheticSpec {
+  std::string name = "r500";
+  size_t num_rows = 100000;
+  size_t num_groups = 500;    ///< distinct values of `a`
+  double noise = 50.0;        ///< Gaussian noise stddev for correlated cols
+  uint64_t seed = 42;
+  /// Cluster the base data on `a` (physical layout aligned with the range
+  /// partitions, as PBDS assumes; zone maps then skip effectively).
+  bool cluster_by_a = true;
+};
+
+/// Generate one synthetic row (used by insert workloads too).
+Tuple SyntheticRow(const SyntheticSpec& spec, int64_t id, Rng* rng);
+
+/// The schema shared by all synthetic tables.
+Schema SyntheticSchema();
+
+/// Create and bulk-load the table described by `spec`.
+Status CreateSyntheticTable(Database* db, const SyntheticSpec& spec);
+
+/// Parameters of a join pair for Q_join / Q_joinsel:
+///   left(id, a, b, c): `left_per_key` rows per join-key value, b/c
+///     correlated payloads;
+///   right(ttid, w):    `right_per_key` rows per join-key value; only a
+///     `selectivity` fraction of the right table's keys exist on the left.
+struct JoinPairSpec {
+  std::string left_name = "t1gbjoin";
+  std::string right_name = "tjoinhelp";
+  size_t distinct_keys = 10000;
+  size_t left_per_key = 1;
+  size_t right_per_key = 1;
+  double selectivity = 1.0;  ///< fraction of right rows with join partners
+  double noise = 50.0;
+  uint64_t seed = 7;
+};
+
+/// Create and bulk-load both tables of a join pair.
+Status CreateJoinPair(Database* db, const JoinPairSpec& spec);
+
+/// Generate a fresh left-table row for key `key` (insert workloads).
+Tuple JoinLeftRow(const JoinPairSpec& spec, int64_t id, int64_t key, Rng* rng);
+
+}  // namespace imp
+
+#endif  // IMP_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,169 @@
+#include "workload/tpch.h"
+
+#include <cstdio>
+
+namespace imp {
+
+namespace {
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",  "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA",     "INDONESIA", "IRAN", "IRAQ",  "JAPAN",    "JORDAN",
+    "KENYA",   "MOROCCO",   "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "RUSSIA",  "SAUDI ARABIA", "VIETNAM", "UNITED KINGDOM", "UNITED STATES"};
+constexpr int kNumNations = 25;
+
+std::string RandomDate(Rng* rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng->UniformInt(year_lo, year_hi));
+  int month = static_cast<int>(rng->UniformInt(1, 12));
+  int day = static_cast<int>(rng->UniformInt(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+}  // namespace
+
+Tuple TpchOrderRow(int64_t orderkey, int64_t max_custkey, Rng* rng) {
+  Tuple row;
+  row.push_back(Value::Int(orderkey));
+  row.push_back(Value::Int(rng->UniformInt(1, max_custkey)));
+  row.push_back(Value::String(RandomDate(rng, 1992, 1998)));
+  row.push_back(Value::Double(rng->UniformDouble(1000.0, 400000.0)));
+  return row;
+}
+
+Tuple TpchLineitemRow(int64_t orderkey, int64_t linenumber, Rng* rng) {
+  Tuple row;
+  row.push_back(Value::Int(orderkey));
+  row.push_back(Value::Int(rng->UniformInt(1, 200000)));  // l_partkey
+  row.push_back(Value::Int(rng->UniformInt(1, 10000)));   // l_suppkey
+  row.push_back(Value::Int(linenumber));
+  row.push_back(Value::Int(rng->UniformInt(1, 50)));      // l_quantity
+  row.push_back(
+      Value::Double(rng->UniformDouble(900.0, 105000.0)));  // l_extendedprice
+  row.push_back(Value::Double(
+      static_cast<double>(rng->UniformInt(0, 10)) / 100.0));  // l_discount
+  static const char* kFlags[] = {"R", "A", "N"};
+  row.push_back(Value::String(kFlags[rng->UniformInt(0, 2)]));
+  row.push_back(Value::String(RandomDate(rng, 1992, 1998)));  // l_shipdate
+  return row;
+}
+
+Status CreateTpchTables(Database* db, const TpchSpec& spec) {
+  Schema nation;
+  nation.AddColumn("n_nationkey", ValueType::kInt);
+  nation.AddColumn("n_name", ValueType::kString);
+  nation.AddColumn("n_regionkey", ValueType::kInt);
+  IMP_RETURN_NOT_OK(db->CreateTable("nation", nation));
+
+  Schema customer;
+  customer.AddColumn("c_custkey", ValueType::kInt);
+  customer.AddColumn("c_name", ValueType::kString);
+  customer.AddColumn("c_address", ValueType::kString);
+  customer.AddColumn("c_nationkey", ValueType::kInt);
+  customer.AddColumn("c_phone", ValueType::kString);
+  customer.AddColumn("c_acctbal", ValueType::kDouble);
+  customer.AddColumn("c_comment", ValueType::kString);
+  IMP_RETURN_NOT_OK(db->CreateTable("customer", customer));
+
+  Schema orders;
+  orders.AddColumn("o_orderkey", ValueType::kInt);
+  orders.AddColumn("o_custkey", ValueType::kInt);
+  orders.AddColumn("o_orderdate", ValueType::kString);
+  orders.AddColumn("o_totalprice", ValueType::kDouble);
+  IMP_RETURN_NOT_OK(db->CreateTable("orders", orders));
+
+  Schema lineitem;
+  lineitem.AddColumn("l_orderkey", ValueType::kInt);
+  lineitem.AddColumn("l_partkey", ValueType::kInt);
+  lineitem.AddColumn("l_suppkey", ValueType::kInt);
+  lineitem.AddColumn("l_linenumber", ValueType::kInt);
+  lineitem.AddColumn("l_quantity", ValueType::kInt);
+  lineitem.AddColumn("l_extendedprice", ValueType::kDouble);
+  lineitem.AddColumn("l_discount", ValueType::kDouble);
+  lineitem.AddColumn("l_returnflag", ValueType::kString);
+  lineitem.AddColumn("l_shipdate", ValueType::kString);
+  IMP_RETURN_NOT_OK(db->CreateTable("lineitem", lineitem));
+
+  Rng rng(spec.seed);
+
+  std::vector<Tuple> nation_rows;
+  for (int i = 0; i < kNumNations; ++i) {
+    nation_rows.push_back(Tuple{Value::Int(i), Value::String(kNations[i]),
+                                Value::Int(i % 5)});
+  }
+  IMP_RETURN_NOT_OK(db->BulkLoad("nation", nation_rows));
+
+  auto count = [&](double per_sf) {
+    int64_t n = static_cast<int64_t>(per_sf * spec.scale_factor);
+    return n < 1 ? int64_t{1} : n;
+  };
+  int64_t num_customers = count(150000);
+  int64_t num_orders = count(1500000);
+
+  std::vector<Tuple> customer_rows;
+  customer_rows.reserve(static_cast<size_t>(num_customers));
+  for (int64_t c = 1; c <= num_customers; ++c) {
+    Tuple row;
+    row.push_back(Value::Int(c));
+    row.push_back(Value::String("Customer#" + std::to_string(c)));
+    row.push_back(Value::String("addr" + std::to_string(c)));
+    row.push_back(Value::Int(rng.UniformInt(0, kNumNations - 1)));
+    row.push_back(Value::String("phone" + std::to_string(c)));
+    row.push_back(Value::Double(rng.UniformDouble(-999.0, 9999.0)));
+    row.push_back(Value::String("comment"));
+    customer_rows.push_back(std::move(row));
+  }
+  IMP_RETURN_NOT_OK(db->BulkLoad("customer", customer_rows));
+
+  std::vector<Tuple> order_rows;
+  std::vector<Tuple> lineitem_rows;
+  order_rows.reserve(static_cast<size_t>(num_orders));
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    order_rows.push_back(TpchOrderRow(o, num_customers, &rng));
+    int64_t lines = rng.UniformInt(1, 7);  // avg ~4 lineitems per order
+    for (int64_t l = 1; l <= lines; ++l) {
+      lineitem_rows.push_back(TpchLineitemRow(o, l, &rng));
+    }
+  }
+  IMP_RETURN_NOT_OK(db->BulkLoad("orders", order_rows));
+  IMP_RETURN_NOT_OK(db->BulkLoad("lineitem", lineitem_rows));
+  return Status::OK();
+}
+
+std::string TpchQ10Sql(const std::string& lo_date, const std::string& hi_date) {
+  return "SELECT c_custkey, c_name, "
+         "sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+         "c_acctbal, n_name, c_address, c_phone, c_comment "
+         "FROM lineitem, orders, customer, nation "
+         "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+         "AND o_orderdate >= to_date('" + lo_date + "', 'YYYY-MM-DD') "
+         "AND o_orderdate < to_date('" + hi_date + "', 'YYYY-MM-DD') "
+         "AND l_returnflag = 'R' "
+         "AND c_nationkey = n_nationkey "
+         "GROUP BY c_custkey, c_name, c_acctbal, c_phone, "
+         "n_name, c_address, c_comment "
+         "ORDER BY revenue DESC "
+         "LIMIT 20";
+}
+
+std::string TpchQ18Sql(int64_t threshold) {
+  return "SELECT c_custkey, sum(l_quantity) AS total_qty "
+         "FROM lineitem, orders, customer "
+         "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+         "GROUP BY c_custkey "
+         "HAVING sum(l_quantity) > " + std::to_string(threshold);
+}
+
+std::string TpchQ5Sql(int64_t threshold) {
+  return "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+         "FROM lineitem, orders, customer, nation "
+         "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+         "AND c_nationkey = n_nationkey "
+         "GROUP BY n_name "
+         "HAVING sum(l_extendedprice * (1 - l_discount)) > " +
+         std::to_string(threshold);
+}
+
+}  // namespace imp

@@ -1,0 +1,42 @@
+// TPC-H-style generator (substitution for the official dbgen; see
+// DESIGN.md). Generates nation / customer / orders / lineitem with the
+// TPC-H schema subset needed by the evaluation queries, at a configurable
+// scale factor. Row counts follow the TPC-H ratios
+// (customer : orders : lineitem = 150k : 1.5M : ~6M per SF).
+
+#ifndef IMP_WORKLOAD_TPCH_H_
+#define IMP_WORKLOAD_TPCH_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "storage/database.h"
+
+namespace imp {
+
+struct TpchSpec {
+  double scale_factor = 0.01;  ///< 0.01 => 1.5k customers, ~60k lineitems
+  uint64_t seed = 7;
+};
+
+/// Create and populate nation, customer, orders, lineitem.
+Status CreateTpchTables(Database* db, const TpchSpec& spec);
+
+/// A fresh lineitem row for insert workloads. `orderkey` should reference
+/// an existing order for realistic joins.
+Tuple TpchLineitemRow(int64_t orderkey, int64_t linenumber, Rng* rng);
+/// A fresh order row (o_custkey sampled from [1, max_custkey]).
+Tuple TpchOrderRow(int64_t orderkey, int64_t max_custkey, Rng* rng);
+
+/// The evaluation queries (Appendix A.4 plus two HAVING join queries).
+/// Q_space — TPC-H Q10 (top-20 customers by revenue).
+std::string TpchQ10Sql(const std::string& lo_date = "1994-12-01",
+                       const std::string& hi_date = "1995-03-01");
+/// Q18-style: customers with total ordered quantity above a threshold.
+std::string TpchQ18Sql(int64_t threshold);
+/// Q5-style: revenue per nation with a HAVING threshold.
+std::string TpchQ5Sql(int64_t threshold);
+
+}  // namespace imp
+
+#endif  // IMP_WORKLOAD_TPCH_H_

@@ -1,0 +1,106 @@
+// Tests for the stateless-chain analysis (algebra/chain.h) used by
+// selection push-down and the indexed delegated join.
+
+#include <gtest/gtest.h>
+
+#include "algebra/chain.h"
+#include "test_util.h"
+
+namespace imp {
+namespace {
+
+class ChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LoadSalesExample(&db_); }
+  Database db_;
+};
+
+TEST_F(ChainTest, BareScanIsIdentityChain) {
+  PlanPtr scan = MakeScan("sales", db_.GetTable("sales")->schema());
+  auto chain = ExtractStatelessChain(scan);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->table, "sales");
+  ASSERT_EQ(chain->to_scan.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(chain->to_scan[i], static_cast<int>(i));
+  Tuple out;
+  Tuple row{Value::Int(1), Value::String("x"), Value::String("y"),
+            Value::Int(10), Value::Int(2)};
+  EXPECT_TRUE(chain->Replay(row, &out));
+  EXPECT_TRUE(TupleEq{}(out, row));
+}
+
+TEST_F(ChainTest, SelectProjectChainReplay) {
+  // σ_{price > 500} then Π_{sid, price*2}.
+  PlanPtr scan = MakeScan("sales", db_.GetTable("sales")->schema());
+  ExprPtr pred = MakeBinary(BinaryOp::kGt,
+                            MakeColumnRef(3, "price", ValueType::kInt),
+                            MakeLiteral(Value::Int(500)));
+  PlanPtr select = MakeSelect(scan, pred);
+  std::vector<ExprPtr> exprs = {
+      MakeColumnRef(0, "sid", ValueType::kInt),
+      MakeBinary(BinaryOp::kMul, MakeColumnRef(3, "price", ValueType::kInt),
+                 MakeLiteral(Value::Int(2)))};
+  PlanPtr project = MakeProject(select, exprs, {"sid", "p2"});
+
+  auto chain = ExtractStatelessChain(project);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->table, "sales");
+  ASSERT_EQ(chain->to_scan.size(), 2u);
+  EXPECT_EQ(chain->to_scan[0], 0);   // sid passes through
+  EXPECT_EQ(chain->to_scan[1], -1);  // computed column
+
+  Tuple pass{Value::Int(7), Value::String("b"), Value::String("p"),
+             Value::Int(800), Value::Int(1)};
+  Tuple out;
+  ASSERT_TRUE(chain->Replay(pass, &out));
+  EXPECT_EQ(out, (Tuple{Value::Int(7), Value::Int(1600)}));
+
+  Tuple fail{Value::Int(7), Value::String("b"), Value::String("p"),
+             Value::Int(100), Value::Int(1)};
+  EXPECT_FALSE(chain->Replay(fail, &out));
+}
+
+TEST_F(ChainTest, ScanFilterApplied) {
+  ExprPtr filter = MakeBinary(BinaryOp::kEq,
+                              MakeColumnRef(1, "brand", ValueType::kString),
+                              MakeLiteral(Value::String("HP")));
+  PlanPtr scan = MakeScan("sales", db_.GetTable("sales")->schema(), filter);
+  auto chain = ExtractStatelessChain(scan);
+  ASSERT_TRUE(chain.has_value());
+  Tuple hp{Value::Int(6), Value::String("HP"), Value::String("p"),
+           Value::Int(999), Value::Int(4)};
+  Tuple dell{Value::Int(5), Value::String("Dell"), Value::String("p"),
+             Value::Int(1345), Value::Int(1)};
+  Tuple out;
+  EXPECT_TRUE(chain->Replay(hp, &out));
+  EXPECT_FALSE(chain->Replay(dell, &out));
+}
+
+TEST_F(ChainTest, StatefulOperatorsBreakTheChain) {
+  PlanPtr plan = MustBind(
+      db_, "SELECT brand, count(*) AS n FROM sales GROUP BY brand");
+  EXPECT_FALSE(ExtractStatelessChain(plan).has_value());
+
+  PlanPtr scan_a = MakeScan("sales", db_.GetTable("sales")->schema());
+  PlanPtr scan_b = MakeScan("sales", db_.GetTable("sales")->schema());
+  PlanPtr join = MakeJoin(scan_a, scan_b, {{0, 0}});
+  EXPECT_FALSE(ExtractStatelessChain(join).has_value());
+}
+
+TEST_F(ChainTest, ProjectionRemapsThroughStackedProjects) {
+  PlanPtr scan = MakeScan("sales", db_.GetTable("sales")->schema());
+  PlanPtr p1 = MakeProject(
+      scan,
+      {MakeColumnRef(3, "price", ValueType::kInt),
+       MakeColumnRef(0, "sid", ValueType::kInt)},
+      {"price", "sid"});
+  PlanPtr p2 = MakeProject(p1, {MakeColumnRef(1, "sid", ValueType::kInt)},
+                           {"sid"});
+  auto chain = ExtractStatelessChain(p2);
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->to_scan.size(), 1u);
+  EXPECT_EQ(chain->to_scan[0], 0);  // sid is scan column 0
+}
+
+}  // namespace
+}  // namespace imp

@@ -1,0 +1,125 @@
+// Tests for annotated Z-deltas (imp/delta.h): signed multiplicities,
+// consolidation, annotation from backend deltas.
+
+#include <gtest/gtest.h>
+
+#include "imp/delta.h"
+#include "test_util.h"
+
+namespace imp {
+namespace {
+
+BitVector Bits(std::initializer_list<size_t> bits, size_t n = 8) {
+  BitVector bv(n);
+  for (size_t b : bits) bv.Set(b);
+  return bv;
+}
+
+TEST(AnnotatedDeltaTest, InsertDeleteCounts) {
+  AnnotatedDelta d;
+  d.Append({Value::Int(1)}, Bits({0}), 3);
+  d.Append({Value::Int(2)}, Bits({1}), -2);
+  d.Append({Value::Int(3)}, Bits({1}), 1);
+  EXPECT_EQ(d.InsertCount(), 4);
+  EXPECT_EQ(d.DeleteCount(), 2);
+}
+
+TEST(AnnotatedDeltaTest, ConsolidateMergesEqualPairs) {
+  AnnotatedDelta d;
+  d.Append({Value::Int(1)}, Bits({0}), 1);
+  d.Append({Value::Int(1)}, Bits({0}), 2);
+  d.Append({Value::Int(1)}, Bits({1}), 1);  // same tuple, different sketch
+  d.Consolidate();
+  ASSERT_EQ(d.size(), 2u);
+  int64_t total = 0;
+  for (const auto& r : d.rows) total += r.mult;
+  EXPECT_EQ(total, 4);
+}
+
+TEST(AnnotatedDeltaTest, ConsolidateDropsZeroNet) {
+  AnnotatedDelta d;
+  d.Append({Value::Int(1)}, Bits({0}), 1);
+  d.Append({Value::Int(1)}, Bits({0}), -1);
+  d.Append({Value::Int(2)}, Bits({0}), 1);
+  d.Consolidate();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.rows[0].row, (Tuple{Value::Int(2)}));
+}
+
+TEST(AnnotatedDeltaTest, ToStringTagsDirection) {
+  AnnotatedDeltaRow ins{{Value::Int(5)}, Bits({2}), 1};
+  AnnotatedDeltaRow del{{Value::Int(5)}, Bits({2}), -3};
+  EXPECT_EQ(ins.ToString().substr(0, 3), "Δ+");  // UTF-8 Δ is 2 bytes
+  EXPECT_EQ(del.ToString().substr(0, 3), "Δ-");
+  EXPECT_NE(del.ToString().find("^3"), std::string::npos);
+}
+
+TEST(DeltaContextTest, FindAndTotals) {
+  DeltaContext ctx;
+  ctx.table_deltas["r"].Append({Value::Int(1)}, Bits({0}), 1);
+  ctx.table_deltas["s"].Append({Value::Int(2)}, Bits({1}), -1);
+  EXPECT_FALSE(ctx.empty());
+  EXPECT_EQ(ctx.TotalRows(), 2u);
+  ASSERT_NE(ctx.Find("r"), nullptr);
+  EXPECT_EQ(ctx.Find("r")->size(), 1u);
+  EXPECT_EQ(ctx.Find("zzz"), nullptr);
+  DeltaContext empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(AnnotateDeltaTest, Example42AnnotatesS8) {
+  // Ex. 4.2: Δ+s8 annotated with ρ3 (price 1299 in [1001, 1500]).
+  Database db;
+  LoadSalesExample(&db);
+  PartitionCatalog catalog;
+  ASSERT_TRUE(catalog.Register(SalesPricePartition()).ok());
+  uint64_t from = db.CurrentVersion();
+  ASSERT_TRUE(db.Insert("sales", {{Value::Int(8), Value::String("HP"),
+                                   Value::String("HP ProBook 650 G10"),
+                                   Value::Int(1299), Value::Int(1)}})
+                  .ok());
+  TableDelta raw = db.ScanDelta("sales", from, db.CurrentVersion());
+  AnnotatedDelta annotated = AnnotateTableDelta(raw, catalog);
+  ASSERT_EQ(annotated.size(), 1u);
+  EXPECT_EQ(annotated.rows[0].mult, 1);
+  EXPECT_EQ(annotated.rows[0].sketch.SetBits(), std::vector<size_t>{2});
+}
+
+TEST(AnnotateDeltaTest, DeletionsKeepNegativeMult) {
+  Database db;
+  LoadSalesExample(&db);
+  PartitionCatalog catalog;
+  ASSERT_TRUE(catalog.Register(SalesPricePartition()).ok());
+  uint64_t from = db.CurrentVersion();
+  ASSERT_TRUE(db.Delete("sales", [](const Tuple& row) {
+                  return row[0] == Value::Int(4);
+                }).ok());
+  AnnotatedDelta annotated = AnnotateTableDelta(
+      db.ScanDelta("sales", from, db.CurrentVersion()), catalog);
+  ASSERT_EQ(annotated.size(), 1u);
+  EXPECT_EQ(annotated.rows[0].mult, -1);
+  EXPECT_EQ(annotated.rows[0].sketch.SetBits(), std::vector<size_t>{3});
+}
+
+TEST(AnnotateDeltaTest, MultipleTablesIntoContext) {
+  Database db;
+  LoadFig5Example(&db);
+  PartitionCatalog catalog;
+  ASSERT_TRUE(catalog.Register(Fig5PartitionR()).ok());
+  ASSERT_TRUE(catalog.Register(Fig5PartitionS()).ok());
+  uint64_t from = db.CurrentVersion();
+  ASSERT_TRUE(db.Insert("r", {{Value::Int(5), Value::Int(8)}}).ok());
+  ASSERT_TRUE(db.Insert("s", {{Value::Int(10), Value::Int(1)}}).ok());
+  DeltaContext ctx = MakeDeltaContext(
+      {db.ScanDelta("r", from, db.CurrentVersion()),
+       db.ScanDelta("s", from, db.CurrentVersion())},
+      catalog);
+  ASSERT_NE(ctx.Find("r"), nullptr);
+  ASSERT_NE(ctx.Find("s"), nullptr);
+  // r value 5 -> f1 (global 0); s value 10 -> g2 (global 3).
+  EXPECT_EQ(ctx.Find("r")->rows[0].sketch.SetBits(), std::vector<size_t>{0});
+  EXPECT_EQ(ctx.Find("s")->rows[0].sketch.SetBits(), std::vector<size_t>{3});
+}
+
+}  // namespace
+}  // namespace imp

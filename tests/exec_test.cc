@@ -1,0 +1,226 @@
+// Tests for the backend executor (bag semantics) and the annotated
+// (capture) executor, including the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include "exec/annotated_executor.h"
+#include "exec/executor.h"
+#include "sketch/partition.h"
+#include "test_util.h"
+
+namespace imp {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LoadSalesExample(&db_); }
+
+  Relation Run(const std::string& sql) {
+    PlanPtr plan = MustBind(db_, sql);
+    Executor exec(&db_);
+    auto result = exec.Execute(plan);
+    IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    return std::move(result).value();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecTest, ScanAll) {
+  Relation r = Run("SELECT * FROM sales");
+  EXPECT_EQ(r.size(), 7u);
+}
+
+TEST_F(ExecTest, FilterAndProject) {
+  Relation r = Run("SELECT sid FROM sales WHERE price BETWEEN 1001 AND 1500");
+  ASSERT_EQ(r.size(), 2u);  // s3 (1199) and s5 (1345)
+  std::set<int64_t> sids;
+  for (const Tuple& row : r.rows) sids.insert(row[0].AsInt());
+  EXPECT_TRUE(sids.count(3));
+  EXPECT_TRUE(sids.count(5));
+}
+
+TEST_F(ExecTest, RunningExampleResult) {
+  // Ex. 1.1: only (Apple, 5074) passes the HAVING threshold.
+  Relation r = Run(kSalesQTop);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::String("Apple"));
+  EXPECT_EQ(r.rows[0][1], Value::Int(5074));
+}
+
+TEST_F(ExecTest, RunningExampleAfterInsertS8) {
+  // Ex. 1.2: inserting s8 makes HP pass with revenue 6194.
+  ASSERT_TRUE(db_.Insert("sales", {{Value::Int(8), Value::String("HP"),
+                                    Value::String("HP ProBook 650 G10"),
+                                    Value::Int(1299), Value::Int(1)}})
+                  .ok());
+  Relation r = Run(kSalesQTop);
+  ASSERT_EQ(r.size(), 2u);
+  int64_t hp_rev = -1;
+  for (const Tuple& row : r.rows) {
+    if (row[0] == Value::String("HP")) hp_rev = row[1].AsInt();
+  }
+  EXPECT_EQ(hp_rev, 6194);
+}
+
+TEST_F(ExecTest, GroupByCountAvgMinMax) {
+  Relation r = Run(
+      "SELECT brand, count(*) AS n, min(price) AS lo, max(price) AS hi, "
+      "avg(numSold) AS av FROM sales GROUP BY brand");
+  ASSERT_EQ(r.size(), 4u);
+  for (const Tuple& row : r.rows) {
+    if (row[0] == Value::String("HP")) {
+      EXPECT_EQ(row[1], Value::Int(2));
+      EXPECT_EQ(row[2], Value::Int(899));
+      EXPECT_EQ(row[3], Value::Int(999));
+      EXPECT_EQ(row[4], Value::Double(2.5));
+    }
+  }
+}
+
+TEST_F(ExecTest, GlobalAggregateOnEmptyInput) {
+  Relation r = Run("SELECT count(*) AS n, sum(price) AS s FROM sales "
+                   "WHERE price > 99999");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(0));
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecTest, TopKOrdering) {
+  Relation r = Run("SELECT sid, price FROM sales ORDER BY price DESC LIMIT 3");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.rows[0][1], Value::Int(3875));
+  EXPECT_EQ(r.rows[1][1], Value::Int(1345));
+  EXPECT_EQ(r.rows[2][1], Value::Int(1199));
+}
+
+TEST_F(ExecTest, Distinct) {
+  Relation r = Run("SELECT DISTINCT brand FROM sales");
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST_F(ExecTest, JoinProducesBagSemantics) {
+  // Self-explanatory two-table join on a fresh pair of tables.
+  Schema ls;
+  ls.AddColumn("x", ValueType::kInt);
+  ASSERT_TRUE(db_.CreateTable("l", ls).ok());
+  ASSERT_TRUE(db_.BulkLoad("l", {{Value::Int(1)}, {Value::Int(1)},
+                                 {Value::Int(2)}})
+                  .ok());
+  Schema rs;
+  rs.AddColumn("y", ValueType::kInt);
+  rs.AddColumn("p", ValueType::kString);
+  ASSERT_TRUE(db_.CreateTable("rr", rs).ok());
+  ASSERT_TRUE(db_.BulkLoad("rr", {{Value::Int(1), Value::String("a")},
+                                  {Value::Int(1), Value::String("b")},
+                                  {Value::Int(3), Value::String("c")}})
+                  .ok());
+  Relation r = Run("SELECT x, p FROM l JOIN rr ON (x = y)");
+  EXPECT_EQ(r.size(), 4u);  // 2 copies of x=1 times 2 matches
+}
+
+TEST_F(ExecTest, RelationSameBag) {
+  Relation a = Run("SELECT sid FROM sales");
+  Relation b = Run("SELECT sid FROM sales");
+  EXPECT_TRUE(a.SameBag(b));
+  Relation c = Run("SELECT sid FROM sales WHERE sid < 7");
+  EXPECT_FALSE(a.SameBag(c));
+}
+
+TEST_F(ExecTest, BoundRelationShadowsTable) {
+  PlanPtr plan = MustBind(db_, "SELECT sid FROM sales");
+  Relation tiny;
+  tiny.schema = db_.GetTable("sales")->schema();
+  tiny.rows.push_back({Value::Int(99), Value::String("Z"), Value::String("z"),
+                       Value::Int(1), Value::Int(1)});
+  Executor exec(&db_);
+  exec.BindRelation("sales", &tiny);
+  auto result = exec.Execute(plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value().rows[0][0], Value::Int(99));
+}
+
+TEST_F(ExecTest, MissingTableError) {
+  Schema s;
+  s.AddColumn("x", ValueType::kInt);
+  PlanPtr plan = MakeScan("ghost", s);
+  Executor exec(&db_);
+  EXPECT_EQ(exec.Execute(plan).status().code(), StatusCode::kNotFound);
+}
+
+// ---- Annotated executor -----------------------------------------------------
+
+class AnnotatedExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoadSalesExample(&db_);
+    IMP_CHECK(catalog_.Register(SalesPricePartition()).ok());
+  }
+
+  AnnotatedRelation RunAnnotated(const std::string& sql) {
+    PlanPtr plan = MustBind(db_, sql);
+    AnnotatedExecutor exec(
+        &db_, [this](const std::string& t, const Tuple& row, BitVector* out) {
+          catalog_.AnnotateRow(t, row, out);
+        });
+    auto result = exec.Execute(plan);
+    IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    return std::move(result).value();
+  }
+
+  Database db_;
+  PartitionCatalog catalog_;
+};
+
+TEST_F(AnnotatedExecTest, ScanAnnotatesByFragment) {
+  AnnotatedRelation rel = RunAnnotated("SELECT * FROM sales");
+  ASSERT_EQ(rel.size(), 7u);
+  for (const AnnotatedRow& r : rel.rows) {
+    EXPECT_EQ(r.sketch.Count(), 1u);
+    size_t frag = r.sketch.SetBits()[0];
+    int64_t price = r.row[3].AsInt();
+    // φ_price: ρ1=[1,600], ρ2=[601,1000], ρ3=[1001,1500], ρ4=[1501,10000]
+    size_t expected = price <= 600 ? 0 : price <= 1000 ? 1 : price <= 1500 ? 2 : 3;
+    EXPECT_EQ(frag, expected) << "price=" << price;
+  }
+}
+
+TEST_F(AnnotatedExecTest, RunningExampleAccurateSketch) {
+  // Ex. 1.1: the accurate sketch for Q_top is {ρ3, ρ4}.
+  AnnotatedRelation rel = RunAnnotated(kSalesQTop);
+  ASSERT_EQ(rel.size(), 1u);
+  BitVector sketch = rel.SketchUnion();
+  EXPECT_FALSE(sketch.Test(0));
+  EXPECT_FALSE(sketch.Test(1));
+  EXPECT_TRUE(sketch.Test(2));
+  EXPECT_TRUE(sketch.Test(3));
+}
+
+TEST_F(AnnotatedExecTest, GroupSketchIsUnionOfInputs) {
+  AnnotatedRelation rel =
+      RunAnnotated("SELECT brand, sum(price) AS s FROM sales GROUP BY brand");
+  for (const AnnotatedRow& r : rel.rows) {
+    if (r.row[0] == Value::String("Lenovo")) {
+      // Lenovo rows (349, 449) are both in ρ1.
+      EXPECT_EQ(r.sketch.SetBits(), std::vector<size_t>{0});
+    }
+    if (r.row[0] == Value::String("Apple")) {
+      // Apple rows in ρ3 and ρ4.
+      EXPECT_EQ(r.sketch.SetBits(), (std::vector<size_t>{2, 3}));
+    }
+  }
+}
+
+TEST_F(AnnotatedExecTest, UnpartitionedTableGetsEmptyAnnotation) {
+  Schema s;
+  s.AddColumn("x", ValueType::kInt);
+  ASSERT_TRUE(db_.CreateTable("plain", s).ok());
+  ASSERT_TRUE(db_.BulkLoad("plain", {{Value::Int(1)}}).ok());
+  AnnotatedRelation rel = RunAnnotated("SELECT x FROM plain");
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.rows[0].sketch.None());
+}
+
+}  // namespace
+}  // namespace imp

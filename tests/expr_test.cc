@@ -1,0 +1,137 @@
+// Unit tests for the expression system: evaluation, null handling, template
+// printing, column remapping.
+
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+
+namespace imp {
+namespace {
+
+ExprPtr Col(size_t i, const char* name = "c",
+            ValueType t = ValueType::kInt) {
+  return MakeColumnRef(i, name, t);
+}
+
+TEST(ExprTest, LiteralEval) {
+  EXPECT_EQ(MakeLiteral(Value::Int(7))->Eval({}), Value::Int(7));
+  EXPECT_EQ(MakeLiteral(Value::Int(7))->result_type(), ValueType::kInt);
+}
+
+TEST(ExprTest, ColumnRefEval) {
+  Tuple row{Value::Int(1), Value::String("x")};
+  EXPECT_EQ(Col(0)->Eval(row), Value::Int(1));
+  EXPECT_EQ(Col(1, "s", ValueType::kString)->Eval(row), Value::String("x"));
+}
+
+TEST(ExprTest, ArithmeticEvalAndTypes) {
+  Tuple row{Value::Int(6), Value::Double(2.0)};
+  ExprPtr sum = MakeBinary(BinaryOp::kAdd, Col(0), Col(1, "d", ValueType::kDouble));
+  EXPECT_EQ(sum->result_type(), ValueType::kDouble);
+  EXPECT_EQ(sum->Eval(row), Value::Double(8.0));
+  ExprPtr prod = MakeBinary(BinaryOp::kMul, Col(0), MakeLiteral(Value::Int(3)));
+  EXPECT_EQ(prod->result_type(), ValueType::kInt);
+  EXPECT_EQ(prod->Eval(row), Value::Int(18));
+}
+
+TEST(ExprTest, ComparisonsAndBoolean) {
+  Tuple row{Value::Int(5)};
+  ExprPtr gt3 = MakeBinary(BinaryOp::kGt, Col(0), MakeLiteral(Value::Int(3)));
+  ExprPtr lt4 = MakeBinary(BinaryOp::kLt, Col(0), MakeLiteral(Value::Int(4)));
+  EXPECT_TRUE(gt3->Eval(row).IsTrue());
+  EXPECT_FALSE(lt4->Eval(row).IsTrue());
+  EXPECT_FALSE(MakeBinary(BinaryOp::kAnd, gt3, lt4)->Eval(row).IsTrue());
+  EXPECT_TRUE(MakeBinary(BinaryOp::kOr, gt3, lt4)->Eval(row).IsTrue());
+  EXPECT_TRUE(MakeUnary(UnaryOp::kNot, lt4)->Eval(row).IsTrue());
+}
+
+TEST(ExprTest, ComparisonWithNullIsFalse) {
+  Tuple row{Value::Null()};
+  ExprPtr eq = MakeBinary(BinaryOp::kEq, Col(0), MakeLiteral(Value::Int(1)));
+  ExprPtr ne = MakeBinary(BinaryOp::kNe, Col(0), MakeLiteral(Value::Int(1)));
+  EXPECT_FALSE(eq->Eval(row).IsTrue());
+  EXPECT_FALSE(ne->Eval(row).IsTrue());
+}
+
+TEST(ExprTest, BetweenInclusive) {
+  ExprPtr between = MakeBetween(Col(0), MakeLiteral(Value::Int(10)),
+                                MakeLiteral(Value::Int(20)));
+  EXPECT_TRUE(between->Eval({Value::Int(10)}).IsTrue());
+  EXPECT_TRUE(between->Eval({Value::Int(20)}).IsTrue());
+  EXPECT_TRUE(between->Eval({Value::Int(15)}).IsTrue());
+  EXPECT_FALSE(between->Eval({Value::Int(9)}).IsTrue());
+  EXPECT_FALSE(between->Eval({Value::Int(21)}).IsTrue());
+}
+
+TEST(ExprTest, ToStringPlainAndTemplated) {
+  ExprPtr pred = MakeBinary(BinaryOp::kGt, Col(0, "a"),
+                            MakeLiteral(Value::Int(3)));
+  EXPECT_EQ(pred->ToString(false), "(a > 3)");
+  // Template mode replaces constants with '?' (query templates, Sec. 7.1).
+  EXPECT_EQ(pred->ToString(true), "(a > ?)");
+}
+
+TEST(ExprTest, TemplatesEqualAcrossConstants) {
+  ExprPtr p1 = MakeBinary(BinaryOp::kGt, Col(0, "a"),
+                          MakeLiteral(Value::Int(3)));
+  ExprPtr p2 = MakeBinary(BinaryOp::kGt, Col(0, "a"),
+                          MakeLiteral(Value::Int(9999)));
+  EXPECT_EQ(p1->ToString(true), p2->ToString(true));
+  EXPECT_NE(p1->ToString(false), p2->ToString(false));
+}
+
+TEST(ExprTest, CollectColumns) {
+  ExprPtr e = MakeBinary(
+      BinaryOp::kAdd, Col(2),
+      MakeBinary(BinaryOp::kMul, Col(5), MakeLiteral(Value::Int(2))));
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 2u);
+  EXPECT_EQ(cols[1], 5u);
+}
+
+TEST(ExprTest, RemapColumns) {
+  ExprPtr e = MakeBinary(BinaryOp::kLt, Col(3, "b"),
+                         MakeLiteral(Value::Int(10)));
+  std::vector<int> mapping(5, -1);
+  mapping[3] = 0;
+  ExprPtr remapped = e->RemapColumns(mapping);
+  EXPECT_TRUE(remapped->Eval({Value::Int(5)}).IsTrue());
+  EXPECT_FALSE(remapped->Eval({Value::Int(15)}).IsTrue());
+}
+
+TEST(ExprTest, ConjunctionDisjunctionFactories) {
+  ExprPtr t = MakeConjunction({});
+  EXPECT_TRUE(t->Eval({}).IsTrue());  // empty conjunction == true
+  ExprPtr f = MakeDisjunction({});
+  EXPECT_FALSE(f->Eval({}).IsTrue());  // empty disjunction == false
+  ExprPtr a = MakeBinary(BinaryOp::kGt, Col(0), MakeLiteral(Value::Int(1)));
+  ExprPtr b = MakeBinary(BinaryOp::kLt, Col(0), MakeLiteral(Value::Int(5)));
+  ExprPtr conj = MakeConjunction({a, b});
+  EXPECT_TRUE(conj->Eval({Value::Int(3)}).IsTrue());
+  EXPECT_FALSE(conj->Eval({Value::Int(7)}).IsTrue());
+}
+
+TEST(ExprTest, ExprPredicateWrapper) {
+  auto pred = ExprPredicate(
+      MakeBinary(BinaryOp::kEq, Col(0), MakeLiteral(Value::Int(4))));
+  EXPECT_TRUE(pred({Value::Int(4)}));
+  EXPECT_FALSE(pred({Value::Int(5)}));
+}
+
+TEST(ExprTest, StringConcatViaAdd) {
+  ExprPtr cat = MakeBinary(BinaryOp::kAdd,
+                           MakeLiteral(Value::String("ab")),
+                           MakeLiteral(Value::String("cd")));
+  EXPECT_EQ(cat->Eval({}), Value::String("abcd"));
+}
+
+TEST(ExprTest, NegationOfDouble) {
+  ExprPtr neg = MakeUnary(UnaryOp::kNeg, MakeLiteral(Value::Double(2.5)));
+  EXPECT_EQ(neg->Eval({}), Value::Double(-2.5));
+  EXPECT_EQ(neg->result_type(), ValueType::kDouble);
+}
+
+}  // namespace
+}  // namespace imp

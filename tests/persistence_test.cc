@@ -1,0 +1,256 @@
+// Tests for state persistence (Sec. 2): serializing incremental operator
+// state, restoring it in a fresh maintainer, middleware eviction to the
+// backend blob store, and re-partitioning with recapture (Sec. 7.4).
+
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "imp/maintainer.h"
+#include "middleware/imp_system.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace imp {
+namespace {
+
+// ---- Serde primitives --------------------------------------------------------
+
+TEST(SerdeTest, PrimitivesRoundTrip) {
+  SerdeWriter w;
+  w.WriteU64(0xdeadbeefcafeULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.25);
+  w.WriteBool(true);
+  w.WriteString("hello");
+  std::string buf = w.TakeBuffer();
+  SerdeReader r(buf);
+  EXPECT_EQ(r.ReadU64().value(), 0xdeadbeefcafeULL);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.25);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ValuesTuplesBitvectorsRoundTrip) {
+  SerdeWriter w;
+  w.WriteValue(Value::Null());
+  w.WriteValue(Value::Int(7));
+  w.WriteValue(Value::Double(-1.5));
+  w.WriteValue(Value::String("s"));
+  Tuple t{Value::Int(1), Value::String("x")};
+  w.WriteTuple(t);
+  BitVector bv(130);
+  bv.Set(0);
+  bv.Set(129);
+  w.WriteBitVector(bv);
+  std::string buf = w.TakeBuffer();
+  SerdeReader r(buf);
+  EXPECT_TRUE(r.ReadValue().value().is_null());
+  EXPECT_EQ(r.ReadValue().value(), Value::Int(7));
+  EXPECT_EQ(r.ReadValue().value(), Value::Double(-1.5));
+  EXPECT_EQ(r.ReadValue().value(), Value::String("s"));
+  EXPECT_TRUE(TupleEq{}(r.ReadTuple().value(), t));
+  EXPECT_EQ(r.ReadBitVector().value(), bv);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedInputIsError) {
+  SerdeWriter w;
+  w.WriteString("a long enough string");
+  std::string buf = w.TakeBuffer();
+  std::string cut = buf.substr(0, buf.size() - 3);
+  SerdeReader r(cut);
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+// ---- Maintainer state round trip -----------------------------------------------
+
+class PersistenceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.name = "t";
+    spec_.num_rows = 2000;
+    spec_.num_groups = 30;
+    IMP_CHECK(CreateSyntheticTable(&db_, spec_).ok());
+    IMP_CHECK(catalog_
+                  .Register(RangePartition::EquiWidthInt("t", "a", 1, 0, 29, 6))
+                  .ok());
+  }
+
+  void InsertRows(size_t n) {
+    Rng rng(n + 1);
+    std::vector<Tuple> rows;
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(SyntheticRow(spec_, next_id_++, &rng));
+    }
+    IMP_CHECK(db_.Insert("t", rows).ok());
+  }
+
+  Database db_;
+  PartitionCatalog catalog_;
+  SyntheticSpec spec_;
+  int64_t next_id_ = 100000;
+};
+
+TEST_F(PersistenceFixture, AggregateStateRoundTripContinuesIdentically) {
+  PlanPtr plan = MustBind(
+      db_, "SELECT a, sum(b) AS sb, min(c) AS mc FROM t GROUP BY a "
+           "HAVING sum(b) > 3000");
+  Maintainer original(&db_, &catalog_, plan);
+  ASSERT_TRUE(original.Initialize().ok());
+  InsertRows(50);
+  ASSERT_TRUE(original.MaintainFromBackend().ok());
+
+  // Persist, then restore into a *fresh* maintainer (same plan/options).
+  std::string blob = original.SerializeState();
+  Maintainer restored(&db_, &catalog_, plan);
+  ASSERT_TRUE(restored.RestoreState(blob).ok());
+  EXPECT_EQ(restored.sketch().fragments, original.sketch().fragments);
+  EXPECT_EQ(restored.maintained_version(), original.maintained_version());
+
+  // Both must process further updates identically.
+  InsertRows(80);
+  ASSERT_TRUE(original.MaintainFromBackend().ok());
+  ASSERT_TRUE(restored.MaintainFromBackend().ok());
+  EXPECT_EQ(restored.sketch().fragments, original.sketch().fragments);
+}
+
+TEST_F(PersistenceFixture, TopKStateRoundTrip) {
+  PlanPtr plan = MustBind(
+      db_, "SELECT a, sum(b) AS sb FROM t GROUP BY a ORDER BY sb DESC LIMIT 5");
+  MaintainerOptions opts;
+  opts.topk_buffer = 12;
+  Maintainer original(&db_, &catalog_, plan, opts);
+  ASSERT_TRUE(original.Initialize().ok());
+  InsertRows(40);
+  ASSERT_TRUE(original.MaintainFromBackend().ok());
+
+  Maintainer restored(&db_, &catalog_, plan, opts);
+  ASSERT_TRUE(restored.RestoreState(original.SerializeState()).ok());
+  InsertRows(40);
+  ASSERT_TRUE(original.MaintainFromBackend().ok());
+  ASSERT_TRUE(restored.MaintainFromBackend().ok());
+  EXPECT_EQ(restored.sketch().fragments, original.sketch().fragments);
+}
+
+TEST_F(PersistenceFixture, JoinBloomStateRoundTrip) {
+  Database db;
+  JoinPairSpec jp;
+  jp.distinct_keys = 200;
+  jp.left_per_key = 2;
+  jp.right_per_key = 2;
+  ASSERT_TRUE(CreateJoinPair(&db, jp).ok());
+  PartitionCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Register(RangePartition::EquiWidthInt("t1gbjoin", "a", 1, 0,
+                                                    199, 8))
+          .ok());
+  PlanPtr plan = MustBind(
+      db, "SELECT a, sum(w) AS sw FROM t1gbjoin JOIN tjoinhelp ON (a = ttid) "
+          "GROUP BY a HAVING sum(w) > 100");
+  Maintainer original(&db, &catalog, plan);
+  ASSERT_TRUE(original.Initialize().ok());
+  Maintainer restored(&db, &catalog, plan);
+  ASSERT_TRUE(restored.RestoreState(original.SerializeState()).ok());
+
+  Rng rng(5);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back(JoinLeftRow(jp, 10000 + i, rng.UniformInt(0, 199), &rng));
+  }
+  ASSERT_TRUE(db.Insert("t1gbjoin", rows).ok());
+  ASSERT_TRUE(original.MaintainFromBackend().ok());
+  ASSERT_TRUE(restored.MaintainFromBackend().ok());
+  EXPECT_EQ(restored.sketch().fragments, original.sketch().fragments);
+}
+
+TEST_F(PersistenceFixture, CorruptBlobRejected) {
+  PlanPtr plan = MustBind(db_, "SELECT a, sum(b) AS sb FROM t GROUP BY a");
+  Maintainer m(&db_, &catalog_, plan);
+  ASSERT_TRUE(m.Initialize().ok());
+  std::string blob = m.SerializeState();
+  EXPECT_FALSE(m.RestoreState(blob.substr(0, blob.size() / 2)).ok());
+  std::string garbage = "not a state blob at all";
+  EXPECT_FALSE(m.RestoreState(garbage).ok());
+}
+
+// ---- Middleware eviction / restore ----------------------------------------------
+
+TEST_F(PersistenceFixture, EvictionIsTransparentToQueries) {
+  ImpConfig config;
+  ImpSystem system(&db_, config);
+  ASSERT_TRUE(system
+                  .RegisterPartition(
+                      RangePartition::EquiWidthInt("t", "b", 2, 0, 100, 8))
+                  .ok());
+  const char* sql = "SELECT a, sum(b) AS sb FROM t GROUP BY a "
+                    "HAVING sum(b) > 3000";
+  auto before = system.Query(sql);
+  ASSERT_TRUE(before.ok());
+
+  // Evict: state moves into the backend blob store, memory is released.
+  ASSERT_TRUE(system.EvictSketchStates().ok());
+  auto entries = system.sketches().AllEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0]->maintainer, nullptr);
+  EXPECT_TRUE(entries[0]->state_evicted);
+  EXPECT_NE(db_.GetStateBlob(entries[0]->state_key), nullptr);
+
+  // An update plus a query: the state is restored and maintained lazily.
+  InsertRows(60);
+  auto after = system.Query(sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(system.stats().sketch_captures, 1u);  // no recapture happened
+
+  // Cross-check against a no-sketch run.
+  ImpConfig ns_config;
+  ns_config.mode = ExecutionMode::kNoSketch;
+  ImpSystem ns(&db_, ns_config);
+  auto expected = ns.Query(sql);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(after.value().SameBag(expected.value()));
+}
+
+// ---- Re-partitioning (Sec. 7.4) ---------------------------------------------------
+
+TEST_F(PersistenceFixture, RepartitionRecapturesAndStaysCorrect) {
+  ImpConfig config;
+  ImpSystem system(&db_, config);
+  ASSERT_TRUE(system.PartitionTable("t", "a", 6).ok());
+  const char* sql = "SELECT a, sum(b) AS sb FROM t GROUP BY a "
+                    "HAVING sum(b) > 3000";
+  ASSERT_TRUE(system.Query(sql).ok());
+  size_t captures_before = system.stats().sketch_captures;
+
+  // Skew the distribution, then re-partition on the same attribute with
+  // finer granularity.
+  InsertRows(500);
+  ASSERT_TRUE(system.RepartitionTable("t", "a", 12).ok());
+  EXPECT_EQ(system.stats().sketch_captures, captures_before + 1);
+  const RangePartition* part = system.catalog().Find("t");
+  ASSERT_NE(part, nullptr);
+  EXPECT_GT(part->num_fragments(), 6u);
+
+  auto result = system.Query(sql);
+  ASSERT_TRUE(result.ok());
+  ImpConfig ns_config;
+  ns_config.mode = ExecutionMode::kNoSketch;
+  ImpSystem ns(&db_, ns_config);
+  auto expected = ns.Query(sql);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(result.value().SameBag(expected.value()));
+}
+
+TEST(PartitionCatalogUnregisterTest, OffsetsCompact) {
+  PartitionCatalog catalog;
+  ASSERT_TRUE(catalog.Register(Fig5PartitionR()).ok());  // offset 0, 2 frags
+  ASSERT_TRUE(catalog.Register(Fig5PartitionS()).ok());  // offset 2, 2 frags
+  ASSERT_TRUE(catalog.Unregister("r").ok());
+  EXPECT_EQ(catalog.total_fragments(), 2u);
+  EXPECT_EQ(catalog.GlobalFragment("s", 0), 0u);  // s shifted down
+  EXPECT_FALSE(catalog.Unregister("r").ok());
+}
+
+}  // namespace
+}  // namespace imp

@@ -1,0 +1,164 @@
+// Unit tests for the storage backend: chunked tables, versioned updates,
+// delta scans with push-down predicates.
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace imp {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.AddColumn("id", ValueType::kInt);
+  s.AddColumn("v", ValueType::kInt);
+  return s;
+}
+
+Tuple Row(int64_t id, int64_t v) { return Tuple{Value::Int(id), Value::Int(v)}; }
+
+TEST(DataChunkTest, AppendAndRead) {
+  DataChunk chunk(2);
+  chunk.AppendRow(Row(1, 10));
+  chunk.AppendRow(Row(2, 20));
+  EXPECT_EQ(chunk.num_rows(), 2u);
+  EXPECT_EQ(chunk.At(1, 1), Value::Int(20));
+  EXPECT_EQ(chunk.GetRow(0), Row(1, 10));
+}
+
+TEST(TableTest, AppendAcrossChunks) {
+  Table t("t", TwoColSchema());
+  const size_t n = DataChunk::kDefaultCapacity * 2 + 17;
+  for (size_t i = 0; i < n; ++i) t.AppendRow(Row(static_cast<int64_t>(i), 0));
+  EXPECT_EQ(t.NumRows(), n);
+  EXPECT_GE(t.chunks().size(), 3u);
+  size_t seen = 0;
+  t.ForEachRow([&](const Tuple& row) {
+    EXPECT_EQ(row[0], Value::Int(static_cast<int64_t>(seen)));
+    ++seen;
+  });
+  EXPECT_EQ(seen, n);
+}
+
+TEST(TableTest, DeleteWhereRebuilds) {
+  Table t("t", TwoColSchema());
+  for (int64_t i = 0; i < 100; ++i) t.AppendRow(Row(i, i % 10));
+  auto removed = t.DeleteWhere(
+      [](const Tuple& row) { return row[1] == Value::Int(3); });
+  EXPECT_EQ(removed.size(), 10u);
+  EXPECT_EQ(t.NumRows(), 90u);
+  t.ForEachRow([](const Tuple& row) { EXPECT_NE(row[1], Value::Int(3)); });
+}
+
+TEST(TableTest, DeleteWhereLimit) {
+  Table t("t", TwoColSchema());
+  for (int64_t i = 0; i < 100; ++i) t.AppendRow(Row(i, 1));
+  auto removed = t.DeleteWhereLimit([](const Tuple&) { return true; }, 7);
+  EXPECT_EQ(removed.size(), 7u);
+  EXPECT_EQ(t.NumRows(), 93u);
+}
+
+TEST(TableTest, ColumnMinMax) {
+  Table t("t", TwoColSchema());
+  for (int64_t i = 0; i < 50; ++i) t.AppendRow(Row(i, 100 - i));
+  auto [min, max] = t.ColumnMinMax(1);
+  EXPECT_EQ(min, Value::Int(51));
+  EXPECT_EQ(max, Value::Int(100));
+}
+
+TEST(DatabaseTest, CreateAndDuplicateTable) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_FALSE(db.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_EQ(db.GetTable("nope"), nullptr);
+}
+
+TEST(DatabaseTest, BulkLoadDoesNotBumpVersionOrLogDeltas) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.BulkLoad("t", {Row(1, 1), Row(2, 2)}).ok());
+  EXPECT_EQ(db.CurrentVersion(), 0u);
+  EXPECT_EQ(db.GetTable("t")->delta_log().size(), 0u);
+  EXPECT_EQ(db.GetTable("t")->NumRows(), 2u);
+}
+
+TEST(DatabaseTest, InsertBumpsVersionAndLogsDelta) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  auto v1 = db.Insert("t", {Row(1, 1)});
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value(), 1u);
+  auto v2 = db.Insert("t", {Row(2, 2), Row(3, 3)});
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value(), 2u);
+  EXPECT_EQ(db.GetTable("t")->delta_log().size(), 3u);
+  EXPECT_EQ(db.GetTable("t")->NumRows(), 3u);
+}
+
+TEST(DatabaseTest, DeleteLogsNegativeDelta) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.BulkLoad("t", {Row(1, 1), Row(2, 2), Row(3, 3)}).ok());
+  auto v = db.Delete(
+      "t", [](const Tuple& row) { return row[0].AsInt() >= 2; });
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(db.GetTable("t")->NumRows(), 1u);
+  const auto& log = db.GetTable("t")->delta_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].mult, -1);
+  EXPECT_EQ(log[1].mult, -1);
+}
+
+TEST(DatabaseTest, ScanDeltaVersionWindow) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.Insert("t", {Row(1, 1)}).ok());   // v1
+  ASSERT_TRUE(db.Insert("t", {Row(2, 2)}).ok());   // v2
+  ASSERT_TRUE(db.Insert("t", {Row(3, 3)}).ok());   // v3
+  TableDelta d = db.ScanDelta("t", 1, 2);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.records[0].row, Row(2, 2));
+  // Full window.
+  EXPECT_EQ(db.ScanDelta("t", 0, 3).size(), 3u);
+  // Empty window.
+  EXPECT_EQ(db.ScanDelta("t", 3, 3).size(), 0u);
+}
+
+TEST(DatabaseTest, ScanDeltaWithPushdownPredicate) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.Insert("t", {Row(1, 5), Row(2, 50), Row(3, 500)}).ok());
+  TableDelta d = db.ScanDelta("t", 0, 1, [](const Tuple& row) {
+    return row[1].AsInt() < 100;  // the Sec. 7.2 delta pre-filter
+  });
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DatabaseTest, PendingDeltaCount) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_EQ(db.PendingDeltaCount("t", 0), 0u);
+  ASSERT_TRUE(db.Insert("t", {Row(1, 1), Row(2, 2)}).ok());
+  EXPECT_EQ(db.PendingDeltaCount("t", 0), 2u);
+  EXPECT_EQ(db.PendingDeltaCount("t", db.CurrentVersion()), 0u);
+}
+
+TEST(DatabaseTest, DeltaLogTruncation) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.Insert("t", {Row(1, 1)}).ok());  // v1
+  ASSERT_TRUE(db.Insert("t", {Row(2, 2)}).ok());  // v2
+  db.GetMutableTable("t")->TruncateDeltaLog(1);
+  EXPECT_EQ(db.GetTable("t")->delta_log().size(), 1u);
+  EXPECT_EQ(db.GetTable("t")->delta_log()[0].version, 2u);
+}
+
+TEST(DatabaseTest, InsertIntoMissingTableFails) {
+  Database db;
+  EXPECT_FALSE(db.Insert("nope", {Row(1, 1)}).ok());
+  EXPECT_FALSE(db.Delete("nope", [](const Tuple&) { return true; }).ok());
+}
+
+}  // namespace
+}  // namespace imp

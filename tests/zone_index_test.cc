@@ -1,0 +1,233 @@
+// Tests for the backend's physical-design features: zone maps (chunk
+// skipping for range predicates — the mechanism PBDS data skipping rides
+// on) and lazily built hash indexes (the delegated-join access path).
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/zone_filter.h"
+#include "sketch/capture.h"
+#include "sketch/use_rewrite.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace imp {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.AddColumn("k", ValueType::kInt);
+  s.AddColumn("v", ValueType::kInt);
+  return s;
+}
+
+Tuple Row(int64_t k, int64_t v) { return Tuple{Value::Int(k), Value::Int(v)}; }
+
+// ---- Zone map bookkeeping ----------------------------------------------------
+
+TEST(ZoneMapTest, MinMaxTrackedPerColumn) {
+  DataChunk chunk(2);
+  EXPECT_FALSE(chunk.zone(0).valid);
+  chunk.AppendRow(Row(5, 100));
+  chunk.AppendRow(Row(2, 300));
+  chunk.AppendRow(Row(9, 200));
+  EXPECT_TRUE(chunk.zone(0).valid);
+  EXPECT_EQ(chunk.zone(0).min, Value::Int(2));
+  EXPECT_EQ(chunk.zone(0).max, Value::Int(9));
+  EXPECT_EQ(chunk.zone(1).min, Value::Int(100));
+  EXPECT_EQ(chunk.zone(1).max, Value::Int(300));
+}
+
+TEST(ZoneMapTest, NullsIgnored) {
+  DataChunk chunk(1);
+  chunk.AppendRow({Value::Null()});
+  EXPECT_FALSE(chunk.zone(0).valid);
+  chunk.AppendRow({Value::Int(7)});
+  EXPECT_TRUE(chunk.zone(0).valid);
+  EXPECT_EQ(chunk.zone(0).min, Value::Int(7));
+}
+
+// ---- ChunkMayMatch -------------------------------------------------------------
+
+class ZoneFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chunk_ = std::make_unique<DataChunk>(2);
+    // k in [10, 20], v in [100, 200].
+    for (int64_t i = 10; i <= 20; ++i) chunk_->AppendRow(Row(i, i * 10));
+  }
+  ExprPtr K() { return MakeColumnRef(0, "k", ValueType::kInt); }
+  ExprPtr Lit(int64_t v) { return MakeLiteral(Value::Int(v)); }
+  std::unique_ptr<DataChunk> chunk_;
+};
+
+TEST_F(ZoneFilterTest, Comparisons) {
+  EXPECT_TRUE(ChunkMayMatch(*MakeBinary(BinaryOp::kLt, K(), Lit(11)), *chunk_));
+  EXPECT_FALSE(ChunkMayMatch(*MakeBinary(BinaryOp::kLt, K(), Lit(10)), *chunk_));
+  EXPECT_TRUE(ChunkMayMatch(*MakeBinary(BinaryOp::kLe, K(), Lit(10)), *chunk_));
+  EXPECT_TRUE(ChunkMayMatch(*MakeBinary(BinaryOp::kGt, K(), Lit(19)), *chunk_));
+  EXPECT_FALSE(ChunkMayMatch(*MakeBinary(BinaryOp::kGt, K(), Lit(20)), *chunk_));
+  EXPECT_TRUE(ChunkMayMatch(*MakeBinary(BinaryOp::kGe, K(), Lit(20)), *chunk_));
+  EXPECT_TRUE(ChunkMayMatch(*MakeBinary(BinaryOp::kEq, K(), Lit(15)), *chunk_));
+  EXPECT_FALSE(ChunkMayMatch(*MakeBinary(BinaryOp::kEq, K(), Lit(25)), *chunk_));
+}
+
+TEST_F(ZoneFilterTest, MirroredLiteralOnLeft) {
+  // 25 < k  is k > 25: impossible for k <= 20.
+  EXPECT_FALSE(ChunkMayMatch(*MakeBinary(BinaryOp::kLt, Lit(25), K()), *chunk_));
+  EXPECT_TRUE(ChunkMayMatch(*MakeBinary(BinaryOp::kLt, Lit(15), K()), *chunk_));
+}
+
+TEST_F(ZoneFilterTest, BooleanCombinations) {
+  ExprPtr impossible = MakeBinary(BinaryOp::kGt, K(), Lit(100));
+  ExprPtr possible = MakeBinary(BinaryOp::kGt, K(), Lit(15));
+  EXPECT_FALSE(
+      ChunkMayMatch(*MakeBinary(BinaryOp::kAnd, possible, impossible), *chunk_));
+  EXPECT_TRUE(
+      ChunkMayMatch(*MakeBinary(BinaryOp::kOr, possible, impossible), *chunk_));
+  EXPECT_FALSE(ChunkMayMatch(
+      *MakeBinary(BinaryOp::kOr, impossible, impossible), *chunk_));
+}
+
+TEST_F(ZoneFilterTest, BetweenAndUnknownShapes) {
+  EXPECT_TRUE(ChunkMayMatch(*MakeBetween(K(), Lit(18), Lit(30)), *chunk_));
+  EXPECT_FALSE(ChunkMayMatch(*MakeBetween(K(), Lit(30), Lit(40)), *chunk_));
+  EXPECT_FALSE(ChunkMayMatch(*MakeBetween(K(), Lit(1), Lit(9)), *chunk_));
+  // Column-to-column comparisons are unknown => may match.
+  ExprPtr v = MakeColumnRef(1, "v", ValueType::kInt);
+  EXPECT_TRUE(ChunkMayMatch(*MakeBinary(BinaryOp::kLt, K(), v), *chunk_));
+  // NOT is conservative.
+  EXPECT_TRUE(ChunkMayMatch(
+      *MakeUnary(UnaryOp::kNot, MakeBinary(BinaryOp::kLt, K(), Lit(5))),
+      *chunk_));
+}
+
+// ---- End-to-end chunk skipping ---------------------------------------------------
+
+TEST(ChunkSkippingTest, ScanSkipsNonMatchingChunks) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  // 4 full chunks, clustered by k.
+  std::vector<Tuple> rows;
+  const int64_t n = static_cast<int64_t>(DataChunk::kDefaultCapacity) * 4;
+  for (int64_t i = 0; i < n; ++i) rows.push_back(Row(i, i % 97));
+  ASSERT_TRUE(db.BulkLoad("t", rows).ok());
+
+  Binder binder(&db);
+  auto plan = binder.BindQuery("SELECT k FROM t WHERE k < 100");
+  ASSERT_TRUE(plan.ok());
+  // The binder builds Select over Scan; push the filter into the scan to
+  // model the use-rewrite's instrumented scan.
+  ExprPtr pred = MakeBinary(BinaryOp::kLt,
+                            MakeColumnRef(0, "k", ValueType::kInt),
+                            MakeLiteral(Value::Int(100)));
+  PlanPtr scan = MakeScan("t", db.GetTable("t")->schema(), pred);
+
+  Executor exec(&db);
+  auto result = exec.Execute(scan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 100u);
+  EXPECT_EQ(exec.scan_stats().chunks_scanned, 1u);
+  EXPECT_EQ(exec.scan_stats().chunks_skipped, 3u);
+}
+
+TEST(ChunkSkippingTest, UseRewriteActuallySkipsChunks) {
+  // End-to-end: a sketch-filtered query must scan fewer chunks than the
+  // plain query when the data is clustered on the partition attribute.
+  Database db;
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_rows = DataChunk::kDefaultCapacity * 8;
+  spec.num_groups = 512;
+  ASSERT_TRUE(CreateSyntheticTable(&db, spec).ok());
+  PartitionCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Register(RangePartition::EquiWidthInt("t", "a", 1, 0, 511, 64))
+          .ok());
+  // HAVING keeps only the largest groups => selective sketch.
+  int64_t rows_per_group =
+      static_cast<int64_t>(spec.num_rows / spec.num_groups);
+  int64_t threshold = rows_per_group * 3 * 450;  // sum(b) ~ 3a per row
+  Binder binder(&db);
+  auto plan = binder.BindQuery(
+      "SELECT a, sum(b) AS sb FROM t GROUP BY a HAVING sum(b) > " +
+      std::to_string(threshold));
+  ASSERT_TRUE(plan.ok());
+
+  CaptureEngine capture(&db, &catalog);
+  auto sketch = capture.Capture(plan.value());
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_GT(sketch.value().NumFragments(), 0u);
+  ASSERT_LT(sketch.value().NumFragments(), 16u);  // selective
+
+  PlanPtr rewritten = ApplyUseRewrite(plan.value(), catalog, sketch.value());
+  Executor plain_exec(&db), skip_exec(&db);
+  auto full = plain_exec.Execute(plan.value());
+  auto skipped = skip_exec.Execute(rewritten);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_TRUE(full.value().SameBag(skipped.value()));
+  EXPECT_GT(skip_exec.scan_stats().chunks_skipped, 4u);
+  EXPECT_LT(skip_exec.scan_stats().rows_scanned,
+            plain_exec.scan_stats().rows_scanned / 2);
+}
+
+// ---- Hash indexes ---------------------------------------------------------------
+
+TEST(HashIndexTest, ProbeFindsAllMatches) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 10000; ++i) rows.push_back(Row(i % 100, i));
+  ASSERT_TRUE(db.BulkLoad("t", rows).ok());
+  const Table* t = db.GetTable("t");
+  EXPECT_FALSE(t->HasIndex(0));
+  const auto* locs = t->IndexProbe(0, Value::Int(42));
+  EXPECT_TRUE(t->HasIndex(0));
+  ASSERT_NE(locs, nullptr);
+  EXPECT_EQ(locs->size(), 100u);
+  for (const auto& loc : *locs) {
+    EXPECT_EQ(t->chunks()[loc.chunk].At(loc.row, 0), Value::Int(42));
+  }
+  EXPECT_EQ(t->IndexProbe(0, Value::Int(12345)), nullptr);
+}
+
+TEST(HashIndexTest, IndexMaintainedOnInsert) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.BulkLoad("t", {Row(1, 1)}).ok());
+  const Table* t = db.GetTable("t");
+  ASSERT_NE(t->IndexProbe(0, Value::Int(1)), nullptr);  // build index
+  ASSERT_TRUE(db.Insert("t", {Row(1, 2), Row(7, 3)}).ok());
+  EXPECT_EQ(t->IndexProbe(0, Value::Int(1))->size(), 2u);
+  EXPECT_EQ(t->IndexProbe(0, Value::Int(7))->size(), 1u);
+}
+
+TEST(HashIndexTest, IndexDroppedAndRebuiltAfterDelete) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back(Row(i % 10, i));
+  ASSERT_TRUE(db.BulkLoad("t", rows).ok());
+  const Table* t = db.GetTable("t");
+  ASSERT_EQ(t->IndexProbe(0, Value::Int(3))->size(), 10u);
+  ASSERT_TRUE(db.Delete("t", [](const Tuple& row) {
+                  return row[0] == Value::Int(3);
+                }).ok());
+  EXPECT_FALSE(t->HasIndex(0));  // invalidated
+  EXPECT_EQ(t->IndexProbe(0, Value::Int(3)), nullptr);  // rebuilt, empty
+  EXPECT_EQ(t->IndexProbe(0, Value::Int(4))->size(), 10u);
+}
+
+TEST(HashIndexTest, NumericKeyEquivalenceIntDouble) {
+  // The index must find Int(2) when probed with Double(2.0) (Value
+  // equality treats them as equal, so ValueHash must too).
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.BulkLoad("t", {Row(2, 1)}).ok());
+  const Table* t = db.GetTable("t");
+  ASSERT_NE(t->IndexProbe(0, Value::Double(2.0)), nullptr);
+}
+
+}  // namespace
+}  // namespace imp
