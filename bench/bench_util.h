@@ -6,6 +6,8 @@
 //                    the paper's sizes correspond to roughly 100x).
 //   IMP_BENCH_REPS   repetitions per measurement; the median is reported
 //                    (default 3; the paper uses >= 10).
+//   IMP_BENCH_JSON   path of the machine-readable report benches merge
+//                    their metrics into (default BENCH_PR1.json).
 
 #ifndef IMP_BENCH_BENCH_UTIL_H_
 #define IMP_BENCH_BENCH_UTIL_H_
@@ -51,6 +53,35 @@ class SeriesTable {
   std::string label_header_;
   std::vector<std::string> columns_;
   std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+/// Machine-readable benchmark output. Each bench accumulates named metrics
+/// grouped under series keys and merges its section into one JSON file
+/// (IMP_BENCH_JSON, default BENCH_PR1.json) via read-modify-write, so runs
+/// of several bench binaries compose into a single perf-trajectory report:
+///
+///   { "fig16_batching": { "multi_sketch": { "speedup_shared": 3.1, ... } },
+///     "fig08_mixed_workload": { "1U1Q/delta_20/IMP": { ... } } }
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  /// Record one metric; groups and metrics keep insertion order. Keys must
+  /// not contain '"', '{' or '}' (they become JSON keys verbatim).
+  void Add(const std::string& group, const std::string& metric, double value);
+
+  /// Merge this bench's section into OutputPath(), replacing any previous
+  /// section of the same bench and preserving other benches' sections.
+  void Write() const;
+
+  /// IMP_BENCH_JSON or "BENCH_PR1.json".
+  static std::string OutputPath();
+
+ private:
+  std::string bench_name_;
+  /// group -> ordered (metric, value); groups in insertion order.
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      groups_;
 };
 
 /// Measure incremental maintenance of `plan` for one update batch produced

@@ -11,8 +11,14 @@
 // between two thresholds; we use the monotone SUM-threshold variant so the
 // [37] reuse check accepts template reuse across constants.
 
+// Extended for the batched maintenance pipeline: every configuration's
+// per-phase timings (capture / maintain / query / update) and ops/sec go to
+// BENCH_PR1.json, and a second section runs a multi-template eager workload
+// comparing per-sketch delta fetch vs shared fetch vs shared + parallel.
+
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 
@@ -23,8 +29,8 @@ constexpr size_t kBaseRows = 40000;
 constexpr size_t kNumGroups = 500;
 constexpr size_t kTotalOps = 150;
 
-double RunConfig(ExecutionMode mode, size_t queries_per_round,
-                 size_t updates_per_round, size_t delta_rows) {
+WorkloadResult RunConfig(ExecutionMode mode, size_t queries_per_round,
+                         size_t updates_per_round, size_t delta_rows) {
   Database db;
   SyntheticSpec spec;
   spec.name = "edb1";
@@ -76,7 +82,72 @@ double RunConfig(ExecutionMode mode, size_t queries_per_round,
                          static_cast<int64_t>(spec.num_rows)),
       wl);
   IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-  return result.value().total_seconds;
+  return result.value();
+}
+
+void RecordResult(bench::JsonReport* json, const std::string& group,
+                  const std::string& mode, const WorkloadResult& r) {
+  json->Add(group, mode + "_seconds", r.total_seconds);
+  json->Add(group, mode + "_ops_per_sec",
+            r.total_seconds > 0
+                ? static_cast<double>(r.queries_run + r.updates_run) /
+                      r.total_seconds
+                : 0.0);
+  json->Add(group, mode + "_capture_seconds", r.stats.capture_seconds);
+  json->Add(group, mode + "_maintain_seconds", r.stats.maintain_seconds);
+  json->Add(group, mode + "_query_seconds", r.stats.query_seconds);
+  json->Add(group, mode + "_update_seconds", r.stats.update_seconds);
+}
+
+// ---- Shared vs per-sketch fetch under a multi-template workload ------------
+
+/// Mixed workload with 4 sketch templates (distinct aggregate columns) under
+/// eager maintenance: every flush maintains all sketches in one round, which
+/// is where shared delta fetch & annotation and the parallel fan-out pay off.
+WorkloadResult RunBatchedConfig(bool shared_fetch, size_t threads,
+                                size_t delta_rows) {
+  Database db;
+  SyntheticSpec spec;
+  spec.name = "edb1";
+  spec.num_rows = bench::ScaledRows(kBaseRows);
+  spec.num_groups = kNumGroups;
+  IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+
+  ImpConfig config;
+  config.mode = ExecutionMode::kIncremental;
+  config.strategy = MaintenanceStrategy::kEager;
+  config.eager_batch_size = 5;
+  config.shared_delta_fetch = shared_fetch;
+  config.maintenance_threads = threads;
+  ImpSystem system(&db, config);
+  IMP_CHECK(system
+                .RegisterPartition(RangePartition::EquiWidthInt(
+                    "edb1", "b", 2, 0, 3 * kNumGroups, 100))
+                .ok());
+
+  int64_t rows_per_group =
+      static_cast<int64_t>(spec.num_rows / kNumGroups) + 1;
+  const char* metrics[] = {"c", "d", "e", "f"};
+  auto counter = std::make_shared<size_t>(0);
+  auto query_gen = [metrics, counter, rows_per_group](Rng&) {
+    const char* col = metrics[(*counter)++ % 4];
+    // One fixed threshold per template so each template keeps one sketch.
+    return "SELECT a, sum(" + std::string(col) + ") AS s FROM edb1 "
+           "GROUP BY a HAVING sum(" + std::string(col) + ") > " +
+           std::to_string(rows_per_group * 400);
+  };
+
+  MixedWorkloadSpec wl;
+  wl.total_ops = kTotalOps;
+  wl.queries_per_round = 1;
+  wl.updates_per_round = 1;
+  auto result = RunMixedWorkload(
+      &system, query_gen,
+      SyntheticInsertGen("edb1", delta_rows, kNumGroups,
+                         static_cast<int64_t>(spec.num_rows)),
+      wl);
+  IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return result.value();
 }
 
 }  // namespace
@@ -87,6 +158,7 @@ int main() {
   bench::PrintFigureHeader(
       "Figure 8", "mixed workloads: NS vs FM vs IMP (total seconds for " +
                       std::to_string(kTotalOps) + " ops)");
+  bench::JsonReport json("fig08_mixed_workload");
 
   struct Ratio {
     const char* name;
@@ -99,15 +171,47 @@ int main() {
     std::printf("\n-- ratio %s --\n", ratio.name);
     bench::SeriesTable table("delta", {"NS(s)", "FM(s)", "IMP(s)"});
     for (size_t delta : deltas) {
-      double ns = RunConfig(ExecutionMode::kNoSketch, ratio.queries,
-                            ratio.updates, delta);
-      double fm = RunConfig(ExecutionMode::kFullMaintenance, ratio.queries,
-                            ratio.updates, delta);
-      double inc = RunConfig(ExecutionMode::kIncremental, ratio.queries,
-                             ratio.updates, delta);
-      table.AddRow(std::to_string(delta), {ns, fm, inc});
+      WorkloadResult ns = RunConfig(ExecutionMode::kNoSketch, ratio.queries,
+                                    ratio.updates, delta);
+      WorkloadResult fm = RunConfig(ExecutionMode::kFullMaintenance,
+                                    ratio.queries, ratio.updates, delta);
+      WorkloadResult inc = RunConfig(ExecutionMode::kIncremental,
+                                     ratio.queries, ratio.updates, delta);
+      table.AddRow(std::to_string(delta),
+                   {ns.total_seconds, fm.total_seconds, inc.total_seconds});
+      std::string group = std::string(ratio.name) + "/delta_" +
+                          std::to_string(delta);
+      RecordResult(&json, group, "NS", ns);
+      RecordResult(&json, group, "FM", fm);
+      RecordResult(&json, group, "IMP", inc);
     }
     table.Print();
   }
+
+  // -- shared vs per-sketch fetch, 4 sketches, eager flush every 5 updates --
+  std::printf(
+      "\n-- multi-template eager workload: per-sketch vs shared vs "
+      "shared+parallel maintenance --\n");
+  bench::SeriesTable batched(
+      "delta", {"per-sketch(s)", "shared(s)", "shared+par(s)"});
+  for (size_t delta : deltas) {
+    WorkloadResult per_sketch = RunBatchedConfig(false, 1, delta);
+    WorkloadResult shared = RunBatchedConfig(true, 1, delta);
+    WorkloadResult par = RunBatchedConfig(true, 0, delta);
+    batched.AddRow(std::to_string(delta),
+                   {per_sketch.total_seconds, shared.total_seconds,
+                    par.total_seconds});
+    std::string group = "batched/delta_" + std::to_string(delta);
+    RecordResult(&json, group, "per_sketch", per_sketch);
+    RecordResult(&json, group, "shared", shared);
+    RecordResult(&json, group, "shared_parallel", par);
+    json.Add(group, "shared_maintain_speedup",
+             shared.stats.maintain_seconds > 0
+                 ? per_sketch.stats.maintain_seconds /
+                       shared.stats.maintain_seconds
+                 : 0.0);
+  }
+  batched.Print();
+  json.Write();
   return 0;
 }

@@ -1,10 +1,15 @@
 #include "common/bitvector.h"
 
-#include <bit>
-
 #include "common/hash.h"
 
 namespace imp {
+
+namespace {
+// C++17-compatible popcount / count-trailing-zeros (the project targets
+// C++17, so std::popcount / std::countr_zero from <bit> are unavailable).
+inline int PopCount64(uint64_t w) { return __builtin_popcountll(w); }
+inline int CountTrailingZeros64(uint64_t w) { return __builtin_ctzll(w); }
+}  // namespace
 
 void BitVector::Resize(size_t num_bits) {
   if (num_bits <= num_bits_) return;
@@ -14,7 +19,7 @@ void BitVector::Resize(size_t num_bits) {
 
 size_t BitVector::Count() const {
   size_t c = 0;
-  for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+  for (uint64_t w : words_) c += static_cast<size_t>(PopCount64(w));
   return c;
 }
 
@@ -64,7 +69,7 @@ std::vector<size_t> BitVector::SetBits() const {
   for (size_t wi = 0; wi < words_.size(); ++wi) {
     uint64_t w = words_[wi];
     while (w != 0) {
-      int b = std::countr_zero(w);
+      int b = CountTrailingZeros64(w);
       out.push_back(wi * 64 + static_cast<size_t>(b));
       w &= w - 1;
     }

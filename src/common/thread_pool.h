@@ -1,0 +1,65 @@
+// A small fixed-size worker pool used by the middleware to fan independent
+// sketch-maintenance work items out across threads (Sec. 7.1 middleware:
+// many sketches are maintained per round; entries share no mutable state,
+// so per-entry work parallelizes without synchronization beyond the queue).
+//
+// Design notes:
+//  * `num_threads <= 1` spawns no workers at all: Submit() runs the task
+//    inline, which keeps the serial configuration free of any threading
+//    overhead and makes it trivially deterministic.
+//  * Tasks must not throw; errors are propagated through captured state
+//    (the Status-per-item pattern used by ImpSystem::MaintainAll).
+
+#ifndef IMP_COMMON_THREAD_POOL_H_
+#define IMP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace imp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 and 1 both mean "run inline").
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task (runs inline when the pool has no workers).
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  /// Run fn(0) .. fn(n-1); items are claimed dynamically by workers. Blocks
+  /// until all invocations are done. Safe to call with n == 0.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Number of worker threads (0 = inline execution).
+  size_t num_workers() const { return workers_.size(); }
+
+  /// `requested` resolved against the machine: 0 -> hardware concurrency
+  /// (at least 1), anything else is returned unchanged.
+  static size_t ResolveThreads(size_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_THREAD_POOL_H_

@@ -1,6 +1,8 @@
 #include "imp/delta.h"
 
 #include <algorithm>
+#include <type_traits>
+#include <unordered_map>
 
 namespace imp {
 
@@ -27,23 +29,45 @@ int64_t AnnotatedDelta::DeleteCount() const {
   return n;
 }
 
+namespace {
+
+/// Hash / equality over the (tuple, sketch) key of a delta row. Keys are
+/// pointers into a vector that is reserved up front, so they stay stable.
+struct RowKeyHash {
+  size_t operator()(const AnnotatedDeltaRow* r) const {
+    return static_cast<size_t>(
+        HashCombine(TupleHash{}(r->row), r->sketch.Hash()));
+  }
+};
+struct RowKeyEq {
+  bool operator()(const AnnotatedDeltaRow* a,
+                  const AnnotatedDeltaRow* b) const {
+    return TupleEq{}(a->row, b->row) && a->sketch == b->sketch;
+  }
+};
+
+}  // namespace
+
 void AnnotatedDelta::Consolidate() {
-  if (rows.size() <= 1) return;
-  std::sort(rows.begin(), rows.end(),
-            [](const AnnotatedDeltaRow& a, const AnnotatedDeltaRow& b) {
-              TupleLess less;
-              if (less(a.row, b.row)) return true;
-              if (less(b.row, a.row)) return false;
-              return a.sketch < b.sketch;
-            });
+  if (rows.size() <= 1) {
+    if (rows.size() == 1 && rows[0].mult == 0) rows.clear();
+    return;
+  }
+  // Hash-merge on (tuple, sketch): O(n) instead of the previous
+  // O(n log n) sort+merge. Output keeps first-appearance order, which is
+  // deterministic for a given input order.
   std::vector<AnnotatedDeltaRow> merged;
-  TupleEq eq;
+  merged.reserve(rows.size());  // no rehash of key pointers: see RowKeyHash
+  std::unordered_map<const AnnotatedDeltaRow*, size_t, RowKeyHash, RowKeyEq>
+      index;
+  index.reserve(rows.size());
   for (AnnotatedDeltaRow& r : rows) {
-    if (!merged.empty() && eq(merged.back().row, r.row) &&
-        merged.back().sketch == r.sketch) {
-      merged.back().mult += r.mult;
+    auto it = index.find(&r);
+    if (it != index.end()) {
+      merged[it->second].mult += r.mult;
     } else {
       merged.push_back(std::move(r));
+      index.emplace(&merged.back(), merged.size() - 1);
     }
   }
   merged.erase(std::remove_if(merged.begin(), merged.end(),
@@ -68,39 +92,90 @@ bool DeltaContext::empty() const {
   for (const auto& [_, delta] : table_deltas) {
     if (!delta.empty()) return false;
   }
+  for (const auto& [table, delta] : shared_deltas) {
+    if (table_deltas.count(table) > 0) continue;  // shadowed by owned entry
+    if (delta != nullptr && !delta->empty()) return false;
+  }
   return true;
 }
 
 size_t DeltaContext::TotalRows() const {
   size_t n = 0;
   for (const auto& [_, delta] : table_deltas) n += delta.size();
+  for (const auto& [table, delta] : shared_deltas) {
+    if (table_deltas.count(table) > 0) continue;
+    if (delta != nullptr) n += delta->size();
+  }
   return n;
 }
 
-AnnotatedDelta AnnotateTableDelta(const TableDelta& delta,
-                                  const PartitionCatalog& catalog) {
+namespace {
+
+/// One annotate loop for both overloads: rvalue deltas donate their row
+/// tuples, lvalues are copied. Keeping a single body ensures the shared
+/// batch path and the legacy path can never diverge on annotation.
+template <typename TableDeltaRef>
+AnnotatedDelta AnnotateImpl(TableDeltaRef&& delta,
+                            const PartitionCatalog& catalog) {
+  constexpr bool kConsume = !std::is_lvalue_reference<TableDeltaRef>::value;
   AnnotatedDelta out;
   out.rows.reserve(delta.records.size());
-  for (const DeltaRecord& rec : delta.records) {
+  for (auto& rec : delta.records) {
     BitVector sketch;
     catalog.AnnotateRow(delta.table, rec.row, &sketch);
-    out.Append(rec.row, std::move(sketch), rec.mult);
+    if constexpr (kConsume) {
+      out.Append(std::move(rec.row), std::move(sketch), rec.mult);
+    } else {
+      out.Append(rec.row, std::move(sketch), rec.mult);
+    }
   }
+  if constexpr (kConsume) delta.records.clear();
   return out;
 }
+
+}  // namespace
+
+AnnotatedDelta AnnotateTableDelta(const TableDelta& delta,
+                                  const PartitionCatalog& catalog) {
+  return AnnotateImpl(delta, catalog);
+}
+
+AnnotatedDelta AnnotateTableDelta(TableDelta&& delta,
+                                  const PartitionCatalog& catalog) {
+  return AnnotateImpl(std::move(delta), catalog);
+}
+
+namespace {
+
+template <typename TableDeltaRef>
+void MergeIntoContext(TableDeltaRef&& d, const PartitionCatalog& catalog,
+                      DeltaContext* ctx) {
+  std::string table = d.table;  // before the forward may consume d
+  AnnotatedDelta annotated =
+      AnnotateTableDelta(std::forward<TableDeltaRef>(d), catalog);
+  AnnotatedDelta& slot = ctx->table_deltas[table];
+  if (slot.empty()) {
+    slot = std::move(annotated);
+  } else {
+    slot.rows.reserve(slot.rows.size() + annotated.rows.size());
+    for (auto& r : annotated.rows) slot.rows.push_back(std::move(r));
+  }
+}
+
+}  // namespace
 
 DeltaContext MakeDeltaContext(const std::vector<TableDelta>& deltas,
                               const PartitionCatalog& catalog) {
   DeltaContext ctx;
-  for (const TableDelta& d : deltas) {
-    AnnotatedDelta annotated = AnnotateTableDelta(d, catalog);
-    AnnotatedDelta& slot = ctx.table_deltas[d.table];
-    if (slot.empty()) {
-      slot = std::move(annotated);
-    } else {
-      for (auto& r : annotated.rows) slot.rows.push_back(std::move(r));
-    }
-  }
+  for (const TableDelta& d : deltas) MergeIntoContext(d, catalog, &ctx);
+  return ctx;
+}
+
+DeltaContext MakeDeltaContext(std::vector<TableDelta>&& deltas,
+                              const PartitionCatalog& catalog) {
+  DeltaContext ctx;
+  for (TableDelta& d : deltas) MergeIntoContext(std::move(d), catalog, &ctx);
+  deltas.clear();
   return ctx;
 }
 

@@ -48,7 +48,9 @@ struct AnnotatedDelta {
   int64_t DeleteCount() const;
 
   /// Merge rows with identical (tuple, sketch) and drop zero-multiplicity
-  /// rows; canonicalizes the delta.
+  /// rows. Surviving rows keep first-appearance order — deterministic for
+  /// a given input order, but NOT canonical across input orders (equal
+  /// bags consolidated from different orders may differ element-wise).
   void Consolidate();
 
   std::string ToString() const;
@@ -56,15 +58,25 @@ struct AnnotatedDelta {
 
 /// Per-table annotated base deltas for one maintenance batch — the Δ𝒟
 /// passed to the IM (Def. 4.5).
+///
+/// A table's delta is either owned (`table_deltas`) or a non-owning view
+/// into an annotated delta shared across maintainers (`shared_deltas`).
+/// Shared views are how the batched maintenance pipeline hands one
+/// scan+annotate result to many sketches without per-sketch copies; the
+/// pointed-to delta must outlive the context and is never mutated through
+/// it. An owned entry shadows a shared one for the same table.
 struct DeltaContext {
   std::map<std::string, AnnotatedDelta> table_deltas;
+  std::map<std::string, const AnnotatedDelta*> shared_deltas;
 
   const AnnotatedDelta* Find(const std::string& table) const {
     auto it = table_deltas.find(table);
-    return it == table_deltas.end() ? nullptr : &it->second;
+    if (it != table_deltas.end()) return &it->second;
+    auto shared = shared_deltas.find(table);
+    return shared == shared_deltas.end() ? nullptr : shared->second;
   }
   bool empty() const;
-  /// Total number of delta rows across tables.
+  /// Total number of delta rows across tables (owned + shared views).
   size_t TotalRows() const;
 };
 
@@ -72,9 +84,16 @@ struct DeltaContext {
 /// partition-attribute value belongs to (Def. 4.4).
 AnnotatedDelta AnnotateTableDelta(const TableDelta& delta,
                                   const PartitionCatalog& catalog);
+/// Move-in variant: steals the delta's row tuples instead of copying them
+/// (the backend delta is consumed; used by the delta-fetch hot path).
+AnnotatedDelta AnnotateTableDelta(TableDelta&& delta,
+                                  const PartitionCatalog& catalog);
 
 /// Build a DeltaContext from backend deltas for several tables.
 DeltaContext MakeDeltaContext(const std::vector<TableDelta>& deltas,
+                              const PartitionCatalog& catalog);
+/// Move-in variant for freshly fetched deltas (avoids row copies).
+DeltaContext MakeDeltaContext(std::vector<TableDelta>&& deltas,
                               const PartitionCatalog& catalog);
 
 }  // namespace imp

@@ -153,6 +153,11 @@ Result<ProvenanceSketch> Maintainer::Initialize() {
 Result<SketchDelta> Maintainer::Maintain(const std::vector<TableDelta>& deltas,
                                          uint64_t new_version) {
   DeltaContext ctx = MakeDeltaContext(deltas, *catalog_);
+  return MaintainAnnotated(ctx, new_version);
+}
+
+Result<SketchDelta> Maintainer::MaintainAnnotated(const DeltaContext& ctx,
+                                                  uint64_t new_version) {
   Result<AnnotatedDelta> result = root_->Process(ctx);
   if (!result.ok()) {
     if (result.status().code() != StatusCode::kNeedsRecapture) {
@@ -187,7 +192,10 @@ Result<SketchDelta> Maintainer::MaintainFromBackend() {
                                   DeltaPredicate(table));
     if (!d.empty()) deltas.push_back(std::move(d));
   }
-  return Maintain(deltas, now);
+  last_fetch_stats_.delta_scans = plan_->ReferencedTables().size();
+  last_fetch_stats_.annotation_passes = deltas.size();
+  DeltaContext ctx = MakeDeltaContext(std::move(deltas), *catalog_);
+  return MaintainAnnotated(ctx, now);
 }
 
 std::function<bool(const Tuple&)> Maintainer::DeltaPredicate(

@@ -50,10 +50,28 @@ class Maintainer {
   Result<SketchDelta> Maintain(const std::vector<TableDelta>& deltas,
                                uint64_t new_version);
 
+  /// Maintain with an already-annotated delta context. This is the shared
+  /// batch path: the middleware scans and annotates each table's delta once
+  /// and hands every maintainer a (possibly filtered or shared-view)
+  /// context, so per-sketch log re-scans and re-annotations disappear. The
+  /// context must be annotated against this maintainer's catalog.
+  Result<SketchDelta> MaintainAnnotated(const DeltaContext& ctx,
+                                        uint64_t new_version);
+
   /// Convenience: fetch the pending deltas for all referenced tables from
   /// the backend (applying selection push-down) and maintain up to the
   /// database's current version.
   Result<SketchDelta> MaintainFromBackend();
+
+  /// Backend fetch work done by the last MaintainFromBackend call: one
+  /// delta-log scan per referenced table, one annotation pass per
+  /// non-empty (post-push-down) delta. Lets the middleware report the
+  /// per-sketch path's measured cost next to the shared batch's counters.
+  struct FetchStats {
+    size_t delta_scans = 0;
+    size_t annotation_passes = 0;
+  };
+  const FetchStats& last_fetch_stats() const { return last_fetch_stats_; }
 
   const ProvenanceSketch& sketch() const { return sketch_; }
   uint64_t maintained_version() const { return sketch_.valid_version; }
@@ -94,6 +112,7 @@ class Maintainer {
   ProvenanceSketch sketch_;
   std::map<std::string, ExprPtr> pushdown_preds_;
   std::map<std::string, size_t> scan_counts_;
+  FetchStats last_fetch_stats_;
 };
 
 }  // namespace imp

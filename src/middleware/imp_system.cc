@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/thread_pool.h"
+#include "middleware/maintenance_batch.h"
 #include "sketch/reuse.h"
 #include "sketch/safety.h"
 #include "sketch/use_rewrite.h"
@@ -151,40 +153,10 @@ Status ImpSystem::RepartitionTable(const std::string& table,
 }
 
 Status ImpSystem::MaintainEntry(SketchEntry* entry) {
-  IMP_RETURN_NOT_OK(EnsureMaintainer(entry));
-  if (entry->valid_version() >= db_->CurrentVersion()) return Status::OK();
-  // Skip entries with no pending deltas on their tables (version bumps from
-  // updates to unrelated tables do not make a sketch stale).
-  bool stale = false;
-  for (const std::string& table : entry->plan->ReferencedTables()) {
-    if (db_->PendingDeltaCount(table, entry->valid_version()) > 0) {
-      stale = true;
-      break;
-    }
-  }
-  if (!stale) {
-    entry->sketch.valid_version = db_->CurrentVersion();
-    if (entry->maintainer) {
-      // Fast-forward the maintainer's version with an empty delta.
-      IMP_RETURN_NOT_OK(
-          entry->maintainer->Maintain({}, db_->CurrentVersion()).status());
-    }
-    return Status::OK();
-  }
-
-  auto start = std::chrono::steady_clock::now();
-  if (config_.retain_sketch_history) entry->history.push_back(entry->sketch);
-  if (config_.mode == ExecutionMode::kIncremental) {
-    IMP_RETURN_NOT_OK(entry->maintainer->MaintainFromBackend().status());
-    entry->sketch = entry->maintainer->sketch();
-  } else {
-    // Full maintenance: re-run the capture query (Sec. 1).
-    CaptureEngine capture(db_, &catalog_);
-    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(entry->plan));
-  }
-  stats_.maintain_seconds += SecondsSince(start);
-  ++stats_.maintenances;
-  return Status::OK();
+  // Single-entry round through the batch pipeline: one code path for
+  // staleness checks, fast-forwarding, and incremental-vs-full maintenance
+  // whether a sketch is repaired lazily on use or in a MaintainAll round.
+  return MaintainBatch({entry});
 }
 
 Result<Relation> ImpSystem::AnswerWithEntry(SketchEntry* entry,
@@ -295,19 +267,139 @@ Result<uint64_t> ImpSystem::Update(const std::string& sql) {
 void ImpSystem::NoteUpdate() {
   if (config_.strategy != MaintenanceStrategy::kEager) return;
   if (++pending_update_statements_ < config_.eager_batch_size) return;
-  pending_update_statements_ = 0;
-  // Eagerly maintain every sketch that may be affected (Sec. 2).
-  for (SketchEntry* entry : sketches_.AllEntries()) {
-    MaintainEntry(entry);  // best effort; errors surface on use
-  }
+  // Eagerly maintain every sketch that may be affected (Sec. 2) through
+  // the shared batch pipeline; best effort — errors surface on use.
+  MaintainAll();
 }
 
 Status ImpSystem::MaintainAll() {
-  for (SketchEntry* entry : sketches_.AllEntries()) {
-    IMP_RETURN_NOT_OK(MaintainEntry(entry));
-  }
   pending_update_statements_ = 0;
-  return Status::OK();
+  return MaintainBatch(sketches_.AllEntries());
+}
+
+ThreadPool& ImpSystem::MaintenancePool() {
+  if (!maintenance_pool_) {
+    maintenance_pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::ResolveThreads(config_.maintenance_threads));
+  }
+  return *maintenance_pool_;
+}
+
+Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
+  const uint64_t now = db_->CurrentVersion();
+  const bool incremental = config_.mode == ExecutionMode::kIncremental;
+
+  // Round planning (serial): restore evicted maintainers and classify each
+  // entry as stale (has pending deltas on a referenced table), merely
+  // behind on the version counter, or already current.
+  struct Item {
+    SketchEntry* entry;
+    bool stale;
+  };
+  std::vector<Item> items;
+  items.reserve(entries.size());
+  size_t stale_count = 0;
+  // Best effort across entries: one sketch whose evicted state fails to
+  // restore must not keep every healthy sketch stale; its error is still
+  // reported after the round.
+  Status planning_error = Status::OK();
+  for (SketchEntry* entry : entries) {
+    Status restored = EnsureMaintainer(entry);
+    if (!restored.ok()) {
+      if (planning_error.ok()) planning_error = restored;
+      continue;
+    }
+    if (entry->valid_version() >= now) continue;
+    bool stale = false;
+    for (const std::string& table : entry->plan->ReferencedTables()) {
+      if (db_->HasPendingDelta(table, entry->valid_version())) {
+        stale = true;
+        break;
+      }
+    }
+    stale_count += stale ? 1 : 0;
+    items.push_back({entry, stale});
+  }
+  if (items.empty()) return planning_error;
+
+  // Shared delta fetch & annotation: scan + annotate each distinct
+  // (table, from_version) once so workers only read the cache. A round
+  // with a single stale entry has nothing to share — the per-sketch path
+  // is cheaper there because ScanDelta applies selection push-down during
+  // the scan instead of filtering an unfiltered annotated delta.
+  const bool shared = incremental && config_.shared_delta_fetch &&
+                      stale_count > 1;
+  auto round_start = std::chrono::steady_clock::now();
+  MaintenanceBatch batch(db_, &catalog_, now);
+  if (shared) {
+    for (const Item& item : items) {
+      if (!item.stale) continue;
+      for (const std::string& table : item.entry->plan->ReferencedTables()) {
+        batch.Prefetch(table, item.entry->valid_version());
+      }
+    }
+  }
+
+  // Fan independent entries out across workers. Entries share no mutable
+  // state (the database is only read, the shared cache is immutable after
+  // prefetching), so results are bit-identical to the serial run.
+  std::vector<Status> statuses(items.size());
+  std::vector<uint8_t> maintained(items.size(), 0);
+  MaintenancePool().ParallelFor(items.size(), [&](size_t i) {
+    SketchEntry* entry = items[i].entry;
+    if (!items[i].stale) {
+      // Version bumps from updates to unrelated tables only fast-forward.
+      entry->sketch.valid_version = now;
+      if (entry->maintainer) {
+        statuses[i] = entry->maintainer->Maintain({}, now).status();
+      }
+      return;
+    }
+    if (config_.retain_sketch_history) entry->history.push_back(entry->sketch);
+    if (incremental) {
+      Result<SketchDelta> result =
+          shared ? entry->maintainer->MaintainAnnotated(
+                       batch.ContextFor(*entry->maintainer), now)
+                 : entry->maintainer->MaintainFromBackend();
+      statuses[i] = result.status();
+      if (result.ok()) entry->sketch = entry->maintainer->sketch();
+    } else {
+      // Full maintenance: re-run the capture query (Sec. 1).
+      CaptureEngine capture(db_, &catalog_);
+      Result<ProvenanceSketch> result = capture.Capture(entry->plan);
+      statuses[i] = result.status();
+      if (result.ok()) entry->sketch = std::move(result).value();
+    }
+    maintained[i] = statuses[i].ok() ? 1 : 0;
+  });
+
+  // Wall-clock time of the round (prefetch + fan-out), not the sum of
+  // per-entry durations — with workers the latter exceeds elapsed time.
+  stats_.maintain_seconds += SecondsSince(round_start);
+  ++stats_.batch_rounds;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (maintained[i]) ++stats_.maintenances;
+  }
+  if (shared) {
+    MaintenanceBatchStats bstats = batch.stats();
+    stats_.delta_scans += bstats.delta_scans;
+    stats_.annotation_passes += bstats.annotation_passes;
+    stats_.annotation_hits += bstats.annotation_hits;
+  } else if (incremental) {
+    // Per-sketch fetch: every stale entry re-scanned each of its
+    // referenced tables and re-annotated the non-empty post-push-down
+    // deltas (the redundant work batching removes). Measured by the
+    // maintainer during MaintainFromBackend, not estimated.
+    for (const Item& item : items) {
+      if (!item.stale || !item.entry->maintainer) continue;
+      const Maintainer::FetchStats& fetched =
+          item.entry->maintainer->last_fetch_stats();
+      stats_.delta_scans += fetched.delta_scans;
+      stats_.annotation_passes += fetched.annotation_passes;
+    }
+  }
+  for (const Status& st : statuses) IMP_RETURN_NOT_OK(st);
+  return planning_error;
 }
 
 }  // namespace imp

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "middleware/sketch_manager.h"
 #include "sql/binder.h"
@@ -37,6 +38,15 @@ struct ImpConfig {
   MaintainerOptions maintainer;
   /// Keep superseded sketch versions (Sec. 2 immutable-sketch versioning).
   bool retain_sketch_history = false;
+  /// Batched MaintainAll: scan + annotate each referenced table's pending
+  /// delta once per round (shared annotation cache) and hand per-sketch
+  /// filtered views to the maintainers, instead of one backend log scan
+  /// per sketch. Results are bit-identical either way.
+  bool shared_delta_fetch = true;
+  /// Worker threads for MaintainAll fan-out over independent sketch
+  /// entries (1 = serial in-thread, 0 = hardware concurrency). Sketch
+  /// results are bit-identical to the serial run for any thread count.
+  size_t maintenance_threads = 1;
 };
 
 /// Wall-clock accounting split by pipeline stage.
@@ -46,6 +56,11 @@ struct ImpSystemStats {
   size_t sketch_captures = 0;    ///< capture-query executions
   size_t sketch_uses = 0;        ///< queries answered through a sketch
   size_t maintenances = 0;       ///< incremental/full maintenance runs
+  size_t batch_rounds = 0;       ///< batched maintenance rounds (MaintainAll
+                                 ///< or lazy single-entry repair on use)
+  size_t delta_scans = 0;        ///< backend delta-log scans for maintenance
+  size_t annotation_passes = 0;  ///< annotate(ΔR, Φ) runs over table deltas
+  size_t annotation_hits = 0;    ///< per-sketch views served from the cache
   double capture_seconds = 0;
   double maintain_seconds = 0;
   double query_seconds = 0;      ///< instrumented/plain query execution
@@ -105,11 +120,19 @@ class ImpSystem {
   Result<SketchEntry*> TryCreateEntry(const std::string& key,
                                       const PlanPtr& plan);
   Status MaintainEntry(SketchEntry* entry);
+  /// One batched maintenance round over `entries`: shared delta fetch &
+  /// annotation (config.shared_delta_fetch) and parallel per-entry fan-out
+  /// (config.maintenance_threads).
+  Status MaintainBatch(const std::vector<SketchEntry*>& entries);
   /// Re-materialize an evicted maintainer from the backend blob store.
   Status EnsureMaintainer(SketchEntry* entry);
   /// Rebuild an entry's state + sketch from scratch (repartitioning).
   Status RecaptureEntry(SketchEntry* entry);
   void NoteUpdate();
+  /// Worker pool for MaintainBatch, created on first use and reused across
+  /// rounds (spawning/joining threads per round would dominate small
+  /// rounds, especially under eager maintenance).
+  ThreadPool& MaintenancePool();
 
   Database* db_;
   ImpConfig config_;
@@ -118,6 +141,7 @@ class ImpSystem {
   Binder binder_;
   ImpSystemStats stats_;
   size_t pending_update_statements_ = 0;
+  std::unique_ptr<ThreadPool> maintenance_pool_;
 };
 
 }  // namespace imp

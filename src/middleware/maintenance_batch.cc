@@ -1,0 +1,74 @@
+#include "middleware/maintenance_batch.h"
+
+namespace imp {
+
+std::string MaintenanceBatch::CacheKey(const std::string& table,
+                                       uint64_t from_version) {
+  return table + "#" + std::to_string(from_version);
+}
+
+void MaintenanceBatch::Prefetch(const std::string& table,
+                                uint64_t from_version) {
+  GetOrFetch(table, from_version, /*count_hit=*/false);
+}
+
+const AnnotatedDelta* MaintenanceBatch::GetOrFetch(const std::string& table,
+                                                   uint64_t from_version,
+                                                   bool count_hit) {
+  std::string key = CacheKey(table, from_version);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A per-sketch view served from the shared result. Only ContextFor
+    // lookups count — planning-phase Prefetch calls hitting the same key
+    // serve no view yet.
+    if (count_hit) ++annotation_hits_;
+    return &it->second;
+  }
+  // One log scan (unfiltered: per-sketch push-down is applied later over
+  // the annotated rows) shared by every sketch on this (table,
+  // from_version) interval. The annotation pass only counts when there is
+  // something to annotate, mirroring the per-sketch path, which drops
+  // empty deltas before annotating.
+  TableDelta raw = db_->ScanDelta(table, from_version, to_version_);
+  ++delta_scans_;
+  if (!raw.records.empty()) ++annotation_passes_;
+  AnnotatedDelta annotated = AnnotateTableDelta(std::move(raw), *catalog_);
+  return &cache_.emplace(std::move(key), std::move(annotated)).first->second;
+}
+
+DeltaContext MaintenanceBatch::ContextFor(const Maintainer& maintainer) {
+  DeltaContext ctx;
+  const uint64_t from_version = maintainer.maintained_version();
+  for (const std::string& table : maintainer.plan()->ReferencedTables()) {
+    const AnnotatedDelta* shared =
+        GetOrFetch(table, from_version, /*count_hit=*/true);
+    if (shared->empty()) continue;  // mirrors MaintainFromBackend's skip
+    auto pred = maintainer.DeltaPredicate(table);
+    if (!pred) {
+      // No push-down: share the annotated delta without copying here
+      // (downstream operators may still copy what they consume).
+      ctx.shared_deltas[table] = shared;
+      continue;
+    }
+    // Selection push-down (Sec. 7.2) as a filter over the shared annotated
+    // delta — same rows, same delta-log order as a pre-filtered log scan.
+    AnnotatedDelta filtered;
+    for (const AnnotatedDeltaRow& r : shared->rows) {
+      if (pred(r.row)) filtered.rows.push_back(r);
+    }
+    if (!filtered.empty()) ctx.table_deltas[table] = std::move(filtered);
+  }
+  return ctx;
+}
+
+MaintenanceBatchStats MaintenanceBatch::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintenanceBatchStats out;
+  out.delta_scans = delta_scans_;
+  out.annotation_passes = annotation_passes_;
+  out.annotation_hits = annotation_hits_;
+  return out;
+}
+
+}  // namespace imp

@@ -1,0 +1,91 @@
+// Shared delta fetch & annotation for one maintenance round (the batched
+// pipeline of this repo's middleware, in the spirit of Sec. 7.1 / Fig. 16).
+//
+// When many sketches over the same base tables are maintained in one round,
+// the naive loop re-runs Database::ScanDelta and annotate(ΔR, Φ) once per
+// sketch — O(#sketches × #delta rows) redundant work. This layer:
+//
+//   1. scans each referenced table's delta log ONCE per distinct
+//      (table, from_version) interval,
+//   2. annotates the result ONCE per distinct (table, partition) — the
+//      catalog holds at most one partition per table, so the cache is keyed
+//      by (table, from_version) against a fixed catalog,
+//   3. hands each maintainer a per-sketch view: a shared pointer when the
+//      sketch has no selection push-down (the context itself copies
+//      nothing; the first filterless incremental operator to consume the
+//      view still materializes its own copy — see ROADMAP open item on
+//      view-based operator pipelines), or a filtered copy where the
+//      pushed-down predicate (Sec. 7.2) is applied over the shared
+//      annotated delta instead of through a fresh backend log scan.
+//
+// Usage: Prefetch() every (table, from_version) serially during round
+// planning, then call ContextFor() freely from worker threads — after
+// prefetching it only reads the cache. Results are bit-identical to the
+// per-sketch path: rows keep delta-log order and annotations are computed
+// by the same annotate(ΔR, Φ).
+
+#ifndef IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_
+#define IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "imp/maintainer.h"
+
+namespace imp {
+
+/// Shared-work counters for one batched maintenance round.
+struct MaintenanceBatchStats {
+  size_t delta_scans = 0;        ///< backend delta-log scans issued
+  size_t annotation_passes = 0;  ///< annotate(ΔR, Φ) runs over a table delta
+  size_t annotation_hits = 0;    ///< per-sketch views served from the cache
+};
+
+class MaintenanceBatch {
+ public:
+  MaintenanceBatch(const Database* db, const PartitionCatalog* catalog,
+                   uint64_t to_version)
+      : db_(db), catalog_(catalog), to_version_(to_version) {}
+
+  MaintenanceBatch(const MaintenanceBatch&) = delete;
+  MaintenanceBatch& operator=(const MaintenanceBatch&) = delete;
+
+  /// Ensure the annotated delta of `table` over (from_version, to_version]
+  /// is cached; scans + annotates at most once per distinct key. Call from
+  /// the planning phase (also safe, but serialized, from workers).
+  void Prefetch(const std::string& table, uint64_t from_version);
+
+  /// Build the maintainer's delta context for this round out of the shared
+  /// cache: shared views for tables without push-down, filtered copies
+  /// otherwise. Tables whose interval was not prefetched are fetched on
+  /// demand (under the cache lock).
+  DeltaContext ContextFor(const Maintainer& maintainer);
+
+  /// Counters (safe to call concurrently; typically read after the round).
+  MaintenanceBatchStats stats() const;
+
+ private:
+  /// Cached annotated delta for a key; pointers remain stable across cache
+  /// inserts (std::unordered_map never moves mapped values). `count_hit`
+  /// marks lookups that serve a per-sketch view (ContextFor) as opposed to
+  /// planning-phase prefetches.
+  const AnnotatedDelta* GetOrFetch(const std::string& table,
+                                   uint64_t from_version, bool count_hit);
+
+  static std::string CacheKey(const std::string& table, uint64_t from_version);
+
+  const Database* db_;
+  const PartitionCatalog* catalog_;
+  const uint64_t to_version_;
+
+  mutable std::mutex mu_;  ///< guards cache_ and all counters
+  std::unordered_map<std::string, AnnotatedDelta> cache_;
+  size_t delta_scans_ = 0;
+  size_t annotation_passes_ = 0;
+  size_t annotation_hits_ = 0;
+};
+
+}  // namespace imp
+
+#endif  // IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_

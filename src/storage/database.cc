@@ -90,6 +90,13 @@ size_t Database::PendingDeltaCount(const std::string& table,
   return n;
 }
 
+bool Database::HasPendingDelta(const std::string& table,
+                               uint64_t from_version) const {
+  const Table* t = GetTable(table);
+  if (t == nullptr || t->delta_log().empty()) return false;
+  return t->delta_log().back().version > from_version;
+}
+
 size_t Database::MemoryBytes() const {
   size_t bytes = sizeof(Database);
   for (const auto& [_, table] : tables_) bytes += table->MemoryBytes();

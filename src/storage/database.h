@@ -72,6 +72,12 @@ class Database {
   size_t PendingDeltaCount(const std::string& table,
                            uint64_t from_version) const;
 
+  /// True iff `table` has any delta row newer than `from_version`. O(1):
+  /// the log is append-only with non-decreasing versions, so only the last
+  /// record needs checking. Staleness tests on the maintenance hot path
+  /// use this instead of counting the whole log.
+  bool HasPendingDelta(const std::string& table, uint64_t from_version) const;
+
   /// Key-value blob store used by the middleware to persist incremental
   /// operator state in the backend (Sec. 2: eviction / restart recovery).
   void PutStateBlob(const std::string& key, std::string blob) {

@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace imp {
 
@@ -144,13 +145,28 @@ void Table::BuildIndex(size_t col) const {
 const std::vector<Table::RowLoc>* Table::IndexProbe(size_t col,
                                                     const Value& v) const {
   IMP_CHECK(col < schema_.size());
-  auto it = hash_indexes_.find(col);
-  if (it == hash_indexes_.end()) {
-    BuildIndex(col);
-    it = hash_indexes_.find(col);
+  // Fast path: the index exists — a shared lock keeps concurrent probes
+  // from maintenance workers parallel. Map nodes are stable, so the index
+  // stays valid after the lock is released.
+  const HashIndex* index = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = hash_indexes_.find(col);
+    if (it != hash_indexes_.end()) index = &it->second;
   }
-  auto hit = it->second.find(v);
-  return hit == it->second.end() ? nullptr : &hit->second;
+  if (index == nullptr) {
+    // Slow path: serialize the lazy build; re-check under the exclusive
+    // lock since another worker may have built it meanwhile.
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    auto it = hash_indexes_.find(col);
+    if (it == hash_indexes_.end()) {
+      BuildIndex(col);
+      it = hash_indexes_.find(col);
+    }
+    index = &it->second;
+  }
+  auto hit = index->find(v);
+  return hit == index->end() ? nullptr : &hit->second;
 }
 
 size_t Table::MemoryBytes() const {

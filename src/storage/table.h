@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -126,11 +127,17 @@ class Table {
   /// Probe the hash index on `col` for rows with value `v`. The index is
   /// built lazily on first use (an access-method cache, so logically
   /// const), kept up to date by AppendRow and dropped by DeleteWhere*.
-  /// Returns nullptr when no row matches.
+  /// Returns nullptr when no row matches. Safe to call from concurrent
+  /// readers (parallel maintenance probes indexes from worker threads; the
+  /// lazy build is serialized on index_mu_) as long as no writer mutates
+  /// the table — writers are never concurrent with maintenance.
   const std::vector<RowLoc>* IndexProbe(size_t col, const Value& v) const;
 
   /// True once an index on `col` has been materialized.
-  bool HasIndex(size_t col) const { return hash_indexes_.count(col) > 0; }
+  bool HasIndex(size_t col) const {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    return hash_indexes_.count(col) > 0;
+  }
 
   size_t MemoryBytes() const;
 
@@ -143,6 +150,11 @@ class Table {
   std::vector<DataChunk> chunks_;
   size_t num_rows_ = 0;
   std::vector<DeltaRecord> delta_log_;
+  /// Guards hash_indexes_ against concurrent lazy builds from parallel
+  /// maintenance workers; steady-state probes only take the shared side.
+  /// Writer paths (AppendRow, DeleteWhere*) touch the map unlocked — they
+  /// never run concurrently with readers.
+  mutable std::shared_mutex index_mu_;
   mutable std::map<size_t, HashIndex> hash_indexes_;
 };
 

@@ -144,6 +144,20 @@ TEST(DatabaseTest, PendingDeltaCount) {
   EXPECT_EQ(db.PendingDeltaCount("t", db.CurrentVersion()), 0u);
 }
 
+TEST(DatabaseTest, HasPendingDeltaMatchesCount) {
+  // The O(1) staleness check must agree with the full count everywhere.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_FALSE(db.HasPendingDelta("t", 0));
+  EXPECT_FALSE(db.HasPendingDelta("ghost", 0));
+  ASSERT_TRUE(db.Insert("t", {Row(1, 1)}).ok());  // v1
+  ASSERT_TRUE(db.Insert("t", {Row(2, 2)}).ok());  // v2
+  for (uint64_t v = 0; v <= db.CurrentVersion(); ++v) {
+    EXPECT_EQ(db.HasPendingDelta("t", v), db.PendingDeltaCount("t", v) > 0)
+        << "from_version " << v;
+  }
+}
+
 TEST(DatabaseTest, DeltaLogTruncation) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
