@@ -124,7 +124,7 @@ void JsonReport::Add(const std::string& group, const std::string& metric,
 
 std::string JsonReport::OutputPath() {
   const char* env = std::getenv("IMP_BENCH_JSON");
-  return env != nullptr && env[0] != '\0' ? env : "BENCH_PR1.json";
+  return env != nullptr && env[0] != '\0' ? env : "BENCH_PR2.json";
 }
 
 namespace {

@@ -7,7 +7,7 @@
 //   IMP_BENCH_REPS   repetitions per measurement; the median is reported
 //                    (default 3; the paper uses >= 10).
 //   IMP_BENCH_JSON   path of the machine-readable report benches merge
-//                    their metrics into (default BENCH_PR1.json).
+//                    their metrics into (default BENCH_PR2.json).
 
 #ifndef IMP_BENCH_BENCH_UTIL_H_
 #define IMP_BENCH_BENCH_UTIL_H_
@@ -57,7 +57,7 @@ class SeriesTable {
 
 /// Machine-readable benchmark output. Each bench accumulates named metrics
 /// grouped under series keys and merges its section into one JSON file
-/// (IMP_BENCH_JSON, default BENCH_PR1.json) via read-modify-write, so runs
+/// (IMP_BENCH_JSON, default BENCH_PR2.json) via read-modify-write, so runs
 /// of several bench binaries compose into a single perf-trajectory report:
 ///
 ///   { "fig16_batching": { "multi_sketch": { "speedup_shared": 3.1, ... } },
@@ -74,7 +74,7 @@ class JsonReport {
   /// section of the same bench and preserving other benches' sections.
   void Write() const;
 
-  /// IMP_BENCH_JSON or "BENCH_PR1.json".
+  /// IMP_BENCH_JSON or "BENCH_PR2.json".
   static std::string OutputPath();
 
  private:

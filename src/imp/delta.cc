@@ -88,24 +88,36 @@ std::string AnnotatedDelta::ToString() const {
   return out;
 }
 
-bool DeltaContext::empty() const {
-  for (const auto& [_, delta] : table_deltas) {
-    if (!delta.empty()) return false;
+AnnotatedDelta DeltaBatch::Materialize(MaintainStats* stats) && {
+  if (!borrowed()) return std::move(owned_);
+  AnnotatedDelta out;
+  out.rows.reserve(size());
+  ForEachRow([&](const AnnotatedDeltaRow& r) { out.rows.push_back(r); });
+  if (stats != nullptr) {
+    ++stats->deltas_materialized;
+    stats->rows_copied += out.rows.size();
   }
-  for (const auto& [table, delta] : shared_deltas) {
-    if (table_deltas.count(table) > 0) continue;  // shadowed by owned entry
-    if (delta != nullptr && !delta->empty()) return false;
+  return out;
+}
+
+AnnotatedDelta& DeltaContext::OwnedFor(const std::string& table) {
+  DeltaBatch& slot = batches[table];
+  if (slot.borrowed()) {
+    slot = DeltaBatch::OwnedOf(std::move(slot).Materialize());
+  }
+  return slot.mutable_owned();
+}
+
+bool DeltaContext::empty() const {
+  for (const auto& [_, batch] : batches) {
+    if (!batch.empty()) return false;
   }
   return true;
 }
 
 size_t DeltaContext::TotalRows() const {
   size_t n = 0;
-  for (const auto& [_, delta] : table_deltas) n += delta.size();
-  for (const auto& [table, delta] : shared_deltas) {
-    if (table_deltas.count(table) > 0) continue;
-    if (delta != nullptr) n += delta->size();
-  }
+  for (const auto& [_, batch] : batches) n += batch.size();
   return n;
 }
 
@@ -153,7 +165,7 @@ void MergeIntoContext(TableDeltaRef&& d, const PartitionCatalog& catalog,
   std::string table = d.table;  // before the forward may consume d
   AnnotatedDelta annotated =
       AnnotateTableDelta(std::forward<TableDeltaRef>(d), catalog);
-  AnnotatedDelta& slot = ctx->table_deltas[table];
+  AnnotatedDelta& slot = ctx->OwnedFor(table);
   if (slot.empty()) {
     slot = std::move(annotated);
   } else {

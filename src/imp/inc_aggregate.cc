@@ -213,10 +213,10 @@ Result<AnnotatedRelation> IncAggregate::Build(const DeltaContext& ctx) {
   return out;
 }
 
-Result<AnnotatedDelta> IncAggregate::Process(const DeltaContext& ctx) {
-  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
+Result<DeltaBatch> IncAggregate::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(DeltaBatch in, children_[0]->Process(ctx));
   AnnotatedDelta out;
-  if (in.empty()) return out;
+  if (in.empty()) return DeltaBatch();
 
   // Lazily snapshot the previous output of each touched group.
   struct PreState {
@@ -226,8 +226,11 @@ Result<AnnotatedDelta> IncAggregate::Process(const DeltaContext& ctx) {
   };
   std::unordered_map<Tuple, PreState, TupleHash, TupleEq> touched;
 
-  for (const AnnotatedDeltaRow& r : in.rows) {
-    Tuple key = GroupKeyOf(r.row);
+  // Input rows are consumed through the cursor: borrowed batches are read
+  // in place, the group deltas below are freshly built rows either way.
+  DeltaBatch::Cursor cursor(in);
+  while (const AnnotatedDeltaRow* r = cursor.Next()) {
+    Tuple key = GroupKeyOf(r->row);
     auto [it, inserted] = groups_.try_emplace(key);
     if (inserted) it->second.aggs.resize(aggs_.size());
     auto [snap_it, snap_new] = touched.try_emplace(key);
@@ -239,7 +242,7 @@ Result<AnnotatedDelta> IncAggregate::Process(const DeltaContext& ctx) {
         snap_it->second.sketch = it->second.SketchOf();
       }
     }
-    Status st = ApplyRow(&it->second, r.row, r.sketch, r.mult);
+    Status st = ApplyRow(&it->second, r->row, r->sketch, r->mult);
     IMP_RETURN_NOT_OK(st);
   }
 
@@ -266,7 +269,7 @@ Result<AnnotatedDelta> IncAggregate::Process(const DeltaContext& ctx) {
       if (state.count == 0) groups_.erase(it);  // group fully deleted
     }
   }
-  return out;
+  return DeltaBatch::OwnedOf(std::move(out));
 }
 
 size_t IncAggregate::StateBytes() const {

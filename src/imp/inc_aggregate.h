@@ -39,7 +39,7 @@ class IncAggregate final : public IncOperator {
                Schema output_schema, Options options, MaintainStats* stats);
 
   Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
-  Result<AnnotatedDelta> Process(const DeltaContext& ctx) override;
+  Result<DeltaBatch> Process(const DeltaContext& ctx) override;
   size_t StateBytes() const override;
   void SaveState(SerdeWriter* writer) const override;
   Status LoadState(SerdeReader* reader) override;

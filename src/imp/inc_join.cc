@@ -132,28 +132,26 @@ Result<AnnotatedRelation> IncJoin::Build(const DeltaContext& ctx) {
   return out;
 }
 
-AnnotatedDelta IncJoin::PruneByBloom(const AnnotatedDelta& delta,
-                                     const BloomFilter& filter,
-                                     bool left_side) {
-  AnnotatedDelta out;
-  out.rows.reserve(delta.rows.size());
-  for (const AnnotatedDeltaRow& r : delta.rows) {
-    if (filter.MayContainHash(KeyHash(r.row, left_side))) {
-      out.rows.push_back(r);
-    } else {
-      ++stats_->bloom_pruned_rows;
-    }
-  }
+DeltaBatch IncJoin::PruneByBloom(DeltaBatch delta, const BloomFilter& filter,
+                                 bool left_side) {
+  size_t pruned = 0;
+  DeltaBatch out =
+      std::move(delta).Filter([&](const AnnotatedDeltaRow& r) {
+        bool keep = filter.MayContainHash(KeyHash(r.row, left_side));
+        if (!keep) ++pruned;
+        return keep;
+      });
+  stats_->bloom_pruned_rows += pruned;
   return out;
 }
 
-void IncJoin::JoinDeltaWithSide(const AnnotatedDelta& delta,
+void IncJoin::JoinDeltaWithSide(const DeltaBatch& delta,
                                 const AnnotatedRelation& side,
                                 bool delta_is_left, int sign,
                                 AnnotatedDelta* out) const {
   if (delta.empty() || side.rows.empty()) return;
   if (keys_.empty()) {
-    for (const AnnotatedDeltaRow& d : delta.rows) {
+    delta.ForEachRow([&](const AnnotatedDeltaRow& d) {
       for (const AnnotatedRow& s : side.rows) {
         if (delta_is_left) {
           EmitJoined(d.row, d.sketch, s.row, s.sketch, sign * d.mult, out);
@@ -161,16 +159,21 @@ void IncJoin::JoinDeltaWithSide(const AnnotatedDelta& delta,
           EmitJoined(s.row, s.sketch, d.row, d.sketch, sign * d.mult, out);
         }
       }
-    }
+    });
     return;
   }
-  // Hash the (usually small) delta, probe with the side rows.
+  // Hash the (usually small) delta, probe with the side rows. Rows are
+  // referenced in place — borrowed batches are hashed without copying.
+  std::vector<const AnnotatedDeltaRow*> delta_rows;
+  delta_rows.reserve(delta.size());
+  delta.ForEachRow(
+      [&](const AnnotatedDeltaRow& d) { delta_rows.push_back(&d); });
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> ht;
-  ht.reserve(delta.rows.size());
-  for (size_t i = 0; i < delta.rows.size(); ++i) {
+  ht.reserve(delta_rows.size());
+  for (size_t i = 0; i < delta_rows.size(); ++i) {
     Tuple key;
     for (const auto& [lc, rc] : keys_) {
-      key.push_back(delta.rows[i].row[delta_is_left ? lc : rc]);
+      key.push_back(delta_rows[i]->row[delta_is_left ? lc : rc]);
     }
     ht[std::move(key)].push_back(i);
   }
@@ -182,7 +185,7 @@ void IncJoin::JoinDeltaWithSide(const AnnotatedDelta& delta,
     auto it = ht.find(key);
     if (it == ht.end()) continue;
     for (size_t di : it->second) {
-      const AnnotatedDeltaRow& d = delta.rows[di];
+      const AnnotatedDeltaRow& d = *delta_rows[di];
       if (delta_is_left) {
         EmitJoined(d.row, d.sketch, s.row, s.sketch, sign * d.mult, out);
       } else {
@@ -192,30 +195,24 @@ void IncJoin::JoinDeltaWithSide(const AnnotatedDelta& delta,
   }
 }
 
-void IncJoin::JoinDeltaWithDelta(const AnnotatedDelta& dl,
-                                 const AnnotatedDelta& dr,
+void IncJoin::JoinDeltaWithDelta(const DeltaBatch& dl, const DeltaBatch& dr,
                                  AnnotatedDelta* out) const {
   if (dl.empty() || dr.empty()) return;
-  for (const AnnotatedDeltaRow& l : dl.rows) {
-    for (const AnnotatedDeltaRow& r : dr.rows) {
+  dl.ForEachRow([&](const AnnotatedDeltaRow& l) {
+    dr.ForEachRow([&](const AnnotatedDeltaRow& r) {
       if (!keys_.empty()) {
-        bool match = true;
         for (const auto& [lc, rc] : keys_) {
-          if (l.row[lc].Compare(r.row[rc]) != 0) {
-            match = false;
-            break;
-          }
+          if (l.row[lc].Compare(r.row[rc]) != 0) return;
         }
-        if (!match) continue;
       }
       // −ΔR ⋈ ΔS: the subtraction term of the post-state identity (it
       // collapses the paper's mixed insert/delete cases).
       EmitJoined(l.row, l.sketch, r.row, r.sketch, -(l.mult * r.mult), out);
-    }
-  }
+    });
+  });
 }
 
-bool IncJoin::TryIndexedJoin(const AnnotatedDelta& delta, bool delta_is_left,
+bool IncJoin::TryIndexedJoin(const DeltaBatch& delta, bool delta_is_left,
                              int sign, AnnotatedDelta* out) {
   const std::optional<StatelessChain>& chain =
       delta_is_left ? right_chain_ : left_chain_;
@@ -227,11 +224,11 @@ bool IncJoin::TryIndexedJoin(const AnnotatedDelta& delta, bool delta_is_left,
   size_t delta_key_col = delta_is_left ? keys_[0].first : keys_[0].second;
   size_t side_key_col = delta_is_left ? keys_[0].second : keys_[0].first;
   (void)side_key_col;
-  for (const AnnotatedDeltaRow& d : delta.rows) {
+  delta.ForEachRow([&](const AnnotatedDeltaRow& d) {
     const std::vector<Table::RowLoc>* locs =
         table->IndexProbe(static_cast<size_t>(index_col),
                           d.row[delta_key_col]);
-    if (locs == nullptr) continue;
+    if (locs == nullptr) return;
     for (const Table::RowLoc& loc : *locs) {
       Tuple base = table->chunks()[loc.chunk].GetRow(loc.row);
       BitVector side_sketch;
@@ -244,29 +241,29 @@ bool IncJoin::TryIndexedJoin(const AnnotatedDelta& delta, bool delta_is_left,
         EmitJoined(side_row, side_sketch, d.row, d.sketch, sign * d.mult, out);
       }
     }
-  }
+  });
   return true;
 }
 
-Result<AnnotatedDelta> IncJoin::Process(const DeltaContext& ctx) {
-  IMP_ASSIGN_OR_RETURN(AnnotatedDelta dl, children_[0]->Process(ctx));
-  IMP_ASSIGN_OR_RETURN(AnnotatedDelta dr, children_[1]->Process(ctx));
+Result<DeltaBatch> IncJoin::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(DeltaBatch dl, children_[0]->Process(ctx));
+  IMP_ASSIGN_OR_RETURN(DeltaBatch dr, children_[1]->Process(ctx));
   AnnotatedDelta out;
-  if (dl.empty() && dr.empty()) return out;
+  if (dl.empty() && dr.empty()) return DeltaBatch();
 
   // Update bloom filters with inserted keys *before* pruning, so a delta
   // row that only joins another delta row in this batch is not dropped.
   // (Deletions are never removed from the filters — they stay conservative
   // supersets of the key sets, which preserves correctness.)
   if (options_.use_bloom && left_bloom_ != nullptr) {
-    for (const AnnotatedDeltaRow& r : dl.rows) {
+    dl.ForEachRow([&](const AnnotatedDeltaRow& r) {
       if (r.mult > 0) left_bloom_->AddHash(KeyHash(r.row, true));
-    }
-    for (const AnnotatedDeltaRow& r : dr.rows) {
+    });
+    dr.ForEachRow([&](const AnnotatedDeltaRow& r) {
       if (r.mult > 0) right_bloom_->AddHash(KeyHash(r.row, false));
-    }
-    dl = PruneByBloom(dl, *right_bloom_, /*left_side=*/true);
-    dr = PruneByBloom(dr, *left_bloom_, /*left_side=*/false);
+    });
+    dl = PruneByBloom(std::move(dl), *right_bloom_, /*left_side=*/true);
+    dr = PruneByBloom(std::move(dr), *left_bloom_, /*left_side=*/false);
   }
 
   // ΔR ⋈ S_new (delegated round trip, skipped when the pruned delta is
@@ -292,7 +289,7 @@ Result<AnnotatedDelta> IncJoin::Process(const DeltaContext& ctx) {
   JoinDeltaWithDelta(dl, dr, &out);
 
   out.Consolidate();
-  return out;
+  return DeltaBatch::OwnedOf(std::move(out));
 }
 
 size_t IncJoin::StateBytes() const {

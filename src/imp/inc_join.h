@@ -37,7 +37,7 @@ class IncJoin final : public IncOperator {
           MaintainStats* stats);
 
   Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
-  Result<AnnotatedDelta> Process(const DeltaContext& ctx) override;
+  Result<DeltaBatch> Process(const DeltaContext& ctx) override;
   size_t StateBytes() const override;
   void SaveState(SerdeWriter* writer) const override;
   Status LoadState(SerdeReader* reader) override;
@@ -51,23 +51,24 @@ class IncJoin final : public IncOperator {
   /// stateless chain over one scan and the (single) join key maps to a
   /// scan column, the backend answers Δ ⋈ side via a hash-index probe per
   /// delta row instead of scanning the side. Returns true when handled.
-  bool TryIndexedJoin(const AnnotatedDelta& delta, bool delta_is_left,
+  bool TryIndexedJoin(const DeltaBatch& delta, bool delta_is_left,
                       int sign, AnnotatedDelta* out);
 
   /// Hash of a delta/annotated row's join key on the given side.
   uint64_t KeyHash(const Tuple& row, bool left_side) const;
 
-  /// Remove delta rows whose key misses `filter`; counts pruned rows.
-  AnnotatedDelta PruneByBloom(const AnnotatedDelta& delta,
-                              const BloomFilter& filter, bool left_side);
+  /// Drop delta rows whose key misses `filter`; counts pruned rows.
+  /// Borrowed batches stay borrowed (bitmap refinement, no copies).
+  DeltaBatch PruneByBloom(DeltaBatch delta, const BloomFilter& filter,
+                          bool left_side);
 
   /// delta ⋈ side with sign from delta, annotations unioned.
-  void JoinDeltaWithSide(const AnnotatedDelta& delta,
+  void JoinDeltaWithSide(const DeltaBatch& delta,
                          const AnnotatedRelation& side, bool delta_is_left,
                          int sign, AnnotatedDelta* out) const;
 
   /// dl ⋈ dr with sign = -(ml * mr).
-  void JoinDeltaWithDelta(const AnnotatedDelta& dl, const AnnotatedDelta& dr,
+  void JoinDeltaWithDelta(const DeltaBatch& dl, const DeltaBatch& dr,
                           AnnotatedDelta* out) const;
 
   void EmitJoined(const Tuple& l, const BitVector& lsk, const Tuple& r,

@@ -52,16 +52,19 @@ Result<AnnotatedRelation> IncScan::Build(const DeltaContext&) {
   return out;
 }
 
-Result<AnnotatedDelta> IncScan::Process(const DeltaContext& ctx) {
-  AnnotatedDelta out;
-  const AnnotatedDelta* in = ctx.Find(table_);
-  if (in == nullptr) return out;
+Result<DeltaBatch> IncScan::Process(const DeltaContext& ctx) {
+  const DeltaBatch* in = ctx.FindBatch(table_);
+  if (in == nullptr) return DeltaBatch();
   stats_->delta_rows_processed += in->size();
-  if (!filter_) return *in;
-  for (const AnnotatedDeltaRow& r : in->rows) {
-    if (filter_->Eval(r.row).IsTrue()) out.rows.push_back(r);
-  }
-  return out;
+  // Serve a borrowed view of the context's batch — zero row copies no
+  // matter how many sketches share the underlying annotated delta. A scan
+  // filter only refines the selection bitmap, keeping the view borrowed.
+  ++stats_->deltas_borrowed;
+  DeltaBatch out = in->View();
+  if (!filter_) return out;
+  return std::move(out).Filter([&](const AnnotatedDeltaRow& r) {
+    return filter_->Eval(r.row).IsTrue();
+  });
 }
 
 // ---- IncSelect --------------------------------------------------------------
@@ -84,13 +87,13 @@ Result<AnnotatedRelation> IncSelect::Build(const DeltaContext& ctx) {
   return out;
 }
 
-Result<AnnotatedDelta> IncSelect::Process(const DeltaContext& ctx) {
-  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
-  AnnotatedDelta out;
-  for (AnnotatedDeltaRow& r : in.rows) {
-    if (predicate_->Eval(r.row).IsTrue()) out.rows.push_back(std::move(r));
-  }
-  return out;
+Result<DeltaBatch> IncSelect::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(DeltaBatch in, children_[0]->Process(ctx));
+  // Borrowed input stays borrowed (bitmap refinement); owned input is
+  // filtered in place. Either way: no row copies.
+  return std::move(in).Filter([&](const AnnotatedDeltaRow& r) {
+    return predicate_->Eval(r.row).IsTrue();
+  });
 }
 
 // ---- IncProject -------------------------------------------------------------
@@ -120,17 +123,29 @@ Result<AnnotatedRelation> IncProject::Build(const DeltaContext& ctx) {
   return out;
 }
 
-Result<AnnotatedDelta> IncProject::Process(const DeltaContext& ctx) {
-  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
+Result<DeltaBatch> IncProject::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(DeltaBatch in, children_[0]->Process(ctx));
+  // Projection rewrites rows, so its output is always owned. Borrowed
+  // input rows are read through the cursor (sketches are copied into the
+  // fresh output rows); owned input donates its sketches.
   AnnotatedDelta out;
-  out.rows.reserve(in.rows.size());
-  for (AnnotatedDeltaRow& r : in.rows) {
-    Tuple projected;
-    projected.reserve(exprs_.size());
-    for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(r.row));
-    out.Append(std::move(projected), std::move(r.sketch), r.mult);
+  out.rows.reserve(in.size());
+  if (in.borrowed()) {
+    in.ForEachRow([&](const AnnotatedDeltaRow& r) {
+      Tuple projected;
+      projected.reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(r.row));
+      out.Append(std::move(projected), r.sketch, r.mult);
+    });
+  } else {
+    for (AnnotatedDeltaRow& r : in.mutable_owned().rows) {
+      Tuple projected;
+      projected.reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(r.row));
+      out.Append(std::move(projected), std::move(r.sketch), r.mult);
+    }
   }
-  return out;
+  return DeltaBatch::OwnedOf(std::move(out));
 }
 
 // ---- IncMerge (μ) -----------------------------------------------------------
@@ -145,18 +160,18 @@ void IncMerge::Build(const AnnotatedRelation& result) {
   }
 }
 
-SketchDelta IncMerge::Process(const AnnotatedDelta& delta) {
+SketchDelta IncMerge::Process(const DeltaBatch& batch) {
   // Snapshot the pre-batch counts of touched fragments, apply the whole
   // batch, then emit one transition per fragment (Sec. 5.1: zero -> nonzero
   // inserts the fragment, nonzero -> zero removes it).
   std::map<size_t, int64_t> before;
-  for (const AnnotatedDeltaRow& r : delta.rows) {
+  batch.ForEachRow([&](const AnnotatedDeltaRow& r) {
     for (size_t bit : r.sketch.SetBits()) {
       if (bit >= counters_.size()) counters_.resize(bit + 1, 0);
       before.emplace(bit, counters_[bit]);
       counters_[bit] += r.mult;
     }
-  }
+  });
   SketchDelta out;
   for (const auto& [bit, old_count] : before) {
     int64_t new_count = counters_[bit];

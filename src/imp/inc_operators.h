@@ -17,19 +17,6 @@
 
 namespace imp {
 
-/// Counters reported by the maintainer for the optimization experiments
-/// (Sec. 8.4): backend round trips for delegated joins, bloom-pruned delta
-/// rows, rows shipped, etc.
-struct MaintainStats {
-  size_t join_round_trips = 0;       ///< delegated join evaluations
-  size_t join_rows_shipped = 0;      ///< delta rows sent to the backend
-  size_t bloom_pruned_rows = 0;      ///< delta rows dropped by bloom filters
-  size_t delta_rows_processed = 0;   ///< base delta rows fed into the plan
-  size_t recaptures = 0;             ///< full recaptures forced by truncation
-
-  void Reset() { *this = MaintainStats{}; }
-};
-
 /// Base class of incremental operators. Each operator mirrors one plan node;
 /// Process consumes the children's deltas (driven by the operator itself)
 /// and produces this operator's output delta, updating internal state.
@@ -42,8 +29,11 @@ class IncOperator {
   /// and its incremental state is built alongside (Sec. 7.1).
   virtual Result<AnnotatedRelation> Build(const DeltaContext&) = 0;
 
-  /// Process one maintenance batch.
-  virtual Result<AnnotatedDelta> Process(const DeltaContext& ctx) = 0;
+  /// Process one maintenance batch. The returned DeltaBatch may borrow
+  /// rows from `ctx` (table access and filters return borrowed views), so
+  /// `ctx` — and any shared deltas its entries borrow from — must stay
+  /// alive until the result has been consumed.
+  virtual Result<DeltaBatch> Process(const DeltaContext& ctx) = 0;
 
   /// Approximate bytes of operator state (Figs. 13e/f, 15, 17).
   virtual size_t StateBytes() const { return 0; }
@@ -81,7 +71,7 @@ class IncScan final : public IncOperator {
           MaintainStats* stats);
 
   Result<AnnotatedRelation> Build(const DeltaContext&) override;
-  Result<AnnotatedDelta> Process(const DeltaContext& ctx) override;
+  Result<DeltaBatch> Process(const DeltaContext& ctx) override;
 
  private:
   std::string table_;
@@ -98,7 +88,7 @@ class IncSelect final : public IncOperator {
   IncSelect(std::unique_ptr<IncOperator> child, ExprPtr predicate);
 
   Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
-  Result<AnnotatedDelta> Process(const DeltaContext& ctx) override;
+  Result<DeltaBatch> Process(const DeltaContext& ctx) override;
 
  private:
   ExprPtr predicate_;
@@ -112,7 +102,7 @@ class IncProject final : public IncOperator {
              Schema output_schema);
 
   Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
-  Result<AnnotatedDelta> Process(const DeltaContext& ctx) override;
+  Result<DeltaBatch> Process(const DeltaContext& ctx) override;
 
  private:
   std::vector<ExprPtr> exprs_;
@@ -130,8 +120,13 @@ class IncMerge {
   /// Initialize counters from the query's current annotated result.
   void Build(const AnnotatedRelation& result);
 
-  /// Fold one result delta; returns the resulting sketch delta ΔP.
-  SketchDelta Process(const AnnotatedDelta& delta);
+  /// Fold one result delta batch (owned or borrowed); returns the
+  /// resulting sketch delta ΔP.
+  SketchDelta Process(const DeltaBatch& batch);
+  /// Convenience overload for materialized deltas.
+  SketchDelta Process(const AnnotatedDelta& delta) {
+    return Process(DeltaBatch::Borrowed(&delta));
+  }
 
   /// Sketch implied by the current counters ({ρ | S[ρ] > 0}).
   BitVector CurrentSketch() const;

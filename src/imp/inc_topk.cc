@@ -134,12 +134,15 @@ Result<AnnotatedRelation> IncTopK::Build(const DeltaContext& ctx) {
   return out;
 }
 
-Result<AnnotatedDelta> IncTopK::Process(const DeltaContext& ctx) {
-  IMP_ASSIGN_OR_RETURN(AnnotatedDelta in, children_[0]->Process(ctx));
+Result<DeltaBatch> IncTopK::Process(const DeltaContext& ctx) {
+  IMP_ASSIGN_OR_RETURN(DeltaBatch in, children_[0]->Process(ctx));
   AnnotatedDelta out;
-  if (in.empty()) return out;
-  for (const AnnotatedDeltaRow& r : in.rows) {
-    Status st = ApplyRow(r.row, r.sketch, r.mult);
+  if (in.empty()) return DeltaBatch();
+  // Fold the input through the cursor (borrowed batches are read in
+  // place); the re-emitted output rows come from the operator's own state.
+  DeltaBatch::Cursor cursor(in);
+  while (const AnnotatedDeltaRow* r = cursor.Next()) {
+    Status st = ApplyRow(r->row, r->sketch, r->mult);
     IMP_RETURN_NOT_OK(st);
   }
   std::vector<AnnotatedDeltaRow> now = ComputeTopK();
@@ -150,7 +153,7 @@ Result<AnnotatedDelta> IncTopK::Process(const DeltaContext& ctx) {
            TupleEq{}(now[i].row, last_output_[i].row) &&
            now[i].sketch == last_output_[i].sketch;
   }
-  if (same) return out;
+  if (same) return DeltaBatch::OwnedOf(std::move(out));
   for (const AnnotatedDeltaRow& r : last_output_) {
     out.Append(r.row, r.sketch, -r.mult);
   }
@@ -159,7 +162,7 @@ Result<AnnotatedDelta> IncTopK::Process(const DeltaContext& ctx) {
   }
   last_output_ = std::move(now);
   out.Consolidate();
-  return out;
+  return DeltaBatch::OwnedOf(std::move(out));
 }
 
 void IncTopK::SaveState(SerdeWriter* writer) const {

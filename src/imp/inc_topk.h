@@ -34,7 +34,7 @@ class IncTopK final : public IncOperator {
           size_t k, Options options, MaintainStats* stats);
 
   Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
-  Result<AnnotatedDelta> Process(const DeltaContext& ctx) override;
+  Result<DeltaBatch> Process(const DeltaContext& ctx) override;
   size_t StateBytes() const override;
   void SaveState(SerdeWriter* writer) const override;
   Status LoadState(SerdeReader* reader) override;

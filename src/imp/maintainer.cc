@@ -158,7 +158,10 @@ Result<SketchDelta> Maintainer::Maintain(const std::vector<TableDelta>& deltas,
 
 Result<SketchDelta> Maintainer::MaintainAnnotated(const DeltaContext& ctx,
                                                   uint64_t new_version) {
-  Result<AnnotatedDelta> result = root_->Process(ctx);
+  // The result batch may borrow rows from `ctx` (zero-copy pipeline):
+  // `ctx` and the shared deltas behind it stay alive until the merge
+  // operator below has consumed the batch.
+  Result<DeltaBatch> result = root_->Process(ctx);
   if (!result.ok()) {
     if (result.status().code() != StatusCode::kNeedsRecapture) {
       return result.status();

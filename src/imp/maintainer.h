@@ -52,8 +52,12 @@ class Maintainer {
 
   /// Maintain with an already-annotated delta context. This is the shared
   /// batch path: the middleware scans and annotates each table's delta once
-  /// and hands every maintainer a (possibly filtered or shared-view)
-  /// context, so per-sketch log re-scans and re-annotations disappear. The
+  /// and hands every maintainer a context of per-table DeltaBatches —
+  /// borrowed views into the round's shared annotated deltas (optionally
+  /// restricted by a push-down selection bitmap), or owned batches on the
+  /// legacy path. The operator chain processes borrowed batches in place
+  /// (zero row copies for filterless scans), so the shared deltas behind
+  /// `ctx` must outlive this call; they are never mutated through it. The
   /// context must be annotated against this maintainer's catalog.
   Result<SketchDelta> MaintainAnnotated(const DeltaContext& ctx,
                                         uint64_t new_version);

@@ -295,6 +295,11 @@ Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
   struct Item {
     SketchEntry* entry;
     bool stale;
+    // Pre-round snapshot of the maintainer's cumulative zero-copy
+    // counters; the post-round diff is rolled up into ImpSystemStats.
+    size_t borrowed_before = 0;
+    size_t materialized_before = 0;
+    size_t copied_before = 0;
   };
   std::vector<Item> items;
   items.reserve(entries.size());
@@ -318,7 +323,14 @@ Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
       }
     }
     stale_count += stale ? 1 : 0;
-    items.push_back({entry, stale});
+    Item item{entry, stale, 0, 0, 0};
+    if (entry->maintainer != nullptr) {
+      const MaintainStats& mstats = entry->maintainer->stats();
+      item.borrowed_before = mstats.deltas_borrowed;
+      item.materialized_before = mstats.deltas_materialized;
+      item.copied_before = mstats.rows_copied;
+    }
+    items.push_back(item);
   }
   if (items.empty()) return planning_error;
 
@@ -379,6 +391,14 @@ Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
   ++stats_.batch_rounds;
   for (size_t i = 0; i < items.size(); ++i) {
     if (maintained[i]) ++stats_.maintenances;
+    if (items[i].entry->maintainer != nullptr) {
+      const MaintainStats& mstats = items[i].entry->maintainer->stats();
+      stats_.deltas_borrowed +=
+          mstats.deltas_borrowed - items[i].borrowed_before;
+      stats_.deltas_materialized +=
+          mstats.deltas_materialized - items[i].materialized_before;
+      stats_.rows_copied += mstats.rows_copied - items[i].copied_before;
+    }
   }
   if (shared) {
     MaintenanceBatchStats bstats = batch.stats();

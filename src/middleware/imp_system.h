@@ -61,6 +61,14 @@ struct ImpSystemStats {
   size_t delta_scans = 0;        ///< backend delta-log scans for maintenance
   size_t annotation_passes = 0;  ///< annotate(ΔR, Φ) runs over table deltas
   size_t annotation_hits = 0;    ///< per-sketch views served from the cache
+  // Zero-copy delta pipeline roll-up (summed over the per-sketch
+  // MaintainStats deltas of each round): borrowed views served by table
+  // access, copy-on-write materializations, and the rows they copied.
+  // Filterless-scan sketches on the shared-fetch path keep rows_copied at
+  // zero — the machine-checkable claim behind the batched pipeline.
+  size_t deltas_borrowed = 0;
+  size_t deltas_materialized = 0;
+  size_t rows_copied = 0;
   double capture_seconds = 0;
   double maintain_seconds = 0;
   double query_seconds = 0;      ///< instrumented/plain query execution

@@ -46,18 +46,21 @@ DeltaContext MaintenanceBatch::ContextFor(const Maintainer& maintainer) {
     if (shared->empty()) continue;  // mirrors MaintainFromBackend's skip
     auto pred = maintainer.DeltaPredicate(table);
     if (!pred) {
-      // No push-down: share the annotated delta without copying here
-      // (downstream operators may still copy what they consume).
-      ctx.shared_deltas[table] = shared;
+      // No push-down: borrow the whole shared delta. Zero copies — the
+      // operator chain processes the borrowed view in place.
+      ctx.batches[table] = DeltaBatch::Borrowed(shared);
       continue;
     }
-    // Selection push-down (Sec. 7.2) as a filter over the shared annotated
-    // delta — same rows, same delta-log order as a pre-filtered log scan.
-    AnnotatedDelta filtered;
-    for (const AnnotatedDeltaRow& r : shared->rows) {
-      if (pred(r.row)) filtered.rows.push_back(r);
+    // Selection push-down (Sec. 7.2) as a selection bitmap over the shared
+    // annotated delta — the visible rows are exactly, and in the same
+    // delta-log order as, a pre-filtered log scan's, but no row is copied.
+    BitVector selection(shared->rows.size());
+    for (size_t i = 0; i < shared->rows.size(); ++i) {
+      if (pred(shared->rows[i].row)) selection.Set(i);
     }
-    if (!filtered.empty()) ctx.table_deltas[table] = std::move(filtered);
+    DeltaBatch filtered =
+        DeltaBatch::BorrowedFiltered(shared, std::move(selection));
+    if (!filtered.empty()) ctx.batches[table] = std::move(filtered);
   }
   return ctx;
 }

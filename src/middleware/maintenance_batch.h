@@ -10,19 +10,25 @@
 //   2. annotates the result ONCE per distinct (table, partition) — the
 //      catalog holds at most one partition per table, so the cache is keyed
 //      by (table, from_version) against a fixed catalog,
-//   3. hands each maintainer a per-sketch view: a shared pointer when the
-//      sketch has no selection push-down (the context itself copies
-//      nothing; the first filterless incremental operator to consume the
-//      view still materializes its own copy — see ROADMAP open item on
-//      view-based operator pipelines), or a filtered copy where the
+//   3. hands each maintainer a per-sketch view: a borrowed DeltaBatch over
+//      the cached annotated delta — unrestricted when the sketch has no
+//      selection push-down, or restricted by a selection bitmap where the
 //      pushed-down predicate (Sec. 7.2) is applied over the shared
-//      annotated delta instead of through a fresh backend log scan.
+//      annotated delta instead of through a fresh backend log scan. The
+//      incremental operator chain processes borrowed batches in place, so
+//      NO per-sketch row copy happens anywhere on this path.
 //
 // Usage: Prefetch() every (table, from_version) serially during round
 // planning, then call ContextFor() freely from worker threads — after
 // prefetching it only reads the cache. Results are bit-identical to the
-// per-sketch path: rows keep delta-log order and annotations are computed
-// by the same annotate(ΔR, Φ).
+// per-sketch path: visible rows keep delta-log order and annotations are
+// computed by the same annotate(ΔR, Φ).
+//
+// LIFETIME CONTRACT: the contexts' borrowed batches point into this
+// object's cache. The MaintenanceBatch must outlive every DeltaContext it
+// handed out and every maintenance call consuming one (in ImpSystem the
+// batch spans the whole round); the cached deltas are immutable once
+// created and are never written through the views.
 
 #ifndef IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_
 #define IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_

@@ -1,6 +1,24 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 namespace imp {
+
+namespace {
+
+/// First delta-log record with version > from_version. Versions are
+/// non-decreasing in the append-only log, so a binary search finds the
+/// start of the stale window in O(log n) — a small stale tail at the end
+/// of a long-lived log costs O(window) instead of O(log length).
+std::vector<DeltaRecord>::const_iterator DeltaWindowBegin(
+    const std::vector<DeltaRecord>& log, uint64_t from_version) {
+  return std::upper_bound(log.begin(), log.end(), from_version,
+                          [](uint64_t v, const DeltaRecord& rec) {
+                            return v < rec.version;
+                          });
+}
+
+}  // namespace
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name) > 0) {
@@ -71,10 +89,11 @@ TableDelta Database::ScanDelta(
   out.table = table;
   const Table* t = GetTable(table);
   if (t == nullptr) return out;
-  for (const DeltaRecord& rec : t->delta_log()) {
-    if (rec.version <= from_version || rec.version > to_version) continue;
-    if (pred && !pred(rec.row)) continue;
-    out.records.push_back(rec);
+  const std::vector<DeltaRecord>& log = t->delta_log();
+  for (auto it = DeltaWindowBegin(log, from_version);
+       it != log.end() && it->version <= to_version; ++it) {
+    if (pred && !pred(it->row)) continue;
+    out.records.push_back(*it);
   }
   return out;
 }
@@ -83,11 +102,9 @@ size_t Database::PendingDeltaCount(const std::string& table,
                                    uint64_t from_version) const {
   const Table* t = GetTable(table);
   if (t == nullptr) return 0;
-  size_t n = 0;
-  for (const DeltaRecord& rec : t->delta_log()) {
-    if (rec.version > from_version) ++n;
-  }
-  return n;
+  const std::vector<DeltaRecord>& log = t->delta_log();
+  return static_cast<size_t>(
+      std::distance(DeltaWindowBegin(log, from_version), log.end()));
 }
 
 bool Database::HasPendingDelta(const std::string& table,

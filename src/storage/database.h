@@ -63,7 +63,9 @@ class Database {
   /// Fetch the signed delta of `table` in the half-open version interval
   /// (from_version, to_version]. If `pred` is set, only rows satisfying it
   /// are returned — this implements IMP's "filtering deltas based on
-  /// selections" push-down (Sec. 7.2).
+  /// selections" push-down (Sec. 7.2). The log's versions are
+  /// non-decreasing, so the window start is binary-searched: a small stale
+  /// tail of a long-lived log costs O(window), not O(log length).
   TableDelta ScanDelta(const std::string& table, uint64_t from_version,
                        uint64_t to_version,
                        const std::function<bool(const Tuple&)>& pred = {}) const;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "imp/delta.h"
+#include "imp/inc_operators.h"
 #include "test_util.h"
 
 namespace imp {
@@ -56,15 +57,114 @@ TEST(AnnotatedDeltaTest, ToStringTagsDirection) {
 
 TEST(DeltaContextTest, FindAndTotals) {
   DeltaContext ctx;
-  ctx.table_deltas["r"].Append({Value::Int(1)}, Bits({0}), 1);
-  ctx.table_deltas["s"].Append({Value::Int(2)}, Bits({1}), -1);
+  ctx.OwnedFor("r").Append({Value::Int(1)}, Bits({0}), 1);
+  ctx.OwnedFor("s").Append({Value::Int(2)}, Bits({1}), -1);
   EXPECT_FALSE(ctx.empty());
   EXPECT_EQ(ctx.TotalRows(), 2u);
-  ASSERT_NE(ctx.Find("r"), nullptr);
-  EXPECT_EQ(ctx.Find("r")->size(), 1u);
-  EXPECT_EQ(ctx.Find("zzz"), nullptr);
+  ASSERT_NE(ctx.FindBatch("r"), nullptr);
+  EXPECT_EQ(ctx.FindBatch("r")->size(), 1u);
+  EXPECT_EQ(ctx.FindBatch("zzz"), nullptr);
   DeltaContext empty;
   EXPECT_TRUE(empty.empty());
+}
+
+// ---- DeltaBatch: owned / borrowed semantics ---------------------------------
+
+AnnotatedDelta ThreeRowDelta() {
+  AnnotatedDelta d;
+  d.Append({Value::Int(1)}, Bits({0}), 1);
+  d.Append({Value::Int(2)}, Bits({1}), -1);
+  d.Append({Value::Int(3)}, Bits({2}), 2);
+  return d;
+}
+
+std::vector<int64_t> VisibleFirstColumns(const DeltaBatch& batch) {
+  std::vector<int64_t> out;
+  batch.ForEachRow(
+      [&](const AnnotatedDeltaRow& r) { out.push_back(r.row[0].AsInt()); });
+  return out;
+}
+
+TEST(DeltaBatchTest, BorrowedViewSharesRowsWithoutCopying) {
+  AnnotatedDelta shared = ThreeRowDelta();
+  DeltaBatch batch = DeltaBatch::Borrowed(&shared);
+  EXPECT_TRUE(batch.borrowed());
+  EXPECT_FALSE(batch.filtered());
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.base(), &shared);
+  // The cursor hands out pointers into the shared delta itself.
+  DeltaBatch::Cursor cursor(batch);
+  EXPECT_EQ(cursor.Next(), &shared.rows[0]);
+  EXPECT_EQ(cursor.Next(), &shared.rows[1]);
+  EXPECT_EQ(cursor.Next(), &shared.rows[2]);
+  EXPECT_EQ(cursor.Next(), nullptr);
+}
+
+TEST(DeltaBatchTest, SelectionBitmapMatchesEagerFilteredCopy) {
+  AnnotatedDelta shared = ThreeRowDelta();
+  auto keep_positive = [](const AnnotatedDeltaRow& r) { return r.mult > 0; };
+  // Borrowed path: refine a selection bitmap over the shared delta.
+  DeltaBatch borrowed =
+      DeltaBatch::Borrowed(&shared).Filter(keep_positive);
+  EXPECT_TRUE(borrowed.borrowed());
+  EXPECT_TRUE(borrowed.filtered());
+  EXPECT_EQ(borrowed.base(), &shared);
+  // Eager path: the filtered copy the bitmap replaces.
+  AnnotatedDelta eager;
+  for (const AnnotatedDeltaRow& r : shared.rows) {
+    if (keep_positive(r)) eager.rows.push_back(r);
+  }
+  EXPECT_EQ(borrowed.size(), eager.size());
+  EXPECT_EQ(VisibleFirstColumns(borrowed),
+            VisibleFirstColumns(DeltaBatch::Borrowed(&eager)));
+}
+
+TEST(DeltaBatchTest, FilterChainsRefineTheSameBitmap) {
+  AnnotatedDelta shared = ThreeRowDelta();
+  DeltaBatch batch = DeltaBatch::Borrowed(&shared)
+                         .Filter([](const AnnotatedDeltaRow& r) {
+                           return r.mult > 0;  // rows 1, 3
+                         })
+                         .Filter([](const AnnotatedDeltaRow& r) {
+                           return r.row[0].AsInt() >= 3;  // row 3
+                         });
+  EXPECT_TRUE(batch.borrowed());
+  EXPECT_EQ(VisibleFirstColumns(batch), std::vector<int64_t>{3});
+}
+
+TEST(DeltaBatchTest, OwnedFilterKeepsOrderInPlace) {
+  DeltaBatch batch = DeltaBatch::OwnedOf(ThreeRowDelta())
+                         .Filter([](const AnnotatedDeltaRow& r) {
+                           return r.row[0].AsInt() != 2;
+                         });
+  EXPECT_FALSE(batch.borrowed());
+  EXPECT_EQ(VisibleFirstColumns(batch), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(DeltaBatchTest, MaterializeCountsCopiedRowsOnlyWhenBorrowed) {
+  AnnotatedDelta shared = ThreeRowDelta();
+  MaintainStats stats;
+  AnnotatedDelta copied =
+      DeltaBatch::Borrowed(&shared).Materialize(&stats);
+  EXPECT_EQ(copied.size(), 3u);
+  EXPECT_EQ(stats.deltas_materialized, 1u);
+  EXPECT_EQ(stats.rows_copied, 3u);
+  EXPECT_EQ(shared.size(), 3u);  // source untouched
+
+  // Owned batches move their rows out for free.
+  AnnotatedDelta moved =
+      DeltaBatch::OwnedOf(ThreeRowDelta()).Materialize(&stats);
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(stats.deltas_materialized, 1u);
+  EXPECT_EQ(stats.rows_copied, 3u);
+}
+
+TEST(DeltaBatchTest, ViewOfOwnedBorrowsWithoutCopy) {
+  DeltaBatch owned = DeltaBatch::OwnedOf(ThreeRowDelta());
+  DeltaBatch view = owned.View();
+  EXPECT_TRUE(view.borrowed());
+  EXPECT_EQ(view.base(), &owned.owned());
+  EXPECT_EQ(view.size(), 3u);
 }
 
 TEST(AnnotateDeltaTest, Example42AnnotatesS8) {
@@ -114,11 +214,13 @@ TEST(AnnotateDeltaTest, MultipleTablesIntoContext) {
       {db.ScanDelta("r", from, db.CurrentVersion()),
        db.ScanDelta("s", from, db.CurrentVersion())},
       catalog);
-  ASSERT_NE(ctx.Find("r"), nullptr);
-  ASSERT_NE(ctx.Find("s"), nullptr);
+  ASSERT_NE(ctx.FindBatch("r"), nullptr);
+  ASSERT_NE(ctx.FindBatch("s"), nullptr);
   // r value 5 -> f1 (global 0); s value 10 -> g2 (global 3).
-  EXPECT_EQ(ctx.Find("r")->rows[0].sketch.SetBits(), std::vector<size_t>{0});
-  EXPECT_EQ(ctx.Find("s")->rows[0].sketch.SetBits(), std::vector<size_t>{3});
+  EXPECT_EQ(ctx.FindBatch("r")->owned().rows[0].sketch.SetBits(),
+            std::vector<size_t>{0});
+  EXPECT_EQ(ctx.FindBatch("s")->owned().rows[0].sketch.SetBits(),
+            std::vector<size_t>{3});
 }
 
 }  // namespace

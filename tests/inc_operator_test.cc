@@ -12,6 +12,16 @@
 namespace imp {
 namespace {
 
+
+/// Run an operator on a context and materialize its output batch so tests
+/// can inspect rows; errors pass through.
+template <typename Op>
+Result<AnnotatedDelta> ProcessToDelta(Op& op, const DeltaContext& ctx) {
+  Result<DeltaBatch> batch = op.Process(ctx);
+  if (!batch.ok()) return batch.status();
+  return std::move(batch).value().Materialize();
+}
+
 /// One-column table "t" with an equi-width partition on that column.
 class SingleTableFixture : public ::testing::Test {
  protected:
@@ -66,7 +76,7 @@ class SingleTableFixture : public ::testing::Test {
 TEST_F(SingleTableFixture, ScanPassesAnnotatedDeltaThrough) {
   auto scan = NewScan();
   DeltaContext ctx = Apply({Row(1, 150)});
-  auto out = scan->Process(ctx);
+  auto out = ProcessToDelta(*scan, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].mult, 1);
@@ -78,7 +88,7 @@ TEST_F(SingleTableFixture, ScanAppliesScanFilter) {
                               MakeLiteral(Value::Int(100)));
   auto scan = NewScan(filter);
   DeltaContext ctx = Apply({Row(1, 50), Row(2, 150)});
-  auto out = scan->Process(ctx);
+  auto out = ProcessToDelta(*scan, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].row[1], Value::Int(50));
@@ -89,7 +99,7 @@ TEST_F(SingleTableFixture, SelectFiltersDeltas) {
                             MakeLiteral(Value::Int(3)));
   IncSelect select(NewScan(), pred);
   DeltaContext ctx = Apply({Row(5, 10), Row(1, 20)});
-  auto out = select.Process(ctx);
+  auto out = ProcessToDelta(select, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].row[0], Value::Int(5));
@@ -103,7 +113,7 @@ TEST_F(SingleTableFixture, ProjectMapsTuplesKeepsSketch) {
   out_schema.AddColumn("v2", ValueType::kInt);
   IncProject project(NewScan(), exprs, out_schema);
   DeltaContext ctx = Apply({Row(1, 150)});
-  auto out = project.Process(ctx);
+  auto out = ProcessToDelta(project, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].row[0], Value::Int(300));
@@ -210,7 +220,7 @@ TEST_F(AggFixture, UpdateExistingGroupEmitsDeleteInsertPair) {
   auto agg = NewAgg({Sum()});
   ASSERT_TRUE(agg->Build(DeltaContext{}).ok());
   DeltaContext ctx = Apply({Row(1, 150)});
-  auto out = agg->Process(ctx);
+  auto out = ProcessToDelta(*agg, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 2u);
   const auto& rows = out.value().rows;
@@ -227,7 +237,7 @@ TEST_F(AggFixture, NewGroupEmitsOnlyInsert) {
   auto agg = NewAgg({Sum()});
   ASSERT_TRUE(agg->Build(DeltaContext{}).ok());
   DeltaContext ctx = Apply({Row(7, 50)});
-  auto out = agg->Process(ctx);
+  auto out = ProcessToDelta(*agg, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].mult, 1);
@@ -239,7 +249,7 @@ TEST_F(AggFixture, DeletedGroupEmitsOnlyDelete) {
   auto agg = NewAgg({Sum()});
   ASSERT_TRUE(agg->Build(DeltaContext{}).ok());
   DeltaContext ctx = Apply({}, {Row(3, 20)});
-  auto out = agg->Process(ctx);
+  auto out = ProcessToDelta(*agg, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].mult, -1);
@@ -254,7 +264,7 @@ TEST_F(AggFixture, OnePairPerGroupPerBatch) {
   // Many updates to one group within a batch: exactly one Δ-/Δ+ pair
   // (Sec. 7.1 lazy per-batch group snapshots).
   DeltaContext ctx = Apply({Row(1, 1), Row(1, 2), Row(1, 3), Row(1, 4)});
-  auto out = agg->Process(ctx);
+  auto out = ProcessToDelta(*agg, ctx);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out.value().size(), 2u);
 }
@@ -265,7 +275,7 @@ TEST_F(AggFixture, NoChangeEmitsNothing) {
   ASSERT_TRUE(agg->Build(DeltaContext{}).ok());
   // Insert and delete the same row in one batch: group state net-unchanged.
   DeltaContext ctx = Apply({Row(1, 10)}, {Row(1, 10)});
-  auto out = agg->Process(ctx);
+  auto out = ProcessToDelta(*agg, ctx);
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out.value().empty());
 }
@@ -275,7 +285,7 @@ TEST_F(AggFixture, AvgAndCountMaintained) {
   auto agg = NewAgg({Avg(), Cnt()});
   ASSERT_TRUE(agg->Build(DeltaContext{}).ok());
   DeltaContext ctx = Apply({Row(1, 60)});
-  auto out = agg->Process(ctx);
+  auto out = ProcessToDelta(*agg, ctx);
   ASSERT_TRUE(out.ok());
   const auto& rows = out.value().rows;
   ASSERT_EQ(rows.size(), 2u);
@@ -289,7 +299,7 @@ TEST_F(AggFixture, MinMaxMaintainedExactlyWithoutBuffer) {
   ASSERT_TRUE(agg->Build(DeltaContext{}).ok());
   // Delete the current minimum; new min must surface.
   DeltaContext ctx = Apply({}, {Row(1, 10)});
-  auto out = agg->Process(ctx);
+  auto out = ProcessToDelta(*agg, ctx);
   ASSERT_TRUE(out.ok());
   const auto& rows = out.value().rows;
   ASSERT_EQ(rows.size(), 2u);
@@ -305,11 +315,11 @@ TEST_F(AggFixture, MinBufferTruncationTriggersRecapture) {
   auto agg = NewAgg({Min()}, opts);
   ASSERT_TRUE(agg->Build(DeltaContext{}).ok());
   // Deleting a value beyond the buffer only adjusts the overflow count.
-  auto out1 = agg->Process(Apply({}, {Row(1, 40)}));
+  auto out1 = ProcessToDelta(*agg, Apply({}, {Row(1, 40)}));
   ASSERT_TRUE(out1.ok());
   EXPECT_TRUE(out1.value().empty());  // min unchanged
   // Deleting the two retained values exhausts the buffer -> recapture.
-  auto out2 = agg->Process(Apply({}, {Row(1, 10), Row(1, 20)}));
+  auto out2 = ProcessToDelta(*agg, Apply({}, {Row(1, 10), Row(1, 20)}));
   ASSERT_FALSE(out2.ok());
   EXPECT_EQ(out2.status().code(), StatusCode::kNeedsRecapture);
 }
@@ -325,7 +335,7 @@ TEST_F(AggFixture, GlobalAggregateAlwaysHasOneRow) {
   ASSERT_TRUE(rel.ok());
   ASSERT_EQ(rel.value().size(), 1u);
   EXPECT_TRUE(rel.value().rows[0].row[0].is_null());  // SUM over empty = NULL
-  auto out_delta = agg->Process(Apply({Row(1, 5)}));
+  auto out_delta = ProcessToDelta(*agg, Apply({Row(1, 5)}));
   ASSERT_TRUE(out_delta.ok());
   ASSERT_EQ(out_delta.value().size(), 2u);  // Δ-(NULL) Δ+(5)
 }
@@ -356,7 +366,7 @@ TEST_F(TopKFixture, InsertIntoTopKReEmits) {
   ASSERT_TRUE(db_.BulkLoad("t", {Row(1, 30), Row(2, 10)}).ok());
   auto topk = NewTopK(2);
   ASSERT_TRUE(topk->Build(DeltaContext{}).ok());
-  auto out = topk->Process(Apply({Row(9, 5)}));
+  auto out = ProcessToDelta(*topk, Apply({Row(9, 5)}));
   ASSERT_TRUE(out.ok());
   // Δ- old top-2 {10, 30}, Δ+ new top-2 {5, 10}: consolidated, 30 leaves
   // and 5 enters.
@@ -373,7 +383,7 @@ TEST_F(TopKFixture, IrrelevantInsertEmitsNothing) {
   ASSERT_TRUE(db_.BulkLoad("t", {Row(1, 10), Row(2, 20)}).ok());
   auto topk = NewTopK(2);
   ASSERT_TRUE(topk->Build(DeltaContext{}).ok());
-  auto out = topk->Process(Apply({Row(9, 300)}));
+  auto out = ProcessToDelta(*topk, Apply({Row(9, 300)}));
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out.value().empty());
 }
@@ -382,7 +392,7 @@ TEST_F(TopKFixture, DeletionPromotesNextRow) {
   ASSERT_TRUE(db_.BulkLoad("t", {Row(1, 10), Row(2, 20), Row(3, 30)}).ok());
   auto topk = NewTopK(2);
   ASSERT_TRUE(topk->Build(DeltaContext{}).ok());
-  auto out = topk->Process(Apply({}, {Row(1, 10)}));
+  auto out = ProcessToDelta(*topk, Apply({}, {Row(1, 10)}));
   ASSERT_TRUE(out.ok());
   int64_t net_10 = 0, net_30 = 0;
   for (const auto& r : out.value().rows) {
@@ -413,7 +423,7 @@ TEST_F(TopKFixture, BufferExhaustionTriggersRecapture) {
   ASSERT_TRUE(topk->Build(DeltaContext{}).ok());
   // Delete the retained prefix; with dropped rows pending this must force
   // a recapture rather than returning a wrong top-k.
-  auto out = topk->Process(Apply({}, {Row(1, 10), Row(2, 20)}));
+  auto out = ProcessToDelta(*topk, Apply({}, {Row(1, 10), Row(2, 20)}));
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kNeedsRecapture);
 }
@@ -469,7 +479,7 @@ TEST_F(JoinFixture, Fig5DeltaJoin) {
   auto join = NewJoin(/*use_bloom=*/true);
   ASSERT_TRUE(join->Build(DeltaContext{}).ok());
   // Δ+(5, 8): joins s tuple (7, 8); output Δ+⟨(5,8,7,8), {f1, g2}⟩.
-  auto out = join->Process(InsertR(5, 8));
+  auto out = ProcessToDelta(*join, InsertR(5, 8));
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   const AnnotatedDeltaRow& row = out.value().rows[0];
@@ -486,7 +496,7 @@ TEST_F(JoinFixture, BloomSkipsRoundTripForPartnerlessDelta) {
   size_t trips_before = stats_.join_round_trips;
   // b=999 has no partner in s ({d=9, d=8}); the bloom filter prunes it and
   // the backend round trip is skipped entirely (Sec. 7.2).
-  auto out = join->Process(InsertR(5, 999));
+  auto out = ProcessToDelta(*join, InsertR(5, 999));
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out.value().empty());
   EXPECT_EQ(stats_.join_round_trips, trips_before);
@@ -497,7 +507,7 @@ TEST_F(JoinFixture, WithoutBloomRoundTripHappens) {
   auto join = NewJoin(/*use_bloom=*/false);
   ASSERT_TRUE(join->Build(DeltaContext{}).ok());
   size_t trips_before = stats_.join_round_trips;
-  auto out = join->Process(InsertR(5, 999));
+  auto out = ProcessToDelta(*join, InsertR(5, 999));
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out.value().empty());
   EXPECT_EQ(stats_.join_round_trips, trips_before + 1);
@@ -515,7 +525,7 @@ TEST_F(JoinFixture, DeltaDeltaTermNotDoubleCounted) {
       {db_.ScanDelta("r", from, db_.CurrentVersion()),
        db_.ScanDelta("s", from, db_.CurrentVersion())},
       catalog_);
-  auto out = join->Process(ctx);
+  auto out = ProcessToDelta(*join, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].mult, 1);
@@ -533,7 +543,7 @@ TEST_F(JoinFixture, DeletionProducesNegativeDelta) {
                 }).ok());
   DeltaContext ctx = MakeDeltaContext(
       {db_.ScanDelta("r", from, db_.CurrentVersion())}, catalog_);
-  auto out = join->Process(ctx);
+  auto out = ProcessToDelta(*join, ctx);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value().rows[0].mult, -1);
