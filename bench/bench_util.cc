@@ -107,7 +107,13 @@ void SeriesTable::Print() const {
 }
 
 JsonReport::JsonReport(std::string bench_name)
-    : bench_name_(std::move(bench_name)) {}
+    : bench_name_(std::move(bench_name)), path_(OutputPath()) {}
+
+JsonReport::JsonReport(std::string bench_name, std::string default_path)
+    : bench_name_(std::move(bench_name)), path_(std::move(default_path)) {
+  const char* env = std::getenv("IMP_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0') path_ = env;
+}
 
 void JsonReport::Add(const std::string& group, const std::string& metric,
                      double value) {
@@ -199,7 +205,7 @@ void JsonReport::Write() const {
   section << "  }";
 
   // Read-modify-write: preserve other benches' sections.
-  std::string path = OutputPath();
+  const std::string& path = path_;
   std::vector<std::pair<std::string, std::string>> sections;
   {
     std::ifstream in(path);

@@ -65,6 +65,10 @@ class SeriesTable {
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_name);
+  /// Like above, but writing to `default_path` when IMP_BENCH_JSON is
+  /// unset — for benches that start a new PR's report (e.g. the ingestion
+  /// bench's BENCH_PR3.json) instead of appending to the current default.
+  JsonReport(std::string bench_name, std::string default_path);
 
   /// Record one metric; groups and metrics keep insertion order. Keys must
   /// not contain '"', '{' or '}' (they become JSON keys verbatim).
@@ -79,6 +83,7 @@ class JsonReport {
 
  private:
   std::string bench_name_;
+  std::string path_;  ///< resolved output file
   /// group -> ordered (metric, value); groups in insertion order.
   std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
       groups_;

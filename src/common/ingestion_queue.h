@@ -1,0 +1,126 @@
+// A bounded multi-producer single-consumer queue for asynchronous delta
+// ingestion: producers enqueue update statements and return immediately
+// (backpressure blocks them when the queue is full), a single background
+// worker pops and applies them in order.
+//
+// Two details are specific to the ingestion use case:
+//
+//  * PushWith(make): the item factory runs under the queue lock, so a
+//    producer can atomically pair side effects with its queue position —
+//    the middleware allocates the statement's version(s) inside `make`,
+//    which guarantees queue order == version allocation order even with
+//    many racing producers (the worker then applies statements in version
+//    order, keeping every delta log's versions non-decreasing).
+//
+//  * WaitIdle(): drain barrier. The queue counts unfinished work (pushed
+//    but not yet TaskDone()'d), not merely queued items, so a waiter wakes
+//    only after the worker has *finished* the last statement — including
+//    any eager maintenance it triggered — and the mutex hand-off makes all
+//    of the worker's writes visible to the waiter.
+//
+// The consumer must call TaskDone() exactly once per popped item, after
+// all its side effects.
+
+#ifndef IMP_COMMON_INGESTION_QUEUE_H_
+#define IMP_COMMON_INGESTION_QUEUE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace imp {
+
+template <typename T>
+class IngestionQueue {
+ public:
+  explicit IngestionQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  IngestionQueue(const IngestionQueue&) = delete;
+  IngestionQueue& operator=(const IngestionQueue&) = delete;
+
+  /// Enqueue the item produced by `make()`, which runs under the queue
+  /// lock once space is available. Blocks while full; returns false (and
+  /// never runs `make`) when the queue is closed.
+  template <typename MakeItem>
+  bool PushWith(MakeItem&& make) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(make());
+    ++unfinished_;
+    max_depth_ = std::max(max_depth_, items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue a ready-made item (blocks while full; false when closed).
+  bool Push(T item) {
+    return PushWith([&]() -> T { return std::move(item); });
+  }
+
+  /// Dequeue the next item; blocks while empty. Returns nullopt once the
+  /// queue is closed AND drained (a close still delivers queued items).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Consumer: the last popped item's side effects are complete.
+  void TaskDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--unfinished_ == 0) idle_.notify_all();
+  }
+
+  /// Block until every pushed item has been popped and TaskDone()'d.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] { return unfinished_ == 0; });
+  }
+
+  /// Reject future pushes and wake everyone; queued items still drain.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// High-water mark of the queue depth (backpressure telemetry).
+  size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable idle_;
+  std::deque<T> items_;
+  size_t unfinished_ = 0;  ///< pushed and not yet TaskDone()'d
+  size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace imp
+
+#endif  // IMP_COMMON_INGESTION_QUEUE_H_

@@ -146,7 +146,10 @@ Result<ProvenanceSketch> Maintainer::Initialize() {
   merge_.Build(result);
   sketch_.fragments = merge_.CurrentSketch();
   sketch_.fragments.Resize(catalog_->total_fragments());
-  sketch_.valid_version = db_->CurrentVersion();
+  // Anchor at the stable watermark: the state was built from published
+  // data only, so claiming validity for in-flight allocated versions
+  // would silently skip their deltas.
+  sketch_.valid_version = db_->StableVersion();
   return sketch_;
 }
 
@@ -187,18 +190,21 @@ Result<SketchDelta> Maintainer::MaintainAnnotated(const DeltaContext& ctx,
   return delta;
 }
 
-Result<SketchDelta> Maintainer::MaintainFromBackend() {
-  uint64_t now = db_->CurrentVersion();
+Result<SketchDelta> Maintainer::MaintainFromBackend(uint64_t cut_version) {
   std::vector<TableDelta> deltas;
   for (const std::string& table : plan_->ReferencedTables()) {
-    TableDelta d = db_->ScanDelta(table, sketch_.valid_version, now,
+    TableDelta d = db_->ScanDelta(table, sketch_.valid_version, cut_version,
                                   DeltaPredicate(table));
     if (!d.empty()) deltas.push_back(std::move(d));
   }
   last_fetch_stats_.delta_scans = plan_->ReferencedTables().size();
   last_fetch_stats_.annotation_passes = deltas.size();
   DeltaContext ctx = MakeDeltaContext(std::move(deltas), *catalog_);
-  return MaintainAnnotated(ctx, now);
+  return MaintainAnnotated(ctx, cut_version);
+}
+
+Result<SketchDelta> Maintainer::MaintainFromBackend() {
+  return MaintainFromBackend(db_->StableVersion());
 }
 
 std::function<bool(const Tuple&)> Maintainer::DeltaPredicate(

@@ -62,9 +62,13 @@ class Maintainer {
   Result<SketchDelta> MaintainAnnotated(const DeltaContext& ctx,
                                         uint64_t new_version);
 
-  /// Convenience: fetch the pending deltas for all referenced tables from
-  /// the backend (applying selection push-down) and maintain up to the
-  /// database's current version.
+  /// Fetch the pending deltas for all referenced tables from the backend
+  /// (applying selection push-down) and maintain up to `cut_version` — the
+  /// frozen epoch cut of the maintenance round. Only published delta
+  /// records are visible, so a cut at the stable watermark never observes
+  /// a statement that is still being applied.
+  Result<SketchDelta> MaintainFromBackend(uint64_t cut_version);
+  /// Convenience: cut at the database's stable watermark.
   Result<SketchDelta> MaintainFromBackend();
 
   /// Backend fetch work done by the last MaintainFromBackend call: one

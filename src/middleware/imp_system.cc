@@ -1,6 +1,8 @@
 #include "middleware/imp_system.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/thread_pool.h"
 #include "middleware/maintenance_batch.h"
@@ -17,18 +19,64 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+/// Row predicate of an update's WHERE clause (everything when absent).
+std::function<bool(const Tuple&)> WherePredicate(const BoundUpdate& update) {
+  return update.where ? ExprPredicate(update.where)
+                      : [](const Tuple&) { return true; };
+}
+
+/// The modified rows of an UPDATE statement (UPDATE = DELETE matching rows
+/// + INSERT these), evaluated against the current table state. Shared by
+/// the synchronous apply path and the ingestion worker so the two can
+/// never diverge.
+Result<std::vector<Tuple>> ComputeUpdatedRows(
+    const Database& db, const BoundUpdate& update,
+    const std::function<bool(const Tuple&)>& pred) {
+  const Table* table = db.GetTable(update.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + update.table);
+  }
+  std::vector<Tuple> modified;
+  table->ForEachRow([&](const Tuple& row) {
+    if (!pred(row)) return;
+    Tuple next = row;
+    for (const auto& [col, expr] : update.sets) {
+      next[col] = expr->Eval(row);
+    }
+    modified.push_back(std::move(next));
+  });
+  return modified;
+}
 }  // namespace
 
 ImpSystem::ImpSystem(Database* db, ImpConfig config)
-    : db_(db), config_(config), binder_(db) {}
+    : db_(db), config_(config), binder_(db) {
+  if (config_.async_ingestion) {
+    ingest_queue_ = std::make_unique<IngestionQueue<IngestTask>>(
+        config_.ingest_queue_capacity);
+    ingest_worker_ = std::thread([this] { IngestWorkerLoop(); });
+  }
+}
+
+ImpSystem::~ImpSystem() { StopIngestWorker(); }
+
+void ImpSystem::StopIngestWorker() {
+  if (!ingest_queue_) return;
+  ingest_queue_->Close();
+  if (ingest_worker_.joinable()) ingest_worker_.join();
+}
 
 Status ImpSystem::RegisterPartition(RangePartition partition) {
+  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
   return catalog_.Register(std::move(partition));
 }
 
 Status ImpSystem::PartitionTable(const std::string& table,
                                  const std::string& attribute,
                                  size_t num_fragments) {
+  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
+  auto read = db_->ReadSession();
   const Table* t = db_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   auto idx = t->schema().IndexOf(attribute);
@@ -64,6 +112,7 @@ Result<SketchEntry*> ImpSystem::TryCreateEntry(const std::string& key,
   entry->filter_tables = std::move(filter_tables);
 
   auto start = std::chrono::steady_clock::now();
+  auto read = db_->ReadSession();
   if (config_.mode == ExecutionMode::kIncremental) {
     entry->maintainer = std::make_unique<Maintainer>(db_, &catalog_, plan,
                                                      config_.maintainer);
@@ -99,6 +148,7 @@ Status ImpSystem::EnsureMaintainer(SketchEntry* entry) {
 
 Status ImpSystem::EvictSketchStates() {
   if (config_.mode != ExecutionMode::kIncremental) return Status::OK();
+  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
   for (SketchEntry* entry : sketches_.AllEntries()) {
     if (entry->maintainer == nullptr) continue;
     db_->PutStateBlob(entry->state_key, entry->maintainer->SerializeState());
@@ -136,6 +186,8 @@ Status ImpSystem::RecaptureEntry(SketchEntry* entry) {
 Status ImpSystem::RepartitionTable(const std::string& table,
                                    const std::string& attribute,
                                    size_t num_fragments) {
+  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
+  auto read = db_->ReadSession();
   IMP_RETURN_NOT_OK(catalog_.Unregister(table));
   const Table* t = db_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
@@ -156,11 +208,16 @@ Status ImpSystem::MaintainEntry(SketchEntry* entry) {
   // Single-entry round through the batch pipeline: one code path for
   // staleness checks, fast-forwarding, and incremental-vs-full maintenance
   // whether a sketch is repaired lazily on use or in a MaintainAll round.
-  return MaintainBatch({entry});
+  return MaintainBatchLocked({entry});
 }
 
 Result<Relation> ImpSystem::AnswerWithEntry(SketchEntry* entry,
                                             const PlanPtr& plan) {
+  // One read session spans staleness repair AND execution: the sketch is
+  // repaired to the watermark and the executor then scans exactly that
+  // state — a statement published between the two would otherwise leave
+  // base rows the (older) sketch filter was never maintained against.
+  auto read = db_->ReadSession();
   IMP_RETURN_NOT_OK(MaintainEntry(entry));
   auto start = std::chrono::steady_clock::now();
   PlanPtr rewritten = ApplyUseRewrite(plan, catalog_, entry->sketch,
@@ -177,11 +234,16 @@ Result<Relation> ImpSystem::QueryPlan(const PlanPtr& plan) {
   if (config_.mode == ExecutionMode::kNoSketch ||
       catalog_.total_fragments() == 0) {
     auto start = std::chrono::steady_clock::now();
+    auto read = db_->ReadSession();
     Executor exec(db_);
     Result<Relation> result = exec.Execute(plan);
     stats_.query_seconds += SecondsSince(start);
     return result;
   }
+
+  // The sketch-touching pipeline below is serialized against the ingestion
+  // worker's eager maintenance rounds.
+  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
 
   // Prefilter candidate sketches by query template, then apply the reuse
   // check from [37] (Sec. 2: "determine whether a sketch captured for a
@@ -200,6 +262,7 @@ Result<Relation> ImpSystem::QueryPlan(const PlanPtr& plan) {
       // No safe partition: fall back to plain execution (the paper's
       // "counterexample" queries that do not profit from PBDS).
       auto start = std::chrono::steady_clock::now();
+      auto read = db_->ReadSession();
       Executor exec(db_);
       Result<Relation> result = exec.Execute(plan);
       stats_.query_seconds += SecondsSince(start);
@@ -215,42 +278,65 @@ Result<Relation> ImpSystem::Query(const std::string& sql) {
   return QueryPlan(plan);
 }
 
-Result<uint64_t> ImpSystem::UpdateBound(const BoundUpdate& update) {
-  ++stats_.updates;
-  auto start = std::chrono::steady_clock::now();
-  Result<uint64_t> version = [&]() -> Result<uint64_t> {
-    switch (update.kind) {
-      case BoundUpdate::Kind::kInsert:
-        return db_->Insert(update.table, update.rows);
-      case BoundUpdate::Kind::kDelete: {
-        auto pred = update.where ? ExprPredicate(update.where)
-                                 : [](const Tuple&) { return true; };
-        return db_->Delete(update.table, pred);
-      }
-      case BoundUpdate::Kind::kUpdate: {
-        // UPDATE = DELETE matching rows + INSERT modified rows.
-        const Table* table = db_->GetTable(update.table);
-        if (table == nullptr) {
-          return Status::NotFound("no such table: " + update.table);
-        }
-        auto pred = update.where ? ExprPredicate(update.where)
-                                 : [](const Tuple&) { return true; };
-        std::vector<Tuple> modified;
-        table->ForEachRow([&](const Tuple& row) {
-          if (!pred(row)) return;
-          Tuple next = row;
-          for (const auto& [col, expr] : update.sets) {
-            next[col] = expr->Eval(row);
-          }
-          modified.push_back(std::move(next));
-        });
-        IMP_RETURN_NOT_OK(db_->Delete(update.table, pred).status());
-        return db_->Insert(update.table, modified);
-      }
+Result<uint64_t> ImpSystem::ApplySyncBound(const BoundUpdate& update) {
+  auto write = db_->WriteSession();
+  switch (update.kind) {
+    case BoundUpdate::Kind::kInsert:
+      return db_->Insert(update.table, update.rows);
+    case BoundUpdate::Kind::kDelete:
+      return db_->Delete(update.table, WherePredicate(update));
+    case BoundUpdate::Kind::kUpdate: {
+      auto pred = WherePredicate(update);
+      IMP_ASSIGN_OR_RETURN(std::vector<Tuple> modified,
+                           ComputeUpdatedRows(*db_, update, pred));
+      IMP_RETURN_NOT_OK(db_->Delete(update.table, pred).status());
+      return db_->Insert(update.table, modified);
     }
-    return Status::Internal("unhandled update kind");
-  }();
-  stats_.update_seconds += SecondsSince(start);
+  }
+  return Status::Internal("unhandled update kind");
+}
+
+Result<uint64_t> ImpSystem::EnqueueUpdate(const BoundUpdate& update) {
+  auto start = std::chrono::steady_clock::now();
+  // Copy the statement payload BEFORE entering the queue's critical
+  // section — a large row batch must not serialize other producers.
+  IngestTask task;
+  task.update = update;
+  uint64_t ticket = 0;
+  // Only version allocation runs inside the push critical section, so
+  // ticket order == queue order even with racing producers; the worker
+  // then applies statements in ticket order, keeping every delta log's
+  // version column non-decreasing.
+  bool pushed = ingest_queue_->PushWith([&]() -> IngestTask {
+    if (task.update.kind == BoundUpdate::Kind::kUpdate) {
+      task.delete_version = db_->AllocateVersion();
+    }
+    task.version = db_->AllocateVersion();
+    ticket = task.version;
+    return std::move(task);
+  });
+  if (!pushed) return Status::Internal("ingestion queue closed");
+  {
+    std::lock_guard<std::mutex> lock(update_stats_mu_);
+    ++stats_.updates;
+    ++stats_.ingest_enqueued;
+    stats_.update_seconds += SecondsSince(start);
+  }
+  return ticket;
+}
+
+Result<uint64_t> ImpSystem::UpdateBound(const BoundUpdate& update) {
+  if (config_.async_ingestion) return EnqueueUpdate(update);
+  {
+    std::lock_guard<std::mutex> lock(update_stats_mu_);
+    ++stats_.updates;
+  }
+  auto start = std::chrono::steady_clock::now();
+  Result<uint64_t> version = ApplySyncBound(update);
+  {
+    std::lock_guard<std::mutex> lock(update_stats_mu_);
+    stats_.update_seconds += SecondsSince(start);
+  }
   if (!version.ok()) return version;
   NoteUpdate();
   return version;
@@ -264,17 +350,102 @@ Result<uint64_t> ImpSystem::Update(const std::string& sql) {
   return UpdateBound(bound.update);
 }
 
+Status ImpSystem::ApplyIngestTask(const IngestTask& task) {
+  const BoundUpdate& update = task.update;
+  auto write = db_->WriteSession();
+  switch (update.kind) {
+    case BoundUpdate::Kind::kInsert: {
+      Status staged = db_->StageInsert(update.table, update.rows, task.version);
+      // Publish even a failed statement: it consumed its version, and the
+      // watermark must not stall behind a no-op.
+      db_->PublishVersion(update.table, task.version);
+      return staged;
+    }
+    case BoundUpdate::Kind::kDelete: {
+      Status staged =
+          db_->StageDelete(update.table, WherePredicate(update), task.version)
+              .status();
+      db_->PublishVersion(update.table, task.version);
+      return staged;
+    }
+    case BoundUpdate::Kind::kUpdate: {
+      auto pred = WherePredicate(update);
+      Result<std::vector<Tuple>> modified =
+          ComputeUpdatedRows(*db_, update, pred);
+      if (!modified.ok()) {
+        db_->PublishVersion(update.table, task.delete_version);
+        db_->PublishVersion(update.table, task.version);
+        return modified.status();
+      }
+      Status deleted =
+          db_->StageDelete(update.table, pred, task.delete_version).status();
+      db_->PublishVersion(update.table, task.delete_version);
+      Status inserted =
+          db_->StageInsert(update.table, modified.value(), task.version);
+      db_->PublishVersion(update.table, task.version);
+      IMP_RETURN_NOT_OK(deleted);
+      return inserted;
+    }
+  }
+  // Defensive: even an unrecognized statement must retire its allocated
+  // version(s) — the watermark never stalls.
+  if (task.delete_version != 0) {
+    db_->PublishVersion(update.table, task.delete_version);
+  }
+  db_->PublishVersion(update.table, task.version);
+  return Status::Internal("unhandled update kind");
+}
+
+void ImpSystem::IngestWorkerLoop() {
+  while (std::optional<IngestTask> task = ingest_queue_->Pop()) {
+    auto start = std::chrono::steady_clock::now();
+    Status applied = ApplyIngestTask(*task);
+    {
+      // Same mutex as the producer-side fields: a front end may poll
+      // stats() for ingestion progress while the worker runs.
+      std::lock_guard<std::mutex> lock(update_stats_mu_);
+      stats_.ingest_apply_seconds += SecondsSince(start);
+      ++stats_.ingest_applied;
+    }
+    if (!applied.ok()) {
+      std::lock_guard<std::mutex> lock(ingest_error_mu_);
+      if (ingest_error_.ok()) ingest_error_ = applied;
+    }
+    // Eager maintenance runs on the worker, after the statement is
+    // published — the same "after every applied statement" points as the
+    // synchronous path, so eager rounds fire at identical epochs.
+    if (applied.ok()) NoteUpdate();
+    ingest_queue_->TaskDone();
+  }
+}
+
+Status ImpSystem::WaitForIngest() {
+  if (ingest_queue_) {
+    ingest_queue_->WaitIdle();
+    std::lock_guard<std::mutex> lock(update_stats_mu_);
+    stats_.ingest_queue_peak =
+        std::max(stats_.ingest_queue_peak, ingest_queue_->max_depth());
+  }
+  std::lock_guard<std::mutex> lock(ingest_error_mu_);
+  return ingest_error_;
+}
+
 void ImpSystem::NoteUpdate() {
   if (config_.strategy != MaintenanceStrategy::kEager) return;
-  if (++pending_update_statements_ < config_.eager_batch_size) return;
+  if (pending_update_statements_.fetch_add(1, std::memory_order_relaxed) + 1 <
+      config_.eager_batch_size) {
+    return;
+  }
   // Eagerly maintain every sketch that may be affected (Sec. 2) through
   // the shared batch pipeline; best effort — errors surface on use.
   MaintainAll();
 }
 
 Status ImpSystem::MaintainAll() {
-  pending_update_statements_ = 0;
-  return MaintainBatch(sketches_.AllEntries());
+  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
+  auto read = db_->ReadSession();
+  pending_update_statements_.store(0, std::memory_order_relaxed);
+  return MaintainBatchLocked(sketches_.AllEntries());
 }
 
 ThreadPool& ImpSystem::MaintenancePool() {
@@ -285,8 +456,14 @@ ThreadPool& ImpSystem::MaintenancePool() {
   return *maintenance_pool_;
 }
 
-Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
-  const uint64_t now = db_->CurrentVersion();
+Status ImpSystem::MaintainBatchLocked(
+    const std::vector<SketchEntry*>& entries) {
+  // Freeze the round's epoch cut at the stable watermark; the caller's
+  // read session spans the whole round, so every statement at or below
+  // the cut is fully published and no in-flight statement can race rows
+  // into the round. The cut — not CurrentVersion(), which may run ahead
+  // during asynchronous ingestion — keys every shared cache below.
+  const uint64_t cut = db_->StableVersion();
   const bool incremental = config_.mode == ExecutionMode::kIncremental;
 
   // Round planning (serial): restore evicted maintainers and classify each
@@ -314,7 +491,7 @@ Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
       if (planning_error.ok()) planning_error = restored;
       continue;
     }
-    if (entry->valid_version() >= now) continue;
+    if (entry->valid_version() >= cut) continue;
     bool stale = false;
     for (const std::string& table : entry->plan->ReferencedTables()) {
       if (db_->HasPendingDelta(table, entry->valid_version())) {
@@ -335,14 +512,16 @@ Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
   if (items.empty()) return planning_error;
 
   // Shared delta fetch & annotation: scan + annotate each distinct
-  // (table, from_version) once so workers only read the cache. A round
-  // with a single stale entry has nothing to share — the per-sketch path
-  // is cheaper there because ScanDelta applies selection push-down during
-  // the scan instead of filtering an unfiltered annotated delta.
+  // (table, from_version) once so workers only read the cache. Every
+  // incremental round — including a lazy single-entry repair on use —
+  // goes through the shared pipeline, so delta_scans / annotation_hits /
+  // zero-copy counters mean the same thing on every path. (A single-entry
+  // round trades ScanDelta's scan-time push-down for a bitmap over the
+  // unfiltered annotated delta; results are bit-identical.)
   const bool shared = incremental && config_.shared_delta_fetch &&
-                      stale_count > 1;
+                      stale_count > 0;
   auto round_start = std::chrono::steady_clock::now();
-  MaintenanceBatch batch(db_, &catalog_, now);
+  MaintenanceBatch batch(db_, &catalog_, cut);
   if (shared) {
     for (const Item& item : items) {
       if (!item.stale) continue;
@@ -361,9 +540,9 @@ Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
     SketchEntry* entry = items[i].entry;
     if (!items[i].stale) {
       // Version bumps from updates to unrelated tables only fast-forward.
-      entry->sketch.valid_version = now;
+      entry->sketch.valid_version = cut;
       if (entry->maintainer) {
-        statuses[i] = entry->maintainer->Maintain({}, now).status();
+        statuses[i] = entry->maintainer->Maintain({}, cut).status();
       }
       return;
     }
@@ -371,8 +550,8 @@ Status ImpSystem::MaintainBatch(const std::vector<SketchEntry*>& entries) {
     if (incremental) {
       Result<SketchDelta> result =
           shared ? entry->maintainer->MaintainAnnotated(
-                       batch.ContextFor(*entry->maintainer), now)
-                 : entry->maintainer->MaintainFromBackend();
+                       batch.ContextFor(*entry->maintainer), cut)
+                 : entry->maintainer->MaintainFromBackend(cut);
       statuses[i] = result.status();
       if (result.ok()) entry->sketch = entry->maintainer->sketch();
     } else {

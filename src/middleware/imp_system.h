@@ -11,13 +11,36 @@
 //   kIncremental     — IMP: staleness is repaired by the incremental engine.
 // Maintenance timing follows the configured strategy: lazy (maintain when a
 // stale sketch is needed) or eager (maintain after every batch of updates).
+//
+// Ingestion runs in one of two modes:
+//   synchronous  — Update() applies the statement under the caller and
+//                  returns its published version (the seed behaviour);
+//   asynchronous — Update() allocates the statement's version, enqueues it
+//                  onto a bounded MPSC queue and returns the version as a
+//                  ticket immediately; a background worker applies
+//                  statements in ticket order and publishes the stable
+//                  watermark. Maintenance rounds cut at the watermark
+//                  epoch, never at the (possibly ahead) allocated version,
+//                  so a round is immune to rows racing in mid-round. After
+//                  WaitForIngest() every sketch, query result and
+//                  maintenance counter is bit-identical to the synchronous
+//                  run of the same stream of VALID statements. (A failing
+//                  statement diverges deliberately: its version was
+//                  allocated at enqueue and is retired on failure so the
+//                  watermark cannot stall — WAL/sequence-number semantics —
+//                  whereas the synchronous path validates before
+//                  allocating.)
 
 #ifndef IMP_MIDDLEWARE_IMP_SYSTEM_H_
 #define IMP_MIDDLEWARE_IMP_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
+#include "common/ingestion_queue.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "middleware/sketch_manager.h"
@@ -38,15 +61,25 @@ struct ImpConfig {
   MaintainerOptions maintainer;
   /// Keep superseded sketch versions (Sec. 2 immutable-sketch versioning).
   bool retain_sketch_history = false;
-  /// Batched MaintainAll: scan + annotate each referenced table's pending
+  /// Batched maintenance: scan + annotate each referenced table's pending
   /// delta once per round (shared annotation cache) and hand per-sketch
   /// filtered views to the maintainers, instead of one backend log scan
-  /// per sketch. Results are bit-identical either way.
+  /// per sketch. Applies to every incremental round — MaintainAll, eager
+  /// flushes AND lazy single-entry repair on use — so the shared-work
+  /// counters (delta_scans / annotation_hits / zero-copy stats) are
+  /// accounted uniformly. Results are bit-identical either way.
   bool shared_delta_fetch = true;
   /// Worker threads for MaintainAll fan-out over independent sketch
   /// entries (1 = serial in-thread, 0 = hardware concurrency). Sketch
   /// results are bit-identical to the serial run for any thread count.
   size_t maintenance_threads = 1;
+  /// Asynchronous ingestion: Update() enqueues and returns the statement's
+  /// pre-allocated version (the ticket) immediately; the background worker
+  /// applies and publishes. Off = the seed's synchronous path.
+  bool async_ingestion = false;
+  /// Bounded ingestion queue capacity; producers block when it is full
+  /// (backpressure instead of unbounded memory growth).
+  size_t ingest_queue_capacity = 1024;
 };
 
 /// Wall-clock accounting split by pipeline stage.
@@ -69,20 +102,39 @@ struct ImpSystemStats {
   size_t deltas_borrowed = 0;
   size_t deltas_materialized = 0;
   size_t rows_copied = 0;
+  // Asynchronous ingestion counters. In async mode update_seconds measures
+  // ENQUEUE latency (what the writer observes); the apply cost moves to
+  // the worker and is reported separately.
+  size_t ingest_enqueued = 0;      ///< statements enqueued (async mode)
+  size_t ingest_applied = 0;       ///< statements applied by the worker
+  size_t ingest_queue_peak = 0;    ///< queue-depth high-water mark
+  double ingest_apply_seconds = 0; ///< worker time applying statements
   double capture_seconds = 0;
   double maintain_seconds = 0;
   double query_seconds = 0;      ///< instrumented/plain query execution
-  double update_seconds = 0;
+  double update_seconds = 0;     ///< sync: apply latency; async: enqueue
 
   double TotalSeconds() const {
-    return capture_seconds + maintain_seconds + query_seconds + update_seconds;
+    return capture_seconds + maintain_seconds + query_seconds +
+           update_seconds + ingest_apply_seconds;
   }
   void Reset() { *this = ImpSystemStats{}; }
 };
 
+/// Thread-safety contract: Update()/UpdateBound() may be called from many
+/// producer threads concurrently (async mode serializes them on the queue;
+/// sync mode on the backend's write session). Everything else — Query,
+/// MaintainAll, Repartition, Evict, stats() — remains a single-session
+/// front end, serialized against the background worker's eager rounds
+/// internally; read stats() after WaitForIngest() when ingesting
+/// asynchronously.
 class ImpSystem {
  public:
   ImpSystem(Database* db, ImpConfig config = {});
+  ~ImpSystem();
+
+  ImpSystem(const ImpSystem&) = delete;
+  ImpSystem& operator=(const ImpSystem&) = delete;
 
   /// Register a range partition for sketching (part of Φ).
   Status RegisterPartition(RangePartition partition);
@@ -96,10 +148,21 @@ class ImpSystem {
   /// Run a bound plan (bypasses the parser; used by benchmarks).
   Result<Relation> QueryPlan(const PlanPtr& plan);
 
-  /// Apply a SQL update (INSERT / DELETE / UPDATE); returns the new version.
+  /// Apply a SQL update (INSERT / DELETE / UPDATE). Synchronous mode:
+  /// applies under the caller and returns the published version.
+  /// Asynchronous mode: enqueues and immediately returns the statement's
+  /// pre-allocated version — the ticket; the statement is visible to
+  /// queries/maintenance once the stable watermark passes it.
   Result<uint64_t> Update(const std::string& sql);
   /// Apply a bound update.
   Result<uint64_t> UpdateBound(const BoundUpdate& update);
+
+  /// Drain barrier for asynchronous ingestion: block until every enqueued
+  /// statement has been applied and published, and any eager maintenance
+  /// it triggered has finished. Returns the first deferred apply error (a
+  /// failed async statement cannot report through its own Update call).
+  /// No-op returning OK in synchronous mode.
+  Status WaitForIngest();
 
   /// Force maintenance of every stale sketch (flushes eager buffering).
   Status MaintainAll();
@@ -124,22 +187,42 @@ class ImpSystem {
   const ImpConfig& config() const { return config_; }
 
  private:
+  /// One queued update statement with its pre-allocated version(s).
+  struct IngestTask {
+    BoundUpdate update;
+    uint64_t version = 0;         ///< the ticket (kUpdate: the insert half)
+    uint64_t delete_version = 0;  ///< kUpdate only: the delete half
+  };
+
   Result<Relation> AnswerWithEntry(SketchEntry* entry, const PlanPtr& plan);
   Result<SketchEntry*> TryCreateEntry(const std::string& key,
                                       const PlanPtr& plan);
   Status MaintainEntry(SketchEntry* entry);
   /// One batched maintenance round over `entries`: shared delta fetch &
-  /// annotation (config.shared_delta_fetch) and parallel per-entry fan-out
-  /// (config.maintenance_threads).
-  Status MaintainBatch(const std::vector<SketchEntry*>& entries);
+  /// annotation (config.shared_delta_fetch), parallel per-entry fan-out
+  /// (config.maintenance_threads), cut frozen at the stable watermark.
+  /// Caller holds pipeline_mu_ AND the backend's read session (so the
+  /// repaired sketch and any subsequent execution under the same session
+  /// observe one consistent watermark).
+  Status MaintainBatchLocked(const std::vector<SketchEntry*>& entries);
   /// Re-materialize an evicted maintainer from the backend blob store.
   Status EnsureMaintainer(SketchEntry* entry);
   /// Rebuild an entry's state + sketch from scratch (repartitioning).
   Status RecaptureEntry(SketchEntry* entry);
+  /// Eager-strategy bookkeeping; runs on the caller (sync) or the
+  /// ingestion worker (async), after the statement is applied.
   void NoteUpdate();
-  /// Worker pool for MaintainBatch, created on first use and reused across
-  /// rounds (spawning/joining threads per round would dominate small
-  /// rounds, especially under eager maintenance).
+  /// Apply the statement under the caller (synchronous mode).
+  Result<uint64_t> ApplySyncBound(const BoundUpdate& update);
+  /// Allocate version(s) + enqueue; returns the ticket (async mode).
+  Result<uint64_t> EnqueueUpdate(const BoundUpdate& update);
+  /// Worker body: pop, apply under the backend's write session, publish.
+  void IngestWorkerLoop();
+  Status ApplyIngestTask(const IngestTask& task);
+  void StopIngestWorker();
+  /// Worker pool for maintenance rounds, created on first use and reused
+  /// across rounds (spawning/joining threads per round would dominate
+  /// small rounds, especially under eager maintenance).
   ThreadPool& MaintenancePool();
 
   Database* db_;
@@ -148,8 +231,24 @@ class ImpSystem {
   SketchManager sketches_;
   Binder binder_;
   ImpSystemStats stats_;
-  size_t pending_update_statements_ = 0;
+  /// Eager-strategy statement counter. Atomic: incremented by NoteUpdate
+  /// on the ingestion worker (async) or producer threads (sync), reset by
+  /// the maintenance round that flushes it.
+  std::atomic<size_t> pending_update_statements_{0};
   std::unique_ptr<ThreadPool> maintenance_pool_;
+  /// Serializes the sketch-touching front end (query pipeline, maintenance
+  /// rounds, repartition, eviction) against the ingestion worker's eager
+  /// rounds. Always acquired BEFORE the backend session lock.
+  std::mutex pipeline_mu_;
+  /// Guards the ingestion-side stat fields (updates / update_seconds /
+  /// ingest_enqueued on producers; ingest_applied / ingest_apply_seconds /
+  /// ingest_queue_peak on the worker and drain) so a front end may poll
+  /// stats() for ingestion progress mid-flight.
+  std::mutex update_stats_mu_;
+  std::mutex ingest_error_mu_;
+  Status ingest_error_;  ///< first deferred async apply error
+  std::unique_ptr<IngestionQueue<IngestTask>> ingest_queue_;
+  std::thread ingest_worker_;
 };
 
 }  // namespace imp

@@ -2,11 +2,6 @@
 
 namespace imp {
 
-std::string MaintenanceBatch::CacheKey(const std::string& table,
-                                       uint64_t from_version) {
-  return table + "#" + std::to_string(from_version);
-}
-
 void MaintenanceBatch::Prefetch(const std::string& table,
                                 uint64_t from_version) {
   GetOrFetch(table, from_version, /*count_hit=*/false);
@@ -15,7 +10,7 @@ void MaintenanceBatch::Prefetch(const std::string& table,
 const AnnotatedDelta* MaintenanceBatch::GetOrFetch(const std::string& table,
                                                    uint64_t from_version,
                                                    bool count_hit) {
-  std::string key = CacheKey(table, from_version);
+  DeltaCacheKey key{table, from_version};
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {

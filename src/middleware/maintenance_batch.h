@@ -33,10 +33,12 @@
 #ifndef IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_
 #define IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_
 
+#include <cstddef>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "imp/maintainer.h"
 
 namespace imp {
@@ -46,6 +48,28 @@ struct MaintenanceBatchStats {
   size_t delta_scans = 0;        ///< backend delta-log scans issued
   size_t annotation_passes = 0;  ///< annotate(ΔR, Φ) runs over a table delta
   size_t annotation_hits = 0;    ///< per-sketch views served from the cache
+};
+
+/// Cache key of one shared annotated delta: the (table, from_version)
+/// interval against the round's frozen cut version (the cut is a fixed
+/// property of the whole MaintenanceBatch, so it needs no slot here). A
+/// struct key with a combined hash — not a concatenated string — keeps the
+/// per-lookup cost on the maintenance hot path to one short-string copy.
+struct DeltaCacheKey {
+  std::string table;
+  uint64_t from_version = 0;
+
+  bool operator==(const DeltaCacheKey& other) const {
+    return from_version == other.from_version && table == other.table;
+  }
+};
+
+struct DeltaCacheKeyHash {
+  size_t operator()(const DeltaCacheKey& key) const {
+    return static_cast<size_t>(
+        HashCombine(HashBytes(key.table.data(), key.table.size()),
+                    HashInt64(key.from_version)));
+  }
 };
 
 class MaintenanceBatch {
@@ -79,14 +103,12 @@ class MaintenanceBatch {
   const AnnotatedDelta* GetOrFetch(const std::string& table,
                                    uint64_t from_version, bool count_hit);
 
-  static std::string CacheKey(const std::string& table, uint64_t from_version);
-
   const Database* db_;
   const PartitionCatalog* catalog_;
   const uint64_t to_version_;
 
   mutable std::mutex mu_;  ///< guards cache_ and all counters
-  std::unordered_map<std::string, AnnotatedDelta> cache_;
+  std::unordered_map<DeltaCacheKey, AnnotatedDelta, DeltaCacheKeyHash> cache_;
   size_t delta_scans_ = 0;
   size_t annotation_passes_ = 0;
   size_t annotation_hits_ = 0;

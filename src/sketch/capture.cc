@@ -17,7 +17,9 @@ Result<std::pair<Relation, ProvenanceSketch>> CaptureEngine::CaptureWithResult(
   ProvenanceSketch sketch;
   sketch.fragments = result.SketchUnion();
   sketch.fragments.Resize(catalog_->total_fragments());
-  sketch.valid_version = db_->CurrentVersion();
+  // The capture query read published data only; anchor at the watermark so
+  // in-flight asynchronously-ingested statements still count as pending.
+  sketch.valid_version = db_->StableVersion();
   return std::make_pair(result.ToRelation(), std::move(sketch));
 }
 

@@ -4,22 +4,6 @@
 
 namespace imp {
 
-namespace {
-
-/// First delta-log record with version > from_version. Versions are
-/// non-decreasing in the append-only log, so a binary search finds the
-/// start of the stale window in O(log n) — a small stale tail at the end
-/// of a long-lived log costs O(window) instead of O(log length).
-std::vector<DeltaRecord>::const_iterator DeltaWindowBegin(
-    const std::vector<DeltaRecord>& log, uint64_t from_version) {
-  return std::upper_bound(log.begin(), log.end(), from_version,
-                          [](uint64_t v, const DeltaRecord& rec) {
-                            return v < rec.version;
-                          });
-}
-
-}  // namespace
-
 Status Database::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name) > 0) {
     return Status::InvalidArgument("table already exists: " + name);
@@ -57,28 +41,59 @@ Status Database::BulkLoad(const std::string& table,
   return Status::OK();
 }
 
-Result<uint64_t> Database::Insert(const std::string& table,
-                                  const std::vector<Tuple>& rows) {
+Status Database::StageInsert(const std::string& table,
+                             const std::vector<Tuple>& rows,
+                             uint64_t version) {
   Table* t = GetMutableTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
-  uint64_t v = ++version_;
   for (const Tuple& row : rows) {
     t->AppendRow(row);
-    t->AppendDelta(DeltaRecord{row, /*mult=*/1, v});
+    t->AppendDelta(DeltaRecord{row, /*mult=*/1, version});
   }
+  return Status::OK();
+}
+
+Result<size_t> Database::StageDelete(
+    const std::string& table, const std::function<bool(const Tuple&)>& pred,
+    uint64_t version, size_t limit) {
+  Table* t = GetMutableTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  std::vector<Tuple> removed = t->DeleteWhereLimit(pred, limit);
+  size_t count = removed.size();
+  for (Tuple& row : removed) {
+    t->AppendDelta(DeltaRecord{std::move(row), /*mult=*/-1, version});
+  }
+  return count;
+}
+
+void Database::PublishVersion(const std::string& table, uint64_t version) {
+  // A failed statement may target a missing table: retire its version
+  // anyway so the stable watermark cannot stall behind it.
+  Table* t = GetMutableTable(table);
+  if (t != nullptr) t->PublishDeltas();
+  clock_.Publish(version);
+}
+
+Result<uint64_t> Database::Insert(const std::string& table,
+                                  const std::vector<Tuple>& rows) {
+  if (!HasTable(table)) return Status::NotFound("no such table: " + table);
+  uint64_t v = AllocateVersion();
+  Status staged = StageInsert(table, rows, v);
+  // Publish even on failure: an allocated version that never publishes
+  // would stall the stable watermark forever.
+  PublishVersion(table, v);
+  IMP_RETURN_NOT_OK(staged);
   return v;
 }
 
 Result<uint64_t> Database::Delete(
     const std::string& table, const std::function<bool(const Tuple&)>& pred,
     size_t limit) {
-  Table* t = GetMutableTable(table);
-  if (t == nullptr) return Status::NotFound("no such table: " + table);
-  uint64_t v = ++version_;
-  std::vector<Tuple> removed = t->DeleteWhereLimit(pred, limit);
-  for (Tuple& row : removed) {
-    t->AppendDelta(DeltaRecord{std::move(row), /*mult=*/-1, v});
-  }
+  if (!HasTable(table)) return Status::NotFound("no such table: " + table);
+  uint64_t v = AllocateVersion();
+  Status staged = StageDelete(table, pred, v, limit).status();
+  PublishVersion(table, v);
+  IMP_RETURN_NOT_OK(staged);
   return v;
 }
 
@@ -89,12 +104,7 @@ TableDelta Database::ScanDelta(
   out.table = table;
   const Table* t = GetTable(table);
   if (t == nullptr) return out;
-  const std::vector<DeltaRecord>& log = t->delta_log();
-  for (auto it = DeltaWindowBegin(log, from_version);
-       it != log.end() && it->version <= to_version; ++it) {
-    if (pred && !pred(it->row)) continue;
-    out.records.push_back(*it);
-  }
+  t->delta_log().CollectWindow(from_version, to_version, pred, &out.records);
   return out;
 }
 
@@ -102,16 +112,14 @@ size_t Database::PendingDeltaCount(const std::string& table,
                                    uint64_t from_version) const {
   const Table* t = GetTable(table);
   if (t == nullptr) return 0;
-  const std::vector<DeltaRecord>& log = t->delta_log();
-  return static_cast<size_t>(
-      std::distance(DeltaWindowBegin(log, from_version), log.end()));
+  return t->delta_log().CountAfter(from_version);
 }
 
 bool Database::HasPendingDelta(const std::string& table,
                                uint64_t from_version) const {
   const Table* t = GetTable(table);
-  if (t == nullptr || t->delta_log().empty()) return false;
-  return t->delta_log().back().version > from_version;
+  if (t == nullptr) return false;
+  return t->delta_log().HasRecordAfter(from_version);
 }
 
 size_t Database::MemoryBytes() const {

@@ -5,6 +5,26 @@
 // monotonically increasing statement-level snapshot version, fetching the
 // (optionally pre-filtered) delta between two versions, and evaluating
 // queries / delta joins (via exec::Executor, which takes a const Database&).
+//
+// Versioning is epoch-aware (storage/version_clock.h): every statement's
+// version is first *allocated*, then *applied* (base rows + staged delta
+// records), then *published*. StableVersion() — the highest version whose
+// every predecessor is fully published — is the watermark maintenance
+// rounds cut at; CurrentVersion() is the highest allocated version and may
+// run ahead of the watermark while asynchronous ingestion is in flight.
+// On the synchronous Insert/Delete path the three steps happen under the
+// caller, so the two counters always coincide there.
+//
+// Concurrency: the synchronous mutators and the catalog are single-session
+// as before. The asynchronous ingestion path (AllocateVersion / Stage* /
+// PublishVersion, driven by the middleware's single ingestion worker) is
+// safe against concurrent readers on two levels:
+//   * delta-log readers (ScanDelta / PendingDeltaCount / HasPendingDelta)
+//     see only each table log's published prefix — per-table ("striped")
+//     locks plus an atomic publication step, no global latch;
+//   * base-table readers (query execution, maintenance) exclude in-flight
+//     appliers via the session lock: the worker applies each statement
+//     under WriteSession(), readers hold ReadSession() for their span.
 
 #ifndef IMP_STORAGE_DATABASE_H_
 #define IMP_STORAGE_DATABASE_H_
@@ -12,11 +32,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/table.h"
+#include "storage/version_clock.h"
 
 namespace imp {
 
@@ -29,8 +51,6 @@ struct TableDelta {
   size_t size() const { return records.size(); }
 };
 
-/// Catalog + storage + versioning. Not thread-safe (single-session backend,
-/// like the paper's experimental setup).
 class Database {
  public:
   Database() = default;
@@ -47,7 +67,8 @@ class Database {
   Status BulkLoad(const std::string& table, const std::vector<Tuple>& rows);
 
   /// Insert rows as one statement: appends to base data and delta log,
-  /// bumps the snapshot version. Returns the new version.
+  /// bumps the snapshot version. Returns the new version. Synchronous:
+  /// the version is allocated, applied and published under the caller.
   Result<uint64_t> Insert(const std::string& table,
                           const std::vector<Tuple>& rows);
 
@@ -57,27 +78,78 @@ class Database {
                           const std::function<bool(const Tuple&)>& pred,
                           size_t limit = SIZE_MAX);
 
-  /// Current snapshot version (0 before any update).
-  uint64_t CurrentVersion() const { return version_; }
+  /// Highest allocated snapshot version (0 before any update). May exceed
+  /// StableVersion() while asynchronous ingestion is in flight.
+  uint64_t CurrentVersion() const { return clock_.allocated(); }
+
+  /// Highest fully-published version: every statement <= this version has
+  /// been applied and its delta records are visible. The epoch cut for
+  /// maintenance rounds.
+  uint64_t StableVersion() const { return clock_.stable(); }
+
+  // --- Epoch-aware append path (asynchronous ingestion) -------------------
+  //
+  // The middleware's ingestion worker drives one statement through
+  //   v = AllocateVersion();             (at enqueue: v is the ticket)
+  //   StageInsert/StageDelete(..., v);   (at apply, under WriteSession)
+  //   PublishVersion(table, v);
+  // Statements must be applied in allocation order (the bounded MPSC
+  // queue's pop order); each table's log then keeps non-decreasing
+  // versions, which the window binary search relies on.
+
+  /// Reserve the next statement version without touching storage.
+  uint64_t AllocateVersion() { return clock_.Allocate(); }
+
+  /// Apply an insert at a pre-allocated version: append base rows and
+  /// stage delta records into `table`'s unpublished log tail.
+  Status StageInsert(const std::string& table, const std::vector<Tuple>& rows,
+                     uint64_t version);
+
+  /// Apply a delete at a pre-allocated version (at most `limit` rows).
+  /// Returns the number of rows removed.
+  Result<size_t> StageDelete(const std::string& table,
+                             const std::function<bool(const Tuple&)>& pred,
+                             uint64_t version, size_t limit = SIZE_MAX);
+
+  /// Publish `version`: make `table`'s staged delta records visible and
+  /// advance the stable watermark once the version gap below closes. Also
+  /// used to retire the version of a failed statement (a no-op statement
+  /// still consumes its version, otherwise the watermark would stall).
+  void PublishVersion(const std::string& table, uint64_t version);
+
+  // --- Session lock -------------------------------------------------------
+
+  /// Shared-side guard for base-table readers (query execution, sketch
+  /// capture, maintenance rounds). Cheap when uncontended; excludes an
+  /// in-flight asynchronous apply for the guard's lifetime.
+  std::shared_lock<std::shared_mutex> ReadSession() const {
+    return std::shared_lock<std::shared_mutex>(session_mu_);
+  }
+  /// Exclusive-side guard the ingestion worker holds while applying one
+  /// statement (and the synchronous update path holds around its apply).
+  std::unique_lock<std::shared_mutex> WriteSession() const {
+    return std::unique_lock<std::shared_mutex>(session_mu_);
+  }
 
   /// Fetch the signed delta of `table` in the half-open version interval
   /// (from_version, to_version]. If `pred` is set, only rows satisfying it
   /// are returned — this implements IMP's "filtering deltas based on
-  /// selections" push-down (Sec. 7.2). The log's versions are
-  /// non-decreasing, so the window start is binary-searched: a small stale
-  /// tail of a long-lived log costs O(window), not O(log length).
+  /// selections" push-down (Sec. 7.2). Only published records are visible;
+  /// the log's published versions are non-decreasing, so the window start
+  /// is binary-searched: a small stale tail of a long-lived log costs
+  /// O(window), not O(log length).
   TableDelta ScanDelta(const std::string& table, uint64_t from_version,
                        uint64_t to_version,
                        const std::function<bool(const Tuple&)>& pred = {}) const;
 
-  /// Number of delta rows in (from_version, current] for `table`.
+  /// Number of published delta rows in (from_version, current] for `table`.
   size_t PendingDeltaCount(const std::string& table,
                            uint64_t from_version) const;
 
-  /// True iff `table` has any delta row newer than `from_version`. O(1):
-  /// the log is append-only with non-decreasing versions, so only the last
-  /// record needs checking. Staleness tests on the maintenance hot path
-  /// use this instead of counting the whole log.
+  /// True iff `table` has any published delta row newer than `from_version`.
+  /// Wait-free (two atomic loads): staleness tests on the maintenance hot
+  /// path use this instead of counting the whole log, and it is safe
+  /// against a concurrent in-flight writer.
   bool HasPendingDelta(const std::string& table, uint64_t from_version) const;
 
   /// Key-value blob store used by the middleware to persist incremental
@@ -95,7 +167,8 @@ class Database {
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
-  uint64_t version_ = 0;
+  VersionClock clock_;
+  mutable std::shared_mutex session_mu_;
   std::map<std::string, std::string> state_blobs_;
 };
 

@@ -1,0 +1,77 @@
+#include "storage/delta_log.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace imp {
+
+void DeltaLog::Append(DeltaRecord rec) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  records_.push_back(std::move(rec));
+}
+
+void DeltaLog::Publish() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!records_.empty()) {
+    last_published_version_.store(records_.back().version,
+                                  std::memory_order_release);
+  }
+  published_.store(records_.size(), std::memory_order_release);
+}
+
+void DeltaLog::Truncate(uint64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t published = published_.load(std::memory_order_relaxed);
+  size_t cut = WindowBegin(version, published);
+  records_.erase(records_.begin(), records_.begin() + cut);
+  published_.store(published - cut, std::memory_order_release);
+}
+
+DeltaRecord DeltaLog::At(size_t i) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return records_[i];
+}
+
+size_t DeltaLog::WindowBegin(uint64_t from_version, size_t published) const {
+  auto begin = records_.begin();
+  auto it = std::upper_bound(begin, begin + published, from_version,
+                             [](uint64_t v, const DeltaRecord& rec) {
+                               return v < rec.version;
+                             });
+  return static_cast<size_t>(it - begin);
+}
+
+size_t DeltaLog::CountAfter(uint64_t from_version) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t published = published_.load(std::memory_order_acquire);
+  return published - WindowBegin(from_version, published);
+}
+
+void DeltaLog::CollectWindow(uint64_t from_version, uint64_t to_version,
+                             const std::function<bool(const Tuple&)>& pred,
+                             std::vector<DeltaRecord>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t published = published_.load(std::memory_order_acquire);
+  for (size_t i = WindowBegin(from_version, published); i < published; ++i) {
+    const DeltaRecord& rec = records_[i];
+    if (rec.version > to_version) break;
+    if (pred && !pred(rec.row)) continue;
+    out->push_back(rec);
+  }
+}
+
+size_t DeltaLog::unpublished() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return records_.size() - published_.load(std::memory_order_acquire);
+}
+
+size_t DeltaLog::MemoryBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const DeltaRecord& rec : records_) {
+    bytes += sizeof(DeltaRecord) + TupleMemoryBytes(rec.row);
+  }
+  return bytes;
+}
+
+}  // namespace imp

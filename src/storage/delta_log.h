@@ -1,0 +1,119 @@
+// A per-table append-only delta log with an explicit publication step, so
+// delta scans are safe against in-flight writers (the async ingestion
+// worker appending a statement's records while maintenance probes
+// staleness).
+//
+// The log has two zones:
+//
+//     [0, published)            — visible to every reader,
+//     [published, appended)     — the in-flight tail of the statement the
+//                                 writer is currently applying; invisible.
+//
+// Append() stages records into the tail; Publish() moves the boundary in
+// one release-store once the statement is fully applied. Versions are
+// non-decreasing across the published prefix (statements are applied in
+// allocation order), so window scans binary-search the start.
+//
+// Concurrency contract (the "striped" part: each table's log has its own
+// lock, so writers to different tables and readers of different tables
+// never contend on a global latch):
+//   * writers (Append / Publish / Truncate) must be externally serialized
+//     per table — the Database's sync path and the single async ingestion
+//     worker both guarantee this;
+//   * HasRecordAfter() and last_published_version() are wait-free (atomics
+//     only) — they back the O(1) staleness probe on the maintenance hot
+//     path and never touch record storage;
+//   * window scans / counts take the shared side of the log's lock, so a
+//     concurrent Append's vector growth cannot move records under them.
+
+#ifndef IMP_STORAGE_DELTA_LOG_H_
+#define IMP_STORAGE_DELTA_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace imp {
+
+/// Signed, versioned delta record: mult > 0 for insertions (Δ+), mult < 0
+/// for deletions (Δ-). `version` is the snapshot id of the statement that
+/// produced the change.
+struct DeltaRecord {
+  Tuple row;
+  int64_t mult = 1;
+  uint64_t version = 0;
+};
+
+class DeltaLog {
+ public:
+  DeltaLog() = default;
+  DeltaLog(const DeltaLog&) = delete;
+  DeltaLog& operator=(const DeltaLog&) = delete;
+
+  // --- Writer side (externally serialized per table) ---
+
+  /// Stage one record into the unpublished tail.
+  void Append(DeltaRecord rec);
+
+  /// Publish the whole staged tail: all appended records become visible and
+  /// last_published_version() advances to the newest record's version.
+  void Publish();
+
+  /// Drop published records with version <= `version` (log truncation once
+  /// every sketch has been maintained past that point).
+  void Truncate(uint64_t version);
+
+  // --- Reader side ---
+
+  /// Number of published records.
+  size_t size() const { return published_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  /// Copy of published record `i` (i < size()). Takes the shared lock.
+  DeltaRecord At(size_t i) const;
+
+  /// Version of the newest published record (0 when none). Wait-free.
+  uint64_t last_published_version() const {
+    return last_published_version_.load(std::memory_order_acquire);
+  }
+
+  /// True iff any published record has version > `from_version`. Wait-free
+  /// (the O(1) staleness probe).
+  bool HasRecordAfter(uint64_t from_version) const {
+    return published_.load(std::memory_order_acquire) > 0 &&
+           last_published_version_.load(std::memory_order_acquire) >
+               from_version;
+  }
+
+  /// Number of published records with version > `from_version`.
+  size_t CountAfter(uint64_t from_version) const;
+
+  /// Append every published record in (from_version, to_version] that
+  /// passes `pred` (empty = all) to `out`, in log order.
+  void CollectWindow(uint64_t from_version, uint64_t to_version,
+                     const std::function<bool(const Tuple&)>& pred,
+                     std::vector<DeltaRecord>* out) const;
+
+  /// Records staged but not yet published (tests / introspection).
+  size_t unpublished() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  /// Index of the first published record with version > from_version.
+  /// Caller holds mu_ (any side).
+  size_t WindowBegin(uint64_t from_version, size_t published) const;
+
+  mutable std::shared_mutex mu_;  ///< guards records_
+  std::vector<DeltaRecord> records_;
+  std::atomic<size_t> published_{0};
+  std::atomic<uint64_t> last_published_version_{0};
+};
+
+}  // namespace imp
+
+#endif  // IMP_STORAGE_DELTA_LOG_H_

@@ -92,13 +92,6 @@ void Table::ForEachRow(const std::function<void(const Tuple&)>& fn) const {
   }
 }
 
-void Table::TruncateDeltaLog(uint64_t version) {
-  auto it = std::partition_point(
-      delta_log_.begin(), delta_log_.end(),
-      [version](const DeltaRecord& rec) { return rec.version <= version; });
-  delta_log_.erase(delta_log_.begin(), it);
-}
-
 std::pair<Value, Value> Table::ColumnMinMax(size_t col) const {
   Value min, max;
   bool first = true;
@@ -172,9 +165,7 @@ const std::vector<Table::RowLoc>* Table::IndexProbe(size_t col,
 size_t Table::MemoryBytes() const {
   size_t bytes = sizeof(Table);
   for (const DataChunk& chunk : chunks_) bytes += chunk.MemoryBytes();
-  for (const DeltaRecord& rec : delta_log_) {
-    bytes += sizeof(DeltaRecord) + TupleMemoryBytes(rec.row);
-  }
+  bytes += delta_log_.MemoryBytes();
   return bytes;
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/schema.h"
 #include "common/tuple.h"
+#include "storage/delta_log.h"
 
 namespace imp {
 
@@ -68,15 +69,6 @@ class DataChunk {
   size_t num_rows_;
 };
 
-/// Signed, versioned delta record: mult > 0 for insertions (Δ+), mult < 0
-/// for deletions (Δ-). `version` is the snapshot id of the statement that
-/// produced the change.
-struct DeltaRecord {
-  Tuple row;
-  int64_t mult = 1;
-  uint64_t version = 0;
-};
-
 /// A base table: schema + chunks + append-only delta log.
 class Table {
  public:
@@ -104,12 +96,18 @@ class Table {
   /// Invoke `fn` on every row (materializing row tuples chunk by chunk).
   void ForEachRow(const std::function<void(const Tuple&)>& fn) const;
 
-  /// Delta log access (used by Database::ScanDelta).
-  const std::vector<DeltaRecord>& delta_log() const { return delta_log_; }
-  void AppendDelta(DeltaRecord rec) { delta_log_.push_back(std::move(rec)); }
+  /// Delta log access (used by Database::ScanDelta). Readers see only the
+  /// published prefix; records staged by AppendDelta become visible at the
+  /// next PublishDeltas().
+  const DeltaLog& delta_log() const { return delta_log_; }
+  /// Stage one record into the log's unpublished tail (writer-serialized;
+  /// the Database wrapper stamps versions and publishes per statement).
+  void AppendDelta(DeltaRecord rec) { delta_log_.Append(std::move(rec)); }
+  /// Publish every staged record (the statement is fully applied).
+  void PublishDeltas() { delta_log_.Publish(); }
   /// Drop delta records at or below `version` (log truncation once every
   /// sketch has been maintained past that point).
-  void TruncateDeltaLog(uint64_t version);
+  void TruncateDeltaLog(uint64_t version) { delta_log_.Truncate(version); }
 
   /// Min / max of an integer or double column over the base data; used to
   /// build range partitions covering the whole domain.
@@ -149,7 +147,7 @@ class Table {
   Schema schema_;
   std::vector<DataChunk> chunks_;
   size_t num_rows_ = 0;
-  std::vector<DeltaRecord> delta_log_;
+  DeltaLog delta_log_;
   /// Guards hash_indexes_ against concurrent lazy builds from parallel
   /// maintenance workers; steady-state probes only take the shared side.
   /// Writer paths (AppendRow, DeleteWhere*) touch the map unlocked — they

@@ -1,0 +1,16 @@
+#include "storage/version_clock.h"
+
+namespace imp {
+
+void VersionClock::Publish(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push(version);
+  uint64_t stable = stable_.load(std::memory_order_relaxed);
+  while (!pending_.empty() && pending_.top() == stable + 1) {
+    ++stable;
+    pending_.pop();
+  }
+  stable_.store(stable, std::memory_order_release);
+}
+
+}  // namespace imp

@@ -104,10 +104,10 @@ TEST(DatabaseTest, DeleteLogsNegativeDelta) {
       "t", [](const Tuple& row) { return row[0].AsInt() >= 2; });
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(db.GetTable("t")->NumRows(), 1u);
-  const auto& log = db.GetTable("t")->delta_log();
+  const DeltaLog& log = db.GetTable("t")->delta_log();
   ASSERT_EQ(log.size(), 2u);
-  EXPECT_EQ(log[0].mult, -1);
-  EXPECT_EQ(log[1].mult, -1);
+  EXPECT_EQ(log.At(0).mult, -1);
+  EXPECT_EQ(log.At(1).mult, -1);
 }
 
 TEST(DatabaseTest, ScanDeltaVersionWindow) {
@@ -165,7 +165,7 @@ TEST(DatabaseTest, DeltaLogTruncation) {
   ASSERT_TRUE(db.Insert("t", {Row(2, 2)}).ok());  // v2
   db.GetMutableTable("t")->TruncateDeltaLog(1);
   EXPECT_EQ(db.GetTable("t")->delta_log().size(), 1u);
-  EXPECT_EQ(db.GetTable("t")->delta_log()[0].version, 2u);
+  EXPECT_EQ(db.GetTable("t")->delta_log().At(0).version, 2u);
 }
 
 TEST(DatabaseTest, InsertIntoMissingTableFails) {
