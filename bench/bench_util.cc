@@ -51,6 +51,15 @@ double MedianSeconds(const std::function<void()>& fn) {
   return times[times.size() / 2];
 }
 
+double PercentileUs(std::vector<double> seconds, double q) {
+  if (seconds.empty()) return 0;
+  std::sort(seconds.begin(), seconds.end());
+  size_t idx = std::min(seconds.size() - 1,
+                        static_cast<size_t>(q * static_cast<double>(
+                                                    seconds.size())));
+  return seconds[idx] * 1e6;
+}
+
 void PrintFigureHeader(const std::string& figure, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", figure.c_str(), title.c_str());

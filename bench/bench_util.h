@@ -36,6 +36,8 @@ int Reps();
 double TimeSeconds(const std::function<void()>& fn);
 /// Median of Reps() invocations.
 double MedianSeconds(const std::function<void()>& fn);
+/// The q-quantile (0 <= q <= 1) of per-op latencies, in MICROseconds.
+double PercentileUs(std::vector<double> seconds, double q);
 
 /// Pretty header for a figure bench.
 void PrintFigureHeader(const std::string& figure, const std::string& title);

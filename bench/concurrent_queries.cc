@@ -1,0 +1,257 @@
+// bench_concurrent_queries — reader scaling of the sharded, snapshot-
+// isolated sketch front end (the PR 4 tentpole claim).
+//
+// For 8 sketches over one table, N reader threads issue sketch-answered
+// queries for a fixed wall-clock window, in two regimes:
+//
+//   idle   — no writers: every query validates its pinned snapshot and
+//            executes lock-free (the pure reader-scaling ceiling);
+//   loaded — an asynchronous ingestion stream plus eager maintenance
+//            rounds (every 8 statements, on the worker) run concurrently:
+//            readers race the worker's shard-exclusive repairs, hitting
+//            the snapshot fast path when fresh and the lazy-repair slow
+//            path when stale.
+//
+// Reported per (readers, regime): aggregate QPS and per-query p50/p99
+// latency, merged into BENCH_PR4.json. Hard gate (exit non-zero): after
+// draining and a final MaintainAll, every sketch-answered query must be
+// bit-identical to a no-sketch full scan — concurrency must not buy
+// throughput with stale or torn sketches. The scaling bar itself (8-reader
+// loaded QPS >= 3x 1-reader loaded QPS) is only enforced with
+// IMP_BENCH_ENFORCE_SCALING=1: it needs real cores (a 1-CPU container
+// cannot express reader parallelism), so shared/virtualized runners record
+// the ratio instead of gating on it.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "exec/executor.h"
+#include "workload/driver.h"
+
+namespace imp {
+namespace {
+
+constexpr size_t kSketches = 8;
+constexpr size_t kEagerBatch = 8;
+constexpr size_t kReaderCounts[] = {1, 4, 8};
+constexpr double kMeasureSeconds = 0.35;
+
+std::vector<std::string> SketchQueries(size_t rows_per_group) {
+  const char* metrics[] = {"b", "c", "d", "e", "f", "g", "h", "i"};
+  std::vector<std::string> queries;
+  for (size_t s = 0; s < kSketches; ++s) {
+    queries.push_back("SELECT a, sum(" + std::string(metrics[s]) +
+                      ") AS s FROM edb1 GROUP BY a HAVING sum(" +
+                      std::string(metrics[s]) + ") > " +
+                      std::to_string(rows_per_group * 400));
+  }
+  return queries;
+}
+
+struct RunResult {
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  size_t queries = 0;
+  bool correct = true;
+};
+
+RunResult RunWindow(size_t num_readers, bool loaded) {
+  Database db;
+  SyntheticSpec spec;
+  spec.name = "edb1";
+  spec.num_rows = bench::ScaledRows(20000);
+  spec.num_groups = 500;
+  IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+
+  ImpConfig config;
+  config.mode = ExecutionMode::kIncremental;
+  config.strategy =
+      loaded ? MaintenanceStrategy::kEager : MaintenanceStrategy::kLazy;
+  config.eager_batch_size = kEagerBatch;
+  config.shared_delta_fetch = true;
+  config.maintenance_threads = 1;
+  config.async_ingestion = loaded;
+  config.ingest_queue_capacity = 256;
+  ImpSystem system(&db, config);
+  IMP_CHECK(system
+                .RegisterPartition(RangePartition::EquiWidthInt(
+                    "edb1", "a", 1, 0, 499, 100))
+                .ok());
+
+  size_t rows_per_group = spec.num_rows / 500 + 1;
+  std::vector<std::string> queries = SketchQueries(rows_per_group);
+  for (const std::string& q : queries) {
+    auto result = system.Query(q);
+    IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  }
+  IMP_CHECK(system.sketches().size() == kSketches);
+
+  // Measurement window: N readers round-robin over the sketch queries
+  // until the deadline; the loaded regime adds a producer enqueueing
+  // single-row inserts (the worker applies them and fires eager rounds).
+  std::atomic<bool> stop_producer{false};
+  std::vector<std::vector<double>> latencies(num_readers);
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(kMeasureSeconds);
+
+  std::thread producer;
+  if (loaded) {
+    producer = std::thread([&] {
+      auto gen = SyntheticInsertGen("edb1", 1, 500,
+                                    static_cast<int64_t>(spec.num_rows));
+      Rng rng(11);
+      while (!stop_producer.load(std::memory_order_acquire)) {
+        BoundUpdate update = gen(rng);
+        IMP_CHECK(system.UpdateBound(update).ok());
+      }
+    });
+  }
+
+  auto measure_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  readers.reserve(num_readers);
+  for (size_t r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      size_t next = r;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const std::string& sql = queries[next % queries.size()];
+        ++next;
+        double seconds = bench::TimeSeconds([&] {
+          auto result = system.Query(sql);
+          IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+        });
+        latencies[r].push_back(seconds);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  double measured =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    measure_start)
+          .count();
+  stop_producer.store(true, std::memory_order_release);
+  if (producer.joinable()) producer.join();
+  IMP_CHECK(system.WaitForIngest().ok());
+  IMP_CHECK(system.MaintainAll().ok());
+
+  RunResult run;
+  std::vector<double> all;
+  for (const auto& reader : latencies) {
+    run.queries += reader.size();
+    all.insert(all.end(), reader.begin(), reader.end());
+  }
+  run.qps = measured > 0 ? static_cast<double>(run.queries) / measured : 0;
+  run.p50_us = bench::PercentileUs(all, 0.50);
+  run.p99_us = bench::PercentileUs(all, 0.99);
+
+  // Correctness gate: every sketch-answered query on the drained system
+  // must equal a no-sketch full scan of the same backend state.
+  Binder binder(&db);
+  Executor exec(&db);
+  for (const std::string& sql : queries) {
+    auto plan = binder.BindQuery(sql);
+    IMP_CHECK(plan.ok());
+    auto full = exec.Execute(plan.value());
+    auto through_sketch = system.Query(sql);
+    IMP_CHECK(full.ok());
+    IMP_CHECK_MSG(through_sketch.ok(),
+                  through_sketch.status().ToString().c_str());
+    run.correct =
+        run.correct && full.value().SameBag(through_sketch.value());
+  }
+  return run;
+}
+
+/// Median QPS/latency over Reps(); correctness AND-ed across reps.
+RunResult MedianRun(size_t num_readers, bool loaded) {
+  std::vector<RunResult> reps;
+  for (int r = 0; r < bench::Reps(); ++r) {
+    reps.push_back(RunWindow(num_readers, loaded));
+  }
+  std::sort(reps.begin(), reps.end(),
+            [](const RunResult& a, const RunResult& b) { return a.qps < b.qps; });
+  RunResult median = reps[reps.size() / 2];
+  for (const RunResult& rep : reps) median.correct &= rep.correct;
+  return median;
+}
+
+int Main() {
+  bench::PrintFigureHeader(
+      "concurrent_queries",
+      "Sharded front end: reader scaling under maintenance+ingest load");
+
+  bench::JsonReport json("concurrent_queries", "BENCH_PR4.json");
+  bench::SeriesTable table(
+      "readers", {"idle QPS", "idle p99 us", "loaded QPS", "loaded p50 us",
+                  "loaded p99 us"});
+
+  bool correct = true;
+  double qps_1_loaded = 0, qps_max_loaded = 0;
+  for (size_t readers : kReaderCounts) {
+    RunResult idle = MedianRun(readers, /*loaded=*/false);
+    RunResult load = MedianRun(readers, /*loaded=*/true);
+    correct = correct && idle.correct && load.correct;
+    if (readers == 1) qps_1_loaded = load.qps;
+    qps_max_loaded = load.qps;
+
+    table.AddRow(std::to_string(readers),
+                 {idle.qps, idle.p99_us, load.qps, load.p50_us, load.p99_us});
+    std::string group = "readers_" + std::to_string(readers);
+    json.Add(group, "idle_qps", idle.qps);
+    json.Add(group, "idle_p50_us", idle.p50_us);
+    json.Add(group, "idle_p99_us", idle.p99_us);
+    json.Add(group, "loaded_qps", load.qps);
+    json.Add(group, "loaded_p50_us", load.p50_us);
+    json.Add(group, "loaded_p99_us", load.p99_us);
+  }
+  table.Print();
+
+  double scaling =
+      qps_1_loaded > 0 ? qps_max_loaded / qps_1_loaded : 0;
+  unsigned hw = std::thread::hardware_concurrency();
+  json.Add("scaling", "loaded_qps_8_over_1", scaling);
+  json.Add("scaling", "hardware_threads", static_cast<double>(hw));
+  json.Add("scaling", "results_identical", correct ? 1.0 : 0.0);
+  json.Write();
+  std::printf(
+      "\nloaded QPS scaling 1 -> 8 readers: %.2fx (on %u hardware threads)\n"
+      "correctness (drained sketch answers == full scans): %s\n",
+      scaling, hw, correct ? "PASS" : "FAIL");
+  std::printf("JSON report merged into %s\n",
+              std::getenv("IMP_BENCH_JSON") != nullptr
+                  ? std::getenv("IMP_BENCH_JSON")
+                  : "BENCH_PR4.json");
+
+  if (!correct) {
+    std::fprintf(stderr,
+                 "FAIL: sketch answers diverged from full scans after the "
+                 "concurrent run\n");
+    return 1;
+  }
+  const char* enforce = std::getenv("IMP_BENCH_ENFORCE_SCALING");
+  if (enforce != nullptr && enforce[0] == '1') {
+    if (scaling < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: 8-reader loaded QPS is only %.2fx the single-reader "
+                   "QPS (bar: >= 3x)\n",
+                   scaling);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace imp
+
+int main() { return imp::Main(); }

@@ -43,15 +43,6 @@ namespace {
 constexpr size_t kSketchCounts[] = {1, 4, 8};
 constexpr size_t kEagerBatch = 8;
 
-double PercentileUs(std::vector<double> seconds, double q) {
-  if (seconds.empty()) return 0;
-  std::sort(seconds.begin(), seconds.end());
-  size_t idx = std::min(seconds.size() - 1,
-                        static_cast<size_t>(q * static_cast<double>(
-                                                    seconds.size())));
-  return seconds[idx] * 1e6;
-}
-
 struct RunResult {
   double p50_us = 0;   ///< median writer-visible Update() latency
   double p99_us = 0;
@@ -114,8 +105,8 @@ RunResult RunStream(bool async, size_t num_sketches) {
     IMP_CHECK(system.WaitForIngest().ok());
     IMP_CHECK(system.MaintainAll().ok());
   });
-  run.p50_us = PercentileUs(latencies, 0.50);
-  run.p99_us = PercentileUs(latencies, 0.99);
+  run.p50_us = bench::PercentileUs(latencies, 0.50);
+  run.p99_us = bench::PercentileUs(latencies, 0.99);
   run.queue_peak = system.stats().ingest_queue_peak;
   for (SketchEntry* entry : system.sketches().AllEntries()) {
     run.sketches.push_back(entry->sketch.fragments.SetBits());

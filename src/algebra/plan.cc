@@ -63,6 +63,19 @@ std::set<std::string> PlanNode::ReferencedTables() const {
   return out;
 }
 
+std::string_view PlanNode::PrimaryTable() const {
+  std::string_view primary;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    if (node.kind() == PlanKind::kScan) {
+      std::string_view table = static_cast<const ScanNode&>(node).table();
+      if (primary.empty() || table < primary) primary = table;
+    }
+    for (const PlanPtr& child : node.children()) walk(*child);
+  };
+  walk(*this);
+  return primary;
+}
+
 std::string ScanNode::Label(bool templated) const {
   std::string out = "Scan[" + table_;
   if (filter_) out += " | " + filter_->ToString(templated);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "expr/expr.h"
@@ -68,6 +69,11 @@ class PlanNode {
 
   /// Names of all base tables accessed by the subtree.
   std::set<std::string> ReferencedTables() const;
+
+  /// Alphabetically-first base table of the subtree (empty view when the
+  /// plan scans no table). Returns a view into the plan's own scan nodes —
+  /// no allocation — so per-query shard routing stays off the heap.
+  std::string_view PrimaryTable() const;
 
  protected:
   PlanNode(PlanKind kind, Schema output_schema, std::vector<PlanPtr> children)

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <memory>
 
 namespace imp {
 
@@ -29,36 +30,49 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
-    ++in_flight_;
   }
   task_ready_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   // A single item gains nothing from a cross-thread handoff (the caller
-  // would just block on Wait); this keeps one-entry maintenance rounds —
+  // would just block waiting); this keeps one-entry maintenance rounds —
   // every lazily-repaired query — off the queue entirely.
   if (workers_.empty() || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   // One task per worker pulling indices from a shared counter keeps the
-  // queue short and balances skewed per-item costs.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
+  // queue short and balances skewed per-item costs. Completion is tracked
+  // per CALL, not through pool-wide bookkeeping: several maintenance
+  // rounds may fan out on this pool concurrently (per-shard rounds, lazy
+  // repairs), and a caller must not block on another round's items. The
+  // caller also claims indices itself, and it waits for fn INVOCATIONS,
+  // not for its queued helper tasks: a helper that only gets scheduled
+  // after every index is done (stuck behind another round's work) wakes
+  // up, finds the counter exhausted and exits without touching `fn` —
+  // which is why the by-reference `fn` capture is safe even then, and why
+  // a fast round never stalls behind a slow neighbour.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t completed = 0;  ///< finished fn invocations (target: n)
+  };
+  auto state = std::make_shared<ForState>();
+  auto run_share = [state, n, &fn] {
+    for (size_t i = state->next++; i < n; i = state->next++) {
+      fn(i);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (++state->completed == n) state->done.notify_all();
+    }
+  };
   size_t tasks = workers_.size() < n ? workers_.size() : n;
-  for (size_t t = 0; t < tasks; ++t) {
-    Submit([next, n, &fn] {
-      for (size_t i = (*next)++; i < n; i = (*next)++) fn(i);
-    });
-  }
-  Wait();
+  for (size_t t = 0; t < tasks; ++t) Submit(run_share);
+  run_share();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->completed == n; });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -72,10 +86,6 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
   }
 }
 

@@ -32,13 +32,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue one task (runs inline when the pool has no workers).
+  /// Fire-and-forget: completion is the submitter's business — ParallelFor
+  /// tracks it per call, so concurrent rounds never wait on each other.
   void Submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
-  void Wait();
-
-  /// Run fn(0) .. fn(n-1); items are claimed dynamically by workers. Blocks
-  /// until all invocations are done. Safe to call with n == 0.
+  /// Run fn(0) .. fn(n-1); items are claimed dynamically by the workers AND
+  /// the calling thread. Blocks until all invocations are done. Safe to
+  /// call with n == 0, and safe for CONCURRENT callers: completion is
+  /// tracked per call, so overlapping maintenance rounds sharing this pool
+  /// never block on each other's items.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Number of worker threads (0 = inline execution).
@@ -55,8 +57,6 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;  ///< queued + currently running tasks
   bool stop_ = false;
 };
 

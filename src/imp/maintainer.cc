@@ -38,6 +38,8 @@ Maintainer::Maintainer(const Database* db, const PartitionCatalog* catalog,
       ++scan_counts_[static_cast<const ScanNode&>(*node).table()];
     }
   });
+  std::set<std::string> referenced = plan_->ReferencedTables();
+  tables_.assign(referenced.begin(), referenced.end());
   if (options_.selection_pushdown) ComputePushdowns();
   root_ = BuildOperator(plan_);
 }
@@ -192,12 +194,12 @@ Result<SketchDelta> Maintainer::MaintainAnnotated(const DeltaContext& ctx,
 
 Result<SketchDelta> Maintainer::MaintainFromBackend(uint64_t cut_version) {
   std::vector<TableDelta> deltas;
-  for (const std::string& table : plan_->ReferencedTables()) {
+  for (const std::string& table : tables_) {
     TableDelta d = db_->ScanDelta(table, sketch_.valid_version, cut_version,
                                   DeltaPredicate(table));
     if (!d.empty()) deltas.push_back(std::move(d));
   }
-  last_fetch_stats_.delta_scans = plan_->ReferencedTables().size();
+  last_fetch_stats_.delta_scans = tables_.size();
   last_fetch_stats_.annotation_passes = deltas.size();
   DeltaContext ctx = MakeDeltaContext(std::move(deltas), *catalog_);
   return MaintainAnnotated(ctx, cut_version);

@@ -84,6 +84,10 @@ class Maintainer {
   const ProvenanceSketch& sketch() const { return sketch_; }
   uint64_t maintained_version() const { return sketch_.valid_version; }
   const PlanPtr& plan() const { return plan_; }
+  /// The plan's referenced tables, cached at construction (sorted): every
+  /// maintenance round iterates them, and re-deriving the set would
+  /// allocate per round.
+  const std::vector<std::string>& tables() const { return tables_; }
 
   /// Predicate to push into the delta fetch for `table`, or an empty
   /// function when nothing can be pushed (Sec. 7.2 delta filtering).
@@ -113,6 +117,7 @@ class Maintainer {
   const Database* db_;
   const PartitionCatalog* catalog_;
   PlanPtr plan_;
+  std::vector<std::string> tables_;  ///< cached plan_->ReferencedTables()
   MaintainerOptions options_;
   MaintainStats stats_;
   std::unique_ptr<IncOperator> root_;

@@ -68,14 +68,20 @@ void ImpSystem::StopIngestWorker() {
 }
 
 Status ImpSystem::RegisterPartition(RangePartition partition) {
-  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
+  std::unique_lock<std::shared_mutex> frontend(frontend_mu_);
+  // A new partition can make previously unsketchable templates sketchable.
+  sketches_.ClearUnsketchable();
   return catalog_.Register(std::move(partition));
 }
 
 Status ImpSystem::PartitionTable(const std::string& table,
                                  const std::string& attribute,
                                  size_t num_fragments) {
-  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
+  std::unique_lock<std::shared_mutex> frontend(frontend_mu_);
+  // A new partition can make previously unsketchable templates sketchable.
+  // Cleared BEFORE the read session: shard locks precede the session in
+  // the lock hierarchy (conservative if registration fails below).
+  sketches_.ClearUnsketchable();
   auto read = db_->ReadSession();
   const Table* t = db_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
@@ -91,12 +97,13 @@ Status ImpSystem::PartitionTable(const std::string& table,
       table, attribute, *idx, std::move(values), num_fragments));
 }
 
-Result<SketchEntry*> ImpSystem::TryCreateEntry(const std::string& key,
-                                               const PlanPtr& plan) {
+Result<SketchEntry*> ImpSystem::TryCreateEntryLocked(
+    SketchManager::Shard& shard, const std::string& key, const PlanPtr& plan) {
   // Determine which partitioned tables referenced by the query have a safe
   // partition attribute; only those may be filtered by the sketch.
   std::set<std::string> filter_tables;
-  for (const std::string& table : plan->ReferencedTables()) {
+  std::set<std::string> referenced = plan->ReferencedTables();
+  for (const std::string& table : referenced) {
     const RangePartition* part = catalog_.Find(table);
     if (part == nullptr) continue;
     SafetyResult safety =
@@ -107,8 +114,9 @@ Result<SketchEntry*> ImpSystem::TryCreateEntry(const std::string& key,
 
   auto entry = std::make_unique<SketchEntry>();
   entry->state_key =
-      "imp_state/" + key + "#" + std::to_string(sketches_.size());
+      "imp_state/" + key + "#" + std::to_string(sketches_.NextEntryId());
   entry->plan = plan;
+  entry->tables.assign(referenced.begin(), referenced.end());
   entry->filter_tables = std::move(filter_tables);
 
   auto start = std::chrono::steady_clock::now();
@@ -121,9 +129,15 @@ Result<SketchEntry*> ImpSystem::TryCreateEntry(const std::string& key,
     CaptureEngine capture(db_, &catalog_);
     IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(plan));
   }
-  stats_.capture_seconds += SecondsSince(start);
-  ++stats_.sketch_captures;
-  return sketches_.Insert(key, std::move(entry));
+  // Readers resolve the entry only after InsertLocked below, but publish
+  // first so no window ever exposes an entry without a current snapshot.
+  entry->PublishSnapshot();
+  {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    stats_.capture_seconds += SecondsSince(start);
+    ++stats_.sketch_captures;
+  }
+  return sketches_.InsertLocked(shard, key, std::move(entry));
 }
 
 Status ImpSystem::EnsureMaintainer(SketchEntry* entry) {
@@ -148,7 +162,7 @@ Status ImpSystem::EnsureMaintainer(SketchEntry* entry) {
 
 Status ImpSystem::EvictSketchStates() {
   if (config_.mode != ExecutionMode::kIncremental) return Status::OK();
-  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
+  std::unique_lock<std::shared_mutex> frontend(frontend_mu_);
   for (SketchEntry* entry : sketches_.AllEntries()) {
     if (entry->maintainer == nullptr) continue;
     db_->PutStateBlob(entry->state_key, entry->maintainer->SerializeState());
@@ -162,7 +176,7 @@ Status ImpSystem::RecaptureEntry(SketchEntry* entry) {
   // Re-derive which partitioned tables are safely filterable (partition
   // attributes may have changed).
   entry->filter_tables.clear();
-  for (const std::string& table : entry->plan->ReferencedTables()) {
+  for (const std::string& table : entry->tables) {
     const RangePartition* part = catalog_.Find(table);
     if (part == nullptr) continue;
     if (AnalyzeSketchSafety(entry->plan, table, part->attr_index()).safe) {
@@ -179,98 +193,233 @@ Status ImpSystem::RecaptureEntry(SketchEntry* entry) {
     CaptureEngine capture(db_, &catalog_);
     IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(entry->plan));
   }
-  ++stats_.sketch_captures;
+  // The fragment-id space changed with the catalog: readers arriving after
+  // the repartition releases the front-end lock must see the recaptured
+  // snapshot, never the old fragment ids against the new catalog.
+  entry->PublishSnapshot();
+  {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    ++stats_.sketch_captures;
+  }
   return Status::OK();
 }
 
 Status ImpSystem::RepartitionTable(const std::string& table,
                                    const std::string& attribute,
                                    size_t num_fragments) {
-  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
+  // Stop-the-world: every query path reads the catalog, and the global
+  // fragment-id compaction below invalidates every sketch at once. A
+  // reader that already pinned a SketchSnapshot keeps its (immutable,
+  // pre-repartition) view; it cannot be executing concurrently because it
+  // holds the front-end lock shared for the query's duration.
+  std::unique_lock<std::shared_mutex> frontend(frontend_mu_);
+  // Collect entries BEFORE opening the read session: the lock hierarchy is
+  // shard locks -> backend session, and AllEntries read-locks each shard.
+  // (Uncontended here — the exclusive front-end lock already excludes every
+  // shard-lock holder — but the acquisition order must hold everywhere.)
+  std::vector<SketchEntry*> entries = sketches_.AllEntries();
+  // The replaced partition (different attribute or ranges) can change
+  // which templates are sketchable; also a shard-lock user, so it runs
+  // before the session opens. Conservative if a validation below fails.
+  sketches_.ClearUnsketchable();
   auto read = db_->ReadSession();
-  IMP_RETURN_NOT_OK(catalog_.Unregister(table));
+  // Validate everything BEFORE touching the catalog: once Unregister
+  // compacts the global fragment-id space, an early return would leave
+  // every published snapshot encoding ids the new catalog reinterprets —
+  // and the delta-based staleness probe cannot flag that.
   const Table* t = db_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   auto idx = t->schema().IndexOf(attribute);
   if (!idx.has_value()) {
     return Status::NotFound("no such column: " + table + "." + attribute);
   }
-  IMP_RETURN_NOT_OK(catalog_.Register(RangePartition::EquiDepth(
-      table, attribute, *idx, t->ColumnValues(*idx), num_fragments)));
-  // Global fragment ids changed: every sketch must be recaptured.
-  for (SketchEntry* entry : sketches_.AllEntries()) {
-    IMP_RETURN_NOT_OK(RecaptureEntry(entry));
+  std::vector<Value> values = t->ColumnValues(*idx);
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot partition empty table " + table);
   }
-  return Status::OK();
+  IMP_RETURN_NOT_OK(catalog_.Unregister(table));
+  // From here on the fragment-id space HAS changed; every sketch must be
+  // re-anchored against the current catalog before readers return, even
+  // if a step fails — collect errors instead of returning early. Recapture
+  // is skipped only when REGISTRATION failed (there is no catalog to
+  // recapture against) — one entry's recapture failure must not disable
+  // the remaining entries.
+  Status registered = catalog_.Register(RangePartition::EquiDepth(
+      table, attribute, *idx, std::move(values), num_fragments));
+  Status first_error = registered;
+  for (SketchEntry* entry : entries) {
+    Status recaptured = registered.ok() ? RecaptureEntry(entry) : registered;
+    if (!recaptured.ok()) {
+      // The entry's sketch still encodes pre-repartition fragment ids.
+      // Disable sketch filtering for it (an empty filter set leaves every
+      // scan untouched in the use-rewrite — correct, merely
+      // unaccelerated) and republish so readers never pair the stale ids
+      // with the new catalog; the next successful recapture re-enables
+      // filtering.
+      entry->filter_tables.clear();
+      entry->PublishSnapshot();
+      if (first_error.ok()) first_error = recaptured;
+    }
+  }
+  return first_error;
 }
 
-Status ImpSystem::MaintainEntry(SketchEntry* entry) {
-  // Single-entry round through the batch pipeline: one code path for
-  // staleness checks, fast-forwarding, and incremental-vs-full maintenance
-  // whether a sketch is repaired lazily on use or in a MaintainAll round.
-  return MaintainBatchLocked({entry});
-}
-
-Result<Relation> ImpSystem::AnswerWithEntry(SketchEntry* entry,
-                                            const PlanPtr& plan) {
-  // One read session spans staleness repair AND execution: the sketch is
-  // repaired to the watermark and the executor then scans exactly that
-  // state — a statement published between the two would otherwise leave
-  // base rows the (older) sketch filter was never maintained against.
-  auto read = db_->ReadSession();
-  IMP_RETURN_NOT_OK(MaintainEntry(entry));
+Result<Relation> ImpSystem::ExecutePlain(const PlanPtr& plan) {
   auto start = std::chrono::steady_clock::now();
-  PlanPtr rewritten = ApplyUseRewrite(plan, catalog_, entry->sketch,
-                                      &entry->filter_tables);
+  auto read = db_->ReadSession();
+  Executor exec(db_);
+  Result<Relation> result = exec.Execute(plan);
+  std::lock_guard<std::mutex> stats(stats_mu_);
+  stats_.query_seconds += SecondsSince(start);
+  return result;
+}
+
+bool ImpSystem::EntryIsStaleAt(const SketchEntry& entry,
+                               uint64_t version) const {
+  for (const std::string& table : entry.tables) {
+    if (db_->HasPendingDelta(table, version)) return true;
+  }
+  return false;
+}
+
+SketchEntry* ImpSystem::FindReusableLocked(const SketchManager::Shard& shard,
+                                           std::string_view key,
+                                           const PlanPtr& plan) {
+  // Prefilter candidate sketches by query template, then apply the reuse
+  // check from [37] (Sec. 2: "determine whether a sketch captured for a
+  // query Q' in the past can be safely used to answer Q").
+  for (SketchEntry* candidate : SketchManager::CandidatesLocked(shard, key)) {
+    if (CanReuseSketch(candidate->plan, plan)) return candidate;
+  }
+  return nullptr;
+}
+
+Result<Relation> ImpSystem::AnswerWithEntry(SketchManager::Shard& shard,
+                                            SketchEntry* entry,
+                                            const PlanPtr& plan) {
+  // Fast path — snapshot-isolated read. Pin the published snapshot, then
+  // validate it at the current watermark under the backend's read session:
+  // the session excludes the in-flight apply+publish, so the watermark is
+  // frozen for everything below. A snapshot with no pending delta on any
+  // of the entry's tables is exactly the sketch a fully serialized run
+  // would use (the serialized round would classify the entry non-stale and
+  // only fast-forward its version; the fragment set — all the rewrite
+  // reads — would be unchanged).
+  {
+    auto read = db_->ReadSession();
+    std::shared_ptr<const SketchSnapshot> snapshot = entry->Snapshot();
+    bool stale;
+    for (;;) {
+      stale = EntryIsStaleAt(*entry, snapshot->valid_version());
+      // Confirm the pinned snapshot is still the entry's CURRENT one. A
+      // repair published behind our pin may have let the truncation sweep
+      // drop exactly the delta records that proved our older snapshot
+      // stale — the probe above would then vacuously say "fresh". If a
+      // newer snapshot exists, every truncated record is at or below ITS
+      // valid_version (the sweep's minimum includes this entry), so
+      // re-validating against it is sound. Bounded: publications cut at
+      // the stable watermark, which our read session freezes, so each
+      // entry republishes at most once while we sit here.
+      std::shared_ptr<const SketchSnapshot> current = entry->Snapshot();
+      if (current == snapshot) break;
+      snapshot = std::move(current);
+    }
+    if (!stale) {
+      auto start = std::chrono::steady_clock::now();
+      PlanPtr rewritten =
+          ApplyUseRewrite(plan, catalog_, *snapshot, &entry->filter_tables);
+      Executor exec(db_);
+      Result<Relation> result = exec.Execute(rewritten);
+      std::lock_guard<std::mutex> stats(stats_mu_);
+      stats_.query_seconds += SecondsSince(start);
+      if (result.ok()) {
+        ++stats_.sketch_uses;
+        ++stats_.snapshot_reads;
+      }
+      return result;
+    }
+  }
+
+  // Slow path — lazy repair. Exclusive on this entry's shard (readers of
+  // other tables proceed); one read session spans staleness repair AND
+  // execution: the sketch is repaired to the watermark and the executor
+  // then scans exactly that state — a statement published between the two
+  // would otherwise leave base rows the (older) sketch filter was never
+  // maintained against. The shard lock itself is released before
+  // execution: once the repaired snapshot is pinned, the session alone
+  // keeps it current.
+  std::unique_lock<std::shared_mutex> wl(shard.mu);
+  auto read = db_->ReadSession();
+  IMP_RETURN_NOT_OK(MaintainBatchLocked({entry}));
+  std::shared_ptr<const SketchSnapshot> snapshot = entry->Snapshot();
+  wl.unlock();
+  auto start = std::chrono::steady_clock::now();
+  PlanPtr rewritten =
+      ApplyUseRewrite(plan, catalog_, *snapshot, &entry->filter_tables);
   Executor exec(db_);
   Result<Relation> result = exec.Execute(rewritten);
+  std::lock_guard<std::mutex> stats(stats_mu_);
   stats_.query_seconds += SecondsSince(start);
   if (result.ok()) ++stats_.sketch_uses;
   return result;
 }
 
 Result<Relation> ImpSystem::QueryPlan(const PlanPtr& plan) {
-  ++stats_.queries;
+  {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    ++stats_.queries;
+  }
+  // The whole sketch pipeline runs under the SHARED front-end lock: many
+  // queries, maintenance rounds and eager flushes proceed concurrently;
+  // only catalog mutation / whole-store surgery excludes them.
+  std::shared_lock<std::shared_mutex> frontend(frontend_mu_);
   if (config_.mode == ExecutionMode::kNoSketch ||
       catalog_.total_fragments() == 0) {
-    auto start = std::chrono::steady_clock::now();
-    auto read = db_->ReadSession();
-    Executor exec(db_);
-    Result<Relation> result = exec.Execute(plan);
-    stats_.query_seconds += SecondsSince(start);
-    return result;
+    return ExecutePlain(plan);
   }
 
-  // The sketch-touching pipeline below is serialized against the ingestion
-  // worker's eager maintenance rounds.
-  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
-
-  // Prefilter candidate sketches by query template, then apply the reuse
-  // check from [37] (Sec. 2: "determine whether a sketch captured for a
-  // query Q' in the past can be safely used to answer Q").
   std::string key = plan->TemplateKey();
+  std::string_view shard_key = SketchManager::ShardKeyFor(*plan);
+  if (shard_key.empty()) return ExecutePlain(plan);  // table-less plan
+  SketchManager::Shard& shard = sketches_.GetOrCreateShard(shard_key);
+
   SketchEntry* entry = nullptr;
-  for (SketchEntry* candidate : sketches_.Candidates(key)) {
-    if (CanReuseSketch(candidate->plan, plan)) {
-      entry = candidate;
-      break;
+  {
+    std::shared_lock<std::shared_mutex> sl(shard.mu);
+    // Known-unsketchable templates bypass the store entirely — re-running
+    // the capture attempt per query would take the shard WRITE lock and
+    // serialize this shard's snapshot readers for nothing.
+    if (shard.unsketchable.count(key) > 0) {
+      sl.unlock();
+      return ExecutePlain(plan);
     }
+    entry = FindReusableLocked(shard, key, plan);
   }
   if (entry == nullptr) {
-    Result<SketchEntry*> created = TryCreateEntry(key, plan);
-    if (!created.ok()) {
-      // No safe partition: fall back to plain execution (the paper's
-      // "counterexample" queries that do not profit from PBDS).
-      auto start = std::chrono::steady_clock::now();
-      auto read = db_->ReadSession();
-      Executor exec(db_);
-      Result<Relation> result = exec.Execute(plan);
-      stats_.query_seconds += SecondsSince(start);
-      return result;
+    std::unique_lock<std::shared_mutex> wl(shard.mu);
+    // Double-checked: a racing query may have captured it — or recorded
+    // the unsketchable verdict — between our shared probe and this lock.
+    if (shard.unsketchable.count(key) > 0) {
+      wl.unlock();
+      return ExecutePlain(plan);
     }
-    entry = created.value();
+    entry = FindReusableLocked(shard, key, plan);
+    if (entry == nullptr) {
+      Result<SketchEntry*> created = TryCreateEntryLocked(shard, key, plan);
+      if (!created.ok()) {
+        // No safe partition: fall back to plain execution (the paper's
+        // "counterexample" queries that do not profit from PBDS), and
+        // remember the verdict until the catalog changes.
+        if (created.status().code() == StatusCode::kNotFound) {
+          shard.unsketchable.insert(key);
+        }
+        wl.unlock();
+        return ExecutePlain(plan);
+      }
+      entry = created.value();
+    }
   }
-  return AnswerWithEntry(entry, plan);
+  return AnswerWithEntry(shard, entry, plan);
 }
 
 Result<Relation> ImpSystem::Query(const std::string& sql) {
@@ -442,17 +591,56 @@ void ImpSystem::NoteUpdate() {
 }
 
 Status ImpSystem::MaintainAll() {
-  std::lock_guard<std::mutex> pipeline(pipeline_mu_);
-  auto read = db_->ReadSession();
+  std::shared_lock<std::shared_mutex> frontend(frontend_mu_);
+  return MaintainAllShards();
+}
+
+Status ImpSystem::MaintainAllShards() {
   pending_update_statements_.store(0, std::memory_order_relaxed);
-  return MaintainBatchLocked(sketches_.AllEntries());
+  // Shard by shard, write-locking only the shard being maintained:
+  // concurrent queries on other tables proceed, and even queries on the
+  // shard in flight can keep serving their pinned snapshots. Each shard
+  // round cuts at the watermark current when it starts — every cut is a
+  // state a fully serialized schedule could have produced.
+  Status first_error = Status::OK();
+  for (SketchManager::Shard* shard : sketches_.Shards()) {
+    std::unique_lock<std::shared_mutex> wl(shard->mu);
+    std::vector<SketchEntry*> entries;
+    for (const auto& [_, bucket] : shard->buckets) {
+      for (const auto& entry : bucket) entries.push_back(entry.get());
+    }
+    if (entries.empty()) continue;
+    auto read = db_->ReadSession();
+    Status st = MaintainBatchLocked(entries);
+    if (first_error.ok()) first_error = st;
+  }
+  TruncateDeltaLogs();
+  return first_error;
+}
+
+void ImpSystem::TruncateDeltaLogs() {
+  if (!config_.truncate_delta_log) return;
+  // The minimum valid_version across all shards: no sketch ever re-scans
+  // at or below it, so the logs can drop that prefix. An empty store
+  // truncates nothing (a first sketch captured later anchors at the
+  // watermark and never looks back, but staying conservative costs one
+  // skipped sweep). Computed under shard read locks — a round racing in on
+  // another shard can only RAISE its entries' versions, making our minimum
+  // merely conservative.
+  uint64_t min_valid = sketches_.MinValidVersion();
+  if (min_valid == UINT64_MAX) return;
+  db_->TruncateDeltaLogs(min_valid);
+  std::lock_guard<std::mutex> stats(stats_mu_);
+  ++stats_.log_truncations;
 }
 
 ThreadPool& ImpSystem::MaintenancePool() {
-  if (!maintenance_pool_) {
+  // Concurrent rounds (per-shard MaintainAll rounds, lazy repairs, eager
+  // flushes) share one pool; creation is raced by all of them.
+  std::call_once(maintenance_pool_once_, [this] {
     maintenance_pool_ = std::make_unique<ThreadPool>(
         ThreadPool::ResolveThreads(config_.maintenance_threads));
-  }
+  });
   return *maintenance_pool_;
 }
 
@@ -492,13 +680,7 @@ Status ImpSystem::MaintainBatchLocked(
       continue;
     }
     if (entry->valid_version() >= cut) continue;
-    bool stale = false;
-    for (const std::string& table : entry->plan->ReferencedTables()) {
-      if (db_->HasPendingDelta(table, entry->valid_version())) {
-        stale = true;
-        break;
-      }
-    }
+    bool stale = EntryIsStaleAt(*entry, entry->valid_version());
     stale_count += stale ? 1 : 0;
     Item item{entry, stale, 0, 0, 0};
     if (entry->maintainer != nullptr) {
@@ -525,7 +707,7 @@ Status ImpSystem::MaintainBatchLocked(
   if (shared) {
     for (const Item& item : items) {
       if (!item.stale) continue;
-      for (const std::string& table : item.entry->plan->ReferencedTables()) {
+      for (const std::string& table : item.entry->tables) {
         batch.Prefetch(table, item.entry->valid_version());
       }
     }
@@ -533,7 +715,10 @@ Status ImpSystem::MaintainBatchLocked(
 
   // Fan independent entries out across workers. Entries share no mutable
   // state (the database is only read, the shared cache is immutable after
-  // prefetching), so results are bit-identical to the serial run.
+  // prefetching), so results are bit-identical to the serial run. Each
+  // successful entry republishes its snapshot — concurrent readers of
+  // this shard that already pinned the old snapshot finish on it; new
+  // pins see the repaired one.
   std::vector<Status> statuses(items.size());
   std::vector<uint8_t> maintained(items.size(), 0);
   MaintenancePool().ParallelFor(items.size(), [&](size_t i) {
@@ -544,6 +729,7 @@ Status ImpSystem::MaintainBatchLocked(
       if (entry->maintainer) {
         statuses[i] = entry->maintainer->Maintain({}, cut).status();
       }
+      if (statuses[i].ok()) entry->PublishSnapshot();
       return;
     }
     if (config_.retain_sketch_history) entry->history.push_back(entry->sketch);
@@ -561,40 +747,44 @@ Status ImpSystem::MaintainBatchLocked(
       statuses[i] = result.status();
       if (result.ok()) entry->sketch = std::move(result).value();
     }
+    if (statuses[i].ok()) entry->PublishSnapshot();
     maintained[i] = statuses[i].ok() ? 1 : 0;
   });
 
-  // Wall-clock time of the round (prefetch + fan-out), not the sum of
-  // per-entry durations — with workers the latter exceeds elapsed time.
-  stats_.maintain_seconds += SecondsSince(round_start);
-  ++stats_.batch_rounds;
-  for (size_t i = 0; i < items.size(); ++i) {
-    if (maintained[i]) ++stats_.maintenances;
-    if (items[i].entry->maintainer != nullptr) {
-      const MaintainStats& mstats = items[i].entry->maintainer->stats();
-      stats_.deltas_borrowed +=
-          mstats.deltas_borrowed - items[i].borrowed_before;
-      stats_.deltas_materialized +=
-          mstats.deltas_materialized - items[i].materialized_before;
-      stats_.rows_copied += mstats.rows_copied - items[i].copied_before;
+  {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    // Wall-clock time of the round (prefetch + fan-out), not the sum of
+    // per-entry durations — with workers the latter exceeds elapsed time.
+    stats_.maintain_seconds += SecondsSince(round_start);
+    ++stats_.batch_rounds;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (maintained[i]) ++stats_.maintenances;
+      if (items[i].entry->maintainer != nullptr) {
+        const MaintainStats& mstats = items[i].entry->maintainer->stats();
+        stats_.deltas_borrowed +=
+            mstats.deltas_borrowed - items[i].borrowed_before;
+        stats_.deltas_materialized +=
+            mstats.deltas_materialized - items[i].materialized_before;
+        stats_.rows_copied += mstats.rows_copied - items[i].copied_before;
+      }
     }
-  }
-  if (shared) {
-    MaintenanceBatchStats bstats = batch.stats();
-    stats_.delta_scans += bstats.delta_scans;
-    stats_.annotation_passes += bstats.annotation_passes;
-    stats_.annotation_hits += bstats.annotation_hits;
-  } else if (incremental) {
-    // Per-sketch fetch: every stale entry re-scanned each of its
-    // referenced tables and re-annotated the non-empty post-push-down
-    // deltas (the redundant work batching removes). Measured by the
-    // maintainer during MaintainFromBackend, not estimated.
-    for (const Item& item : items) {
-      if (!item.stale || !item.entry->maintainer) continue;
-      const Maintainer::FetchStats& fetched =
-          item.entry->maintainer->last_fetch_stats();
-      stats_.delta_scans += fetched.delta_scans;
-      stats_.annotation_passes += fetched.annotation_passes;
+    if (shared) {
+      MaintenanceBatchStats bstats = batch.stats();
+      stats_.delta_scans += bstats.delta_scans;
+      stats_.annotation_passes += bstats.annotation_passes;
+      stats_.annotation_hits += bstats.annotation_hits;
+    } else if (incremental) {
+      // Per-sketch fetch: every stale entry re-scanned each of its
+      // referenced tables and re-annotated the non-empty post-push-down
+      // deltas (the redundant work batching removes). Measured by the
+      // maintainer during MaintainFromBackend, not estimated.
+      for (const Item& item : items) {
+        if (!item.stale || !item.entry->maintainer) continue;
+        const Maintainer::FetchStats& fetched =
+            item.entry->maintainer->last_fetch_stats();
+        stats_.delta_scans += fetched.delta_scans;
+        stats_.annotation_passes += fetched.annotation_passes;
+      }
     }
   }
   for (const Status& st : statuses) IMP_RETURN_NOT_OK(st);

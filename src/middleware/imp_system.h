@@ -30,6 +30,35 @@
 //                  watermark cannot stall — WAL/sequence-number semantics —
 //                  whereas the synchronous path validates before
 //                  allocating.)
+//
+// Concurrency model (the sharded, snapshot-isolated front end):
+//
+//   Query is reader-concurrent. A query resolves its entry under a brief
+//   per-shard read lock, pins the entry's immutable SketchSnapshot, and
+//   validates it against the stable watermark under the backend's read
+//   session: if none of the entry's tables has a pending delta beyond the
+//   snapshot, the snapshot is exactly the sketch a fully serialized run
+//   would use at this watermark, and the query rewrites + executes with no
+//   sketch-store lock held. Only a STALE entry (lazy repair) or a miss
+//   (capture) takes the entry's shard write lock — and even then execution
+//   resumes lock-free once the repaired snapshot is published.
+//
+//   Maintenance is shard-exclusive. MaintainAll, eager worker rounds and
+//   lazy repairs take the write lock of only the shards they touch, one
+//   shard at a time, so readers and maintainers of different tables never
+//   block each other. Repartitioning and state eviction are stop-the-world
+//   (exclusive front-end lock): they mutate the partition catalog / drop
+//   maintainer state, which every other path reads.
+//
+//   Lock hierarchy (acquire strictly downwards; never two shard locks at
+//   once): front-end lock -> shard lock -> backend session -> delta-log /
+//   table internals. The stats mutexes are leaves.
+//
+//   Snapshot lifetime: a pinned shared_ptr<const SketchSnapshot> stays
+//   valid and self-consistent indefinitely — publication swaps the
+//   pointer, never mutates the pointee — but is only guaranteed CURRENT
+//   while the pinning query's read session is held (the session freezes
+//   the watermark).
 
 #ifndef IMP_MIDDLEWARE_IMP_SYSTEM_H_
 #define IMP_MIDDLEWARE_IMP_SYSTEM_H_
@@ -37,6 +66,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 
@@ -80,6 +110,10 @@ struct ImpConfig {
   /// Bounded ingestion queue capacity; producers block when it is full
   /// (backpressure instead of unbounded memory growth).
   size_t ingest_queue_capacity = 1024;
+  /// After each MaintainAll round, truncate every table's delta log up to
+  /// the minimum valid_version across all sketch shards (no sketch will
+  /// ever re-scan below it), bounding log growth on long-lived systems.
+  bool truncate_delta_log = true;
 };
 
 /// Wall-clock accounting split by pipeline stage.
@@ -88,12 +122,16 @@ struct ImpSystemStats {
   size_t updates = 0;
   size_t sketch_captures = 0;    ///< capture-query executions
   size_t sketch_uses = 0;        ///< queries answered through a sketch
+  size_t snapshot_reads = 0;     ///< sketch uses served lock-free from a
+                                 ///< published snapshot (no shard write
+                                 ///< lock, no repair on the query path)
   size_t maintenances = 0;       ///< incremental/full maintenance runs
-  size_t batch_rounds = 0;       ///< batched maintenance rounds (MaintainAll
-                                 ///< or lazy single-entry repair on use)
+  size_t batch_rounds = 0;       ///< batched maintenance rounds (per-shard
+                                 ///< MaintainAll rounds or lazy repair)
   size_t delta_scans = 0;        ///< backend delta-log scans for maintenance
   size_t annotation_passes = 0;  ///< annotate(ΔR, Φ) runs over table deltas
   size_t annotation_hits = 0;    ///< per-sketch views served from the cache
+  size_t log_truncations = 0;    ///< delta-log truncation sweeps driven
   // Zero-copy delta pipeline roll-up (summed over the per-sketch
   // MaintainStats deltas of each round): borrowed views served by table
   // access, copy-on-write materializations, and the rows they copied.
@@ -123,11 +161,14 @@ struct ImpSystemStats {
 
 /// Thread-safety contract: Update()/UpdateBound() may be called from many
 /// producer threads concurrently (async mode serializes them on the queue;
-/// sync mode on the backend's write session). Everything else — Query,
-/// MaintainAll, Repartition, Evict, stats() — remains a single-session
-/// front end, serialized against the background worker's eager rounds
-/// internally; read stats() after WaitForIngest() when ingesting
-/// asynchronously.
+/// sync mode on the backend's write session). Query/QueryPlan and
+/// MaintainAll may also be called from many threads concurrently with each
+/// other, with the producers and with the ingestion worker's eager rounds;
+/// each query's result is identical to a fully serialized run at the
+/// watermark it executed under. RegisterPartition / PartitionTable /
+/// RepartitionTable / EvictSketchStates are stop-the-world (they serialize
+/// against everything). Read stats() only at quiescent points (e.g. after
+/// WaitForIngest() and after in-flight queries returned).
 class ImpSystem {
  public:
   ImpSystem(Database* db, ImpConfig config = {});
@@ -165,6 +206,7 @@ class ImpSystem {
   Status WaitForIngest();
 
   /// Force maintenance of every stale sketch (flushes eager buffering).
+  /// Proceeds shard by shard — readers of other shards are never blocked.
   Status MaintainAll();
 
   /// Persist every sketch's incremental operator state into the backend's
@@ -176,6 +218,8 @@ class ImpSystem {
   /// Replace `table`'s range partition with a fresh equi-depth partition
   /// over its current contents and recapture all sketches (Sec. 7.4:
   /// significant distribution changes -> update ranges and recapture).
+  /// Stop-the-world; a reader already holding a pinned SketchSnapshot
+  /// keeps a self-consistent (pre-repartition) view.
   Status RepartitionTable(const std::string& table,
                           const std::string& attribute, size_t num_fragments);
 
@@ -194,20 +238,44 @@ class ImpSystem {
     uint64_t delete_version = 0;  ///< kUpdate only: the delete half
   };
 
-  Result<Relation> AnswerWithEntry(SketchEntry* entry, const PlanPtr& plan);
-  Result<SketchEntry*> TryCreateEntry(const std::string& key,
-                                      const PlanPtr& plan);
-  Status MaintainEntry(SketchEntry* entry);
+  /// Plain (no-sketch) execution under its own read session.
+  Result<Relation> ExecutePlain(const PlanPtr& plan);
+  /// True iff any of the entry's tables has a published delta newer than
+  /// `version` — the staleness verdict shared by the snapshot fast path
+  /// and batch-round planning (wait-free probes).
+  bool EntryIsStaleAt(const SketchEntry& entry, uint64_t version) const;
+  /// First candidate of `key` in `shard` that passes the reuse check.
+  /// Caller holds the shard's lock (either side).
+  SketchEntry* FindReusableLocked(const SketchManager::Shard& shard,
+                                  std::string_view key, const PlanPtr& plan);
+  /// Answer through `entry`: snapshot fast path, or shard-exclusive lazy
+  /// repair when the snapshot is stale at the current watermark. Caller
+  /// holds the front-end lock shared and NO shard lock.
+  Result<Relation> AnswerWithEntry(SketchManager::Shard& shard,
+                                   SketchEntry* entry, const PlanPtr& plan);
+  /// Capture a new entry for `key`. Caller holds `shard`'s write lock.
+  Result<SketchEntry*> TryCreateEntryLocked(SketchManager::Shard& shard,
+                                            const std::string& key,
+                                            const PlanPtr& plan);
   /// One batched maintenance round over `entries`: shared delta fetch &
   /// annotation (config.shared_delta_fetch), parallel per-entry fan-out
   /// (config.maintenance_threads), cut frozen at the stable watermark.
-  /// Caller holds pipeline_mu_ AND the backend's read session (so the
-  /// repaired sketch and any subsequent execution under the same session
-  /// observe one consistent watermark).
+  /// Caller holds the front-end lock (either side), the WRITE lock of the
+  /// single shard containing every entry in `entries`, AND the backend's
+  /// read session (so the repaired sketches and any subsequent execution
+  /// under the same session observe one consistent watermark). Each
+  /// repaired entry's snapshot is republished before the round returns.
   Status MaintainBatchLocked(const std::vector<SketchEntry*>& entries);
+  /// MaintainAll body: per-shard write-locked rounds + truncation sweep.
+  /// Caller holds the front-end lock (either side) and no shard lock.
+  Status MaintainAllShards();
+  /// Truncate delta logs up to the minimum shard valid_version
+  /// (config.truncate_delta_log; no-op on an empty store).
+  void TruncateDeltaLogs();
   /// Re-materialize an evicted maintainer from the backend blob store.
   Status EnsureMaintainer(SketchEntry* entry);
   /// Rebuild an entry's state + sketch from scratch (repartitioning).
+  /// Caller holds the front-end lock exclusively.
   Status RecaptureEntry(SketchEntry* entry);
   /// Eager-strategy bookkeeping; runs on the caller (sync) or the
   /// ingestion worker (async), after the statement is applied.
@@ -222,7 +290,8 @@ class ImpSystem {
   void StopIngestWorker();
   /// Worker pool for maintenance rounds, created on first use and reused
   /// across rounds (spawning/joining threads per round would dominate
-  /// small rounds, especially under eager maintenance).
+  /// small rounds, especially under eager maintenance). Concurrent rounds
+  /// share it — ParallelFor tracks completion per call.
   ThreadPool& MaintenancePool();
 
   Database* db_;
@@ -236,14 +305,22 @@ class ImpSystem {
   /// the maintenance round that flushes it.
   std::atomic<size_t> pending_update_statements_{0};
   std::unique_ptr<ThreadPool> maintenance_pool_;
-  /// Serializes the sketch-touching front end (query pipeline, maintenance
-  /// rounds, repartition, eviction) against the ingestion worker's eager
-  /// rounds. Always acquired BEFORE the backend session lock.
-  std::mutex pipeline_mu_;
+  std::once_flag maintenance_pool_once_;
+  /// Top of the lock hierarchy. Shared: the whole sketch-touching front
+  /// end (queries, maintenance rounds, eager flushes) — these coordinate
+  /// among themselves through shard locks and snapshots. Exclusive:
+  /// catalog mutation and whole-store surgery (RegisterPartition,
+  /// PartitionTable, RepartitionTable, EvictSketchStates), which every
+  /// shared-side path reads without further locking.
+  std::shared_mutex frontend_mu_;
+  /// Guards the front-end stat fields (queries/captures/uses/maintenance
+  /// counters and timings), which concurrent readers and per-shard rounds
+  /// update. Leaf lock.
+  std::mutex stats_mu_;
   /// Guards the ingestion-side stat fields (updates / update_seconds /
   /// ingest_enqueued on producers; ingest_applied / ingest_apply_seconds /
   /// ingest_queue_peak on the worker and drain) so a front end may poll
-  /// stats() for ingestion progress mid-flight.
+  /// stats() for ingestion progress mid-flight. Leaf lock.
   std::mutex update_stats_mu_;
   std::mutex ingest_error_mu_;
   Status ingest_error_;  ///< first deferred async apply error

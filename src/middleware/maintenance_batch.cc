@@ -2,17 +2,18 @@
 
 namespace imp {
 
-void MaintenanceBatch::Prefetch(const std::string& table,
+void MaintenanceBatch::Prefetch(std::string_view table,
                                 uint64_t from_version) {
   GetOrFetch(table, from_version, /*count_hit=*/false);
 }
 
-const AnnotatedDelta* MaintenanceBatch::GetOrFetch(const std::string& table,
+const AnnotatedDelta* MaintenanceBatch::GetOrFetch(std::string_view table,
                                                    uint64_t from_version,
                                                    bool count_hit) {
-  DeltaCacheKey key{table, from_version};
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(key);
+  // Heterogeneous probe: a hit — the common case after planning-phase
+  // prefetching — allocates nothing.
+  auto it = cache_.find(DeltaCacheKeyView{table, from_version});
   if (it != cache_.end()) {
     // A per-sketch view served from the shared result. Only ContextFor
     // lookups count — planning-phase Prefetch calls hitting the same key
@@ -29,13 +30,16 @@ const AnnotatedDelta* MaintenanceBatch::GetOrFetch(const std::string& table,
   ++delta_scans_;
   if (!raw.records.empty()) ++annotation_passes_;
   AnnotatedDelta annotated = AnnotateTableDelta(std::move(raw), *catalog_);
-  return &cache_.emplace(std::move(key), std::move(annotated)).first->second;
+  return &cache_
+              .emplace(DeltaCacheKey{std::string(table), from_version},
+                       std::move(annotated))
+              .first->second;
 }
 
 DeltaContext MaintenanceBatch::ContextFor(const Maintainer& maintainer) {
   DeltaContext ctx;
   const uint64_t from_version = maintainer.maintained_version();
-  for (const std::string& table : maintainer.plan()->ReferencedTables()) {
+  for (const std::string& table : maintainer.tables()) {
     const AnnotatedDelta* shared =
         GetOrFetch(table, from_version, /*count_hit=*/true);
     if (shared->empty()) continue;  // mirrors MaintainFromBackend's skip

@@ -34,11 +34,12 @@
 #define IMP_MIDDLEWARE_MAINTENANCE_BATCH_H_
 
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <string>
-#include <unordered_map>
+#include <string_view>
+#include <utility>
 
-#include "common/hash.h"
 #include "imp/maintainer.h"
 
 namespace imp {
@@ -52,23 +53,35 @@ struct MaintenanceBatchStats {
 
 /// Cache key of one shared annotated delta: the (table, from_version)
 /// interval against the round's frozen cut version (the cut is a fixed
-/// property of the whole MaintenanceBatch, so it needs no slot here). A
-/// struct key with a combined hash — not a concatenated string — keeps the
-/// per-lookup cost on the maintenance hot path to one short-string copy.
+/// property of the whole MaintenanceBatch, so it needs no slot here). The
+/// transparent comparator lets lookups probe with a borrowed
+/// (string_view, version) pair, so a cache HIT — the common case once the
+/// planning phase prefetched — costs zero allocations; the owning key
+/// string is built only when a miss inserts.
 struct DeltaCacheKey {
   std::string table;
   uint64_t from_version = 0;
-
-  bool operator==(const DeltaCacheKey& other) const {
-    return from_version == other.from_version && table == other.table;
-  }
 };
 
-struct DeltaCacheKeyHash {
-  size_t operator()(const DeltaCacheKey& key) const {
-    return static_cast<size_t>(
-        HashCombine(HashBytes(key.table.data(), key.table.size()),
-                    HashInt64(key.from_version)));
+struct DeltaCacheKeyView {
+  std::string_view table;
+  uint64_t from_version = 0;
+};
+
+struct DeltaCacheKeyLess {
+  using is_transparent = void;
+
+  static std::pair<uint64_t, std::string_view> AsTuple(
+      const DeltaCacheKey& key) {
+    return {key.from_version, key.table};
+  }
+  static std::pair<uint64_t, std::string_view> AsTuple(
+      const DeltaCacheKeyView& key) {
+    return {key.from_version, key.table};
+  }
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return AsTuple(a) < AsTuple(b);
   }
 };
 
@@ -84,7 +97,7 @@ class MaintenanceBatch {
   /// Ensure the annotated delta of `table` over (from_version, to_version]
   /// is cached; scans + annotates at most once per distinct key. Call from
   /// the planning phase (also safe, but serialized, from workers).
-  void Prefetch(const std::string& table, uint64_t from_version);
+  void Prefetch(std::string_view table, uint64_t from_version);
 
   /// Build the maintainer's delta context for this round out of the shared
   /// cache: shared views for tables without push-down, filtered copies
@@ -97,10 +110,10 @@ class MaintenanceBatch {
 
  private:
   /// Cached annotated delta for a key; pointers remain stable across cache
-  /// inserts (std::unordered_map never moves mapped values). `count_hit`
-  /// marks lookups that serve a per-sketch view (ContextFor) as opposed to
+  /// inserts (std::map never moves mapped values). `count_hit` marks
+  /// lookups that serve a per-sketch view (ContextFor) as opposed to
   /// planning-phase prefetches.
-  const AnnotatedDelta* GetOrFetch(const std::string& table,
+  const AnnotatedDelta* GetOrFetch(std::string_view table,
                                    uint64_t from_version, bool count_hit);
 
   const Database* db_;
@@ -108,7 +121,7 @@ class MaintenanceBatch {
   const uint64_t to_version_;
 
   mutable std::mutex mu_;  ///< guards cache_ and all counters
-  std::unordered_map<DeltaCacheKey, AnnotatedDelta, DeltaCacheKeyHash> cache_;
+  std::map<DeltaCacheKey, AnnotatedDelta, DeltaCacheKeyLess> cache_;
   size_t delta_scans_ = 0;
   size_t annotation_passes_ = 0;
   size_t annotation_hits_ = 0;

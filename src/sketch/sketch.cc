@@ -17,6 +17,14 @@ std::string SketchDelta::ToString() const {
   return out;
 }
 
+std::shared_ptr<const SketchSnapshot> MakeSketchSnapshot(
+    ProvenanceSketch sketch, uint64_t epoch) {
+  auto snapshot = std::make_shared<SketchSnapshot>();
+  snapshot->sketch = std::move(sketch);
+  snapshot->epoch = epoch;
+  return snapshot;
+}
+
 ProvenanceSketch ApplySketchDelta(const ProvenanceSketch& sketch,
                                   const SketchDelta& delta,
                                   uint64_t new_version) {

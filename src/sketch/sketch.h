@@ -4,6 +4,7 @@
 #define IMP_SKETCH_SKETCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,26 @@ struct ProvenanceSketch {
 
   std::string ToString() const { return fragments.ToString(); }
 };
+
+/// The epoch-stamped published state of one managed sketch — the read side
+/// of the concurrent front end. Maintenance builds the next sketch state
+/// off to the side and publishes it as a fresh immutable SketchSnapshot
+/// (RCU-style shared_ptr swap); readers pin a snapshot and rewrite queries
+/// against it without blocking the writer. A pinned snapshot stays
+/// self-consistent for as long as the reader holds it — publication never
+/// mutates an already-published snapshot, it replaces the pointer.
+struct SketchSnapshot {
+  ProvenanceSketch sketch;  ///< immutable once published
+  uint64_t epoch = 0;       ///< publication sequence number, strictly
+                            ///< increasing per entry (monotonicity witness)
+
+  uint64_t valid_version() const { return sketch.valid_version; }
+};
+
+/// Build the next snapshot of an entry from the maintenance-side working
+/// copy (the publication step of the RCU cycle).
+std::shared_ptr<const SketchSnapshot> MakeSketchSnapshot(
+    ProvenanceSketch sketch, uint64_t epoch);
 
 /// ΔP: fragments to insert into / delete from a sketch (Sec. 4.2: Δ+P, Δ-P).
 struct SketchDelta {

@@ -100,4 +100,10 @@ PlanPtr ApplyUseRewrite(const PlanPtr& plan, const PartitionCatalog& catalog,
   return RewriteRec(plan, catalog, sketch, only_tables);
 }
 
+PlanPtr ApplyUseRewrite(const PlanPtr& plan, const PartitionCatalog& catalog,
+                        const SketchSnapshot& snapshot,
+                        const std::set<std::string>* only_tables) {
+  return RewriteRec(plan, catalog, snapshot.sketch, only_tables);
+}
+
 }  // namespace imp

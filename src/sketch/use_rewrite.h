@@ -30,6 +30,16 @@ PlanPtr ApplyUseRewrite(const PlanPtr& plan, const PartitionCatalog& catalog,
                         const ProvenanceSketch& sketch,
                         const std::set<std::string>* only_tables = nullptr);
 
+/// Snapshot-isolated variant: rewrite against a pinned immutable
+/// SketchSnapshot (the concurrent front end's read side). The snapshot's
+/// fragment set must have been captured against the SAME catalog epoch the
+/// rewrite resolves ranges from — the middleware guarantees this by
+/// publishing fresh snapshots for every entry before a repartitioned
+/// catalog becomes visible to readers.
+PlanPtr ApplyUseRewrite(const PlanPtr& plan, const PartitionCatalog& catalog,
+                        const SketchSnapshot& snapshot,
+                        const std::set<std::string>* only_tables = nullptr);
+
 }  // namespace imp
 
 #endif  // IMP_SKETCH_USE_REWRITE_H_

@@ -12,16 +12,16 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
   return Status::OK();
 }
 
-bool Database::HasTable(const std::string& name) const {
+bool Database::HasTable(std::string_view name) const {
   return tables_.count(name) > 0;
 }
 
-const Table* Database::GetTable(const std::string& name) const {
+const Table* Database::GetTable(std::string_view name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
-Table* Database::GetMutableTable(const std::string& name) {
+Table* Database::GetMutableTable(std::string_view name) {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -98,28 +98,32 @@ Result<uint64_t> Database::Delete(
 }
 
 TableDelta Database::ScanDelta(
-    const std::string& table, uint64_t from_version, uint64_t to_version,
+    std::string_view table, uint64_t from_version, uint64_t to_version,
     const std::function<bool(const Tuple&)>& pred) const {
   TableDelta out;
-  out.table = table;
+  out.table = std::string(table);
   const Table* t = GetTable(table);
   if (t == nullptr) return out;
   t->delta_log().CollectWindow(from_version, to_version, pred, &out.records);
   return out;
 }
 
-size_t Database::PendingDeltaCount(const std::string& table,
+size_t Database::PendingDeltaCount(std::string_view table,
                                    uint64_t from_version) const {
   const Table* t = GetTable(table);
   if (t == nullptr) return 0;
   return t->delta_log().CountAfter(from_version);
 }
 
-bool Database::HasPendingDelta(const std::string& table,
+bool Database::HasPendingDelta(std::string_view table,
                                uint64_t from_version) const {
   const Table* t = GetTable(table);
   if (t == nullptr) return false;
   return t->delta_log().HasRecordAfter(from_version);
+}
+
+void Database::TruncateDeltaLogs(uint64_t version) {
+  for (auto& [_, table] : tables_) table->TruncateDeltaLog(version);
 }
 
 size_t Database::MemoryBytes() const {

@@ -34,6 +34,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -57,9 +58,12 @@ class Database {
 
   /// Create an empty table; fails if the name exists.
   Status CreateTable(const std::string& name, Schema schema);
-  bool HasTable(const std::string& name) const;
-  const Table* GetTable(const std::string& name) const;
-  Table* GetMutableTable(const std::string& name);
+  // Catalog lookups take string_views (the table map's transparent
+  // comparator resolves them without building a std::string per call) so
+  // hot-path callers holding cached table names never allocate here.
+  bool HasTable(std::string_view name) const;
+  const Table* GetTable(std::string_view name) const;
+  Table* GetMutableTable(std::string_view name);
   std::vector<std::string> TableNames() const;
 
   /// Bulk load without delta logging or version bump (initial load; the
@@ -138,19 +142,28 @@ class Database {
   /// the log's published versions are non-decreasing, so the window start
   /// is binary-searched: a small stale tail of a long-lived log costs
   /// O(window), not O(log length).
-  TableDelta ScanDelta(const std::string& table, uint64_t from_version,
+  TableDelta ScanDelta(std::string_view table, uint64_t from_version,
                        uint64_t to_version,
                        const std::function<bool(const Tuple&)>& pred = {}) const;
 
   /// Number of published delta rows in (from_version, current] for `table`.
-  size_t PendingDeltaCount(const std::string& table,
+  size_t PendingDeltaCount(std::string_view table,
                            uint64_t from_version) const;
 
   /// True iff `table` has any published delta row newer than `from_version`.
   /// Wait-free (two atomic loads): staleness tests on the maintenance hot
   /// path use this instead of counting the whole log, and it is safe
   /// against a concurrent in-flight writer.
-  bool HasPendingDelta(const std::string& table, uint64_t from_version) const;
+  bool HasPendingDelta(std::string_view table, uint64_t from_version) const;
+
+  /// Truncate every table's delta log up to `version` (drop records with
+  /// version <= it). Driven by the middleware after a MaintainAll round
+  /// with the minimum valid_version across all sketch shards: no sketch
+  /// will ever re-scan below that watermark. Safe against concurrent
+  /// window scans and the in-flight ingestion writer — each log's internal
+  /// lock serializes the erase, and only the published prefix below every
+  /// active round's scan window is removed.
+  void TruncateDeltaLogs(uint64_t version);
 
   /// Key-value blob store used by the middleware to persist incremental
   /// operator state in the backend (Sec. 2: eviction / restart recovery).
@@ -166,7 +179,9 @@ class Database {
   size_t MemoryBytes() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  /// Transparent comparator: find() accepts string_views (heterogeneous
+  /// lookup) so per-call key strings are never built on the hot path.
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
   VersionClock clock_;
   mutable std::shared_mutex session_mu_;
   std::map<std::string, std::string> state_blobs_;

@@ -17,9 +17,13 @@
 // Concurrency contract (the "striped" part: each table's log has its own
 // lock, so writers to different tables and readers of different tables
 // never contend on a global latch):
-//   * writers (Append / Publish / Truncate) must be externally serialized
-//     per table — the Database's sync path and the single async ingestion
-//     worker both guarantee this;
+//   * writers (Append / Publish) must be externally serialized per table —
+//     the Database's sync path and the single async ingestion worker both
+//     guarantee this;
+//   * Truncate MAY race Append/Publish and any reader: it takes the log's
+//     exclusive lock and only erases a prefix of the published zone, so the
+//     staged tail and every record a concurrent window scan can still need
+//     (versions above the truncation watermark) survive untouched;
 //   * HasRecordAfter() and last_published_version() are wait-free (atomics
 //     only) — they back the O(1) staleness probe on the maintenance hot
 //     path and never touch record storage;

@@ -9,8 +9,17 @@
 //     results as evaluating over the full database.
 //  P3 (middleware end-to-end): under random mixed workloads, IMP answers
 //     match the no-sketch baseline.
+//  P4 (concurrent front end): under random THREADED interleavings of
+//     update / query / maintain / repartition (seeded RNG schedules), each
+//     entry's published valid_version and snapshot epoch are monotone, and
+//     the superset-safety of (possibly stale) sketches holds at every
+//     observation point: the maintained sketch covers the accurate
+//     recapture and the sketch-filtered answer equals the full scan.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "exec/executor.h"
 #include "imp/maintainer.h"
@@ -321,6 +330,136 @@ TEST_P(MixedWorkloadProperty, ImpMatchesNoSketchBaseline) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MixedWorkloadProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- Concurrent interleavings: monotone snapshots + superset safety ---------
+
+class InterleavingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InterleavingProperty, SnapshotsStayMonotoneAndSupersetSafe) {
+  const uint64_t seed = GetParam();
+  Database db;
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_rows = 700;
+  spec.num_groups = 20;
+  spec.seed = seed;
+  ASSERT_TRUE(CreateSyntheticTable(&db, spec).ok());
+
+  ImpConfig config;
+  config.mode = ExecutionMode::kIncremental;
+  config.strategy =
+      seed % 2 == 0 ? MaintenanceStrategy::kLazy : MaintenanceStrategy::kEager;
+  config.eager_batch_size = 3;
+  config.async_ingestion = seed % 3 == 0;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system
+                  .RegisterPartition(
+                      RangePartition::EquiWidthInt("t", "a", 1, 0, 19, 6))
+                  .ok());
+  const std::string sql_sum =
+      "SELECT a, sum(b) AS sb FROM t GROUP BY a HAVING sum(b) > 2000";
+  const std::string sql_count =
+      "SELECT a, count(*) AS n FROM t GROUP BY a HAVING count(*) > 30";
+  ASSERT_TRUE(system.Query(sql_sum).ok());
+  ASSERT_TRUE(system.Query(sql_count).ok());
+
+  SyntheticSpec row_spec;
+  row_spec.num_groups = 20;
+  std::atomic<int64_t> next_id{700000};
+
+  // Previously observed (epoch, valid_version) per entry; both must only
+  // ever grow across observation points.
+  struct Watermarks {
+    uint64_t epoch = 0;
+    uint64_t valid = 0;
+  };
+  std::map<SketchEntry*, Watermarks> seen;
+
+  for (int phase = 0; phase < 3; ++phase) {
+    // One seeded schedule: three threads draw ops from independent RNGs.
+    // The interleaving itself is nondeterministic; the STREAM each thread
+    // draws is reproducible from the seed.
+    std::vector<std::thread> workers;
+    for (int tid = 0; tid < 3; ++tid) {
+      workers.emplace_back([&, tid] {
+        Rng rng(seed * 131 + static_cast<uint64_t>(phase) * 17 +
+                static_cast<uint64_t>(tid));
+        for (int op = 0; op < 12; ++op) {
+          double roll = rng.UniformDouble(0.0, 1.0);
+          if (roll < 0.4) {
+            BoundUpdate update;
+            update.kind = BoundUpdate::Kind::kInsert;
+            update.table = "t";
+            size_t n = static_cast<size_t>(rng.UniformInt(1, 4));
+            for (size_t i = 0; i < n; ++i) {
+              update.rows.push_back(SyntheticRow(
+                  row_spec, next_id.fetch_add(1, std::memory_order_relaxed),
+                  &rng));
+            }
+            ASSERT_TRUE(system.UpdateBound(update).ok());
+          } else if (roll < 0.8) {
+            auto result =
+                system.Query(rng.Chance(0.5) ? sql_sum : sql_count);
+            ASSERT_TRUE(result.ok()) << result.status().ToString();
+          } else {
+            ASSERT_TRUE(system.MaintainAll().ok());
+          }
+        }
+      });
+    }
+    // The main thread throws a repartition into odd phases — stop-the-world
+    // racing the workers' queries and rounds.
+    if (phase % 2 == 1) {
+      ASSERT_TRUE(system.RepartitionTable("t", "a", 5 + phase).ok());
+    }
+    for (std::thread& w : workers) w.join();
+    ASSERT_TRUE(system.WaitForIngest().ok());
+
+    // ---- Observation point (quiescent) ----
+    // First observe the possibly-stale mid-race snapshots: monotone, and
+    // self-consistent. Then repair to the watermark (the lazy path would
+    // do the same before any use) and check the incremental-safety pillar:
+    // the maintained sketch covers the accurate recapture and answering
+    // through it equals the full scan.
+    for (SketchEntry* entry : system.sketches().AllEntries()) {
+      std::shared_ptr<const SketchSnapshot> snap = entry->Snapshot();
+      Watermarks& last = seen[entry];
+      EXPECT_GE(snap->epoch, last.epoch) << "phase " << phase;
+      EXPECT_GE(snap->valid_version(), last.valid) << "phase " << phase;
+      last.epoch = snap->epoch;
+      last.valid = snap->valid_version();
+    }
+    ASSERT_TRUE(system.MaintainAll().ok());
+    CaptureEngine capture(&db, &system.catalog());
+    Executor exec(&db);
+    for (SketchEntry* entry : system.sketches().AllEntries()) {
+      std::shared_ptr<const SketchSnapshot> snap = entry->Snapshot();
+      Watermarks& last = seen[entry];
+      EXPECT_GE(snap->epoch, last.epoch) << "phase " << phase;
+      EXPECT_GE(snap->valid_version(), last.valid) << "phase " << phase;
+      last.epoch = snap->epoch;
+      last.valid = snap->valid_version();
+
+      auto accurate = capture.Capture(entry->plan);
+      ASSERT_TRUE(accurate.ok());
+      EXPECT_TRUE(snap->sketch.Covers(accurate.value()))
+          << "phase " << phase << ": maintained " << snap->sketch.ToString()
+          << " does not cover accurate " << accurate.value().ToString();
+
+      PlanPtr rewritten = ApplyUseRewrite(entry->plan, system.catalog(),
+                                          *snap, &entry->filter_tables);
+      auto full = exec.Execute(entry->plan);
+      auto skipped = exec.Execute(rewritten);
+      ASSERT_TRUE(full.ok());
+      ASSERT_TRUE(skipped.ok());
+      EXPECT_TRUE(full.value().SameBag(skipped.value()))
+          << "phase " << phase << ": sketch-filtered result diverged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, InterleavingProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace
