@@ -76,6 +76,18 @@ class IngestionQueue {
     return item;
   }
 
+  /// Non-blocking dequeue: the next item if one is ready, else nullopt
+  /// (whether the queue is merely empty or closed). The worker uses this
+  /// to opportunistically drain a batch after a blocking Pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
   /// Consumer: the last popped item's side effects are complete.
   void TaskDone() {
     std::lock_guard<std::mutex> lock(mu_);

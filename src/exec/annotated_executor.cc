@@ -52,15 +52,22 @@ Result<AnnotatedRelation> AnnotatedExecutor::ExecScan(const ScanNode& node) cons
     }
     return out;
   }
-  const Table* table = db_->GetTable(node.table());
-  if (table == nullptr) {
-    return Status::NotFound("no such table: " + node.table());
+  // Lock-free snapshot read (see Executor::ExecScan).
+  std::shared_ptr<const TableSnapshot> pinned;
+  const TableSnapshot* snap = view_ ? view_->Find(node.table()) : nullptr;
+  if (snap == nullptr) {
+    const Table* table = db_->GetTable(node.table());
+    if (table == nullptr) {
+      return Status::NotFound("no such table: " + node.table());
+    }
+    pinned = table->Snapshot();
+    snap = pinned.get();
   }
-  out.rows.reserve(table->NumRows());
-  for (const DataChunk& chunk : table->chunks()) {
-    if (filter && !ChunkMayMatch(*filter, chunk)) continue;  // zone map skip
-    for (size_t r = 0; r < chunk.num_rows(); ++r) {
-      Tuple row = chunk.GetRow(r);
+  out.rows.reserve(snap->num_rows());
+  for (const auto& chunk : snap->chunks()) {
+    if (filter && !ChunkMayMatch(*filter, *chunk)) continue;  // zone map skip
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      Tuple row = chunk->GetRow(r);
       if (filter && !filter->Eval(row).IsTrue()) continue;
       AnnotatedRow ar;
       ar.row = std::move(row);

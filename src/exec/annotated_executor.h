@@ -51,11 +51,16 @@ struct AnnotatedRelation {
 using RowAnnotator =
     std::function<void(const std::string& table, const Tuple& row, BitVector* out)>;
 
-/// Executes plans under annotated semantics.
+/// Executes plans under annotated semantics. Base tables are read through
+/// immutable snapshots — the caller's pinned ReadView when provided (one
+/// consistent watermark for the whole capture query; required whenever
+/// writers may be concurrent), else each table's currently published
+/// snapshot.
 class AnnotatedExecutor {
  public:
-  AnnotatedExecutor(const Database* db, RowAnnotator annotator)
-      : db_(db), annotator_(std::move(annotator)) {}
+  AnnotatedExecutor(const Database* db, RowAnnotator annotator,
+                    const ReadView* view = nullptr)
+      : db_(db), annotator_(std::move(annotator)), view_(view) {}
 
   /// Bind an already-annotated relation under a table name (shadowing the
   /// base table); used when joining deltas against subplans.
@@ -76,6 +81,7 @@ class AnnotatedExecutor {
 
   const Database* db_;
   RowAnnotator annotator_;
+  const ReadView* view_;  ///< pinned snapshots; nullptr = latest published
   std::map<std::string, const AnnotatedRelation*> bindings_;
 };
 

@@ -118,20 +118,29 @@ Result<Relation> Executor::ExecScan(const ScanNode& node) const {
     }
     return out;
   }
-  const Table* table = db_->GetTable(node.table());
-  if (table == nullptr) {
-    return Status::NotFound("no such table: " + node.table());
+  // Lock-free snapshot read: the caller's pinned view when present (one
+  // consistent watermark for the whole plan), else the table's currently
+  // published snapshot, pinned for the duration of this scan.
+  std::shared_ptr<const TableSnapshot> pinned;
+  const TableSnapshot* snap = view_ ? view_->Find(node.table()) : nullptr;
+  if (snap == nullptr) {
+    const Table* table = db_->GetTable(node.table());
+    if (table == nullptr) {
+      return Status::NotFound("no such table: " + node.table());
+    }
+    pinned = table->Snapshot();
+    snap = pinned.get();
   }
-  out.rows.reserve(table->NumRows());
-  for (const DataChunk& chunk : table->chunks()) {
-    if (filter && !ChunkMayMatch(*filter, chunk)) {
+  out.rows.reserve(snap->num_rows());
+  for (const auto& chunk : snap->chunks()) {
+    if (filter && !ChunkMayMatch(*filter, *chunk)) {
       ++scan_stats_.chunks_skipped;  // zone map pruned the whole chunk
       continue;
     }
     ++scan_stats_.chunks_scanned;
-    scan_stats_.rows_scanned += chunk.num_rows();
-    for (size_t r = 0; r < chunk.num_rows(); ++r) {
-      Tuple row = chunk.GetRow(r);
+    scan_stats_.rows_scanned += chunk->num_rows();
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      Tuple row = chunk->GetRow(r);
       if (!filter || filter->Eval(row).IsTrue()) {
         out.rows.push_back(std::move(row));
       }

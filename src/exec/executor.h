@@ -42,9 +42,16 @@ struct ScanStats {
 /// Executes plans against a Database plus optional name-bound relations.
 /// Scans with filters consult each chunk's zone map and skip chunks that
 /// cannot match — the physical mechanism behind PBDS data skipping.
+///
+/// Base tables are read lock-free through immutable TableSnapshots: either
+/// the caller's pinned ReadView (every scan sees one consistent watermark
+/// for the plan's whole evaluation — pass it whenever writers may be
+/// concurrent) or, without a view, each table's currently published
+/// snapshot pinned per scan.
 class Executor {
  public:
-  explicit Executor(const Database* db) : db_(db) {}
+  explicit Executor(const Database* db, const ReadView* view = nullptr)
+      : db_(db), view_(view) {}
 
   /// Bind `rel` under `name`: scans of `name` read it instead of the base
   /// table. Used to ship deltas into backend-evaluated joins.
@@ -69,6 +76,7 @@ class Executor {
   Result<Relation> ExecDistinct(const DistinctNode& node) const;
 
   const Database* db_;
+  const ReadView* view_;  ///< pinned snapshots; nullptr = latest published
   std::map<std::string, const Relation*> bindings_;
   mutable ScanStats scan_stats_;
 };

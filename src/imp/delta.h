@@ -246,6 +246,14 @@ class DeltaBatch {
 /// to the merge operator); they are never mutated through the views.
 struct DeltaContext {
   std::map<std::string, DeltaBatch> batches;
+  /// The round's pinned ReadView: every base-table read the operator chain
+  /// performs while consuming this context (capture builds, delegated
+  /// join round trips, index probes) goes through these snapshots, so the
+  /// whole round observes the one frozen watermark its cut was taken at —
+  /// even while the ingestion worker publishes concurrently. Null (tests,
+  /// the empty fast-forward round) falls back to each table's currently
+  /// published snapshot. The view must outlive the context.
+  const ReadView* view = nullptr;
 
   const DeltaBatch* FindBatch(const std::string& table) const {
     auto it = batches.find(table);

@@ -52,11 +52,14 @@ uint64_t IncJoin::KeyHash(const Tuple& row, bool left_side) const {
   return h;
 }
 
-Result<AnnotatedRelation> IncJoin::EvalSide(const PlanPtr& side_plan) {
+Result<AnnotatedRelation> IncJoin::EvalSide(const PlanPtr& side_plan,
+                                            const ReadView* view) {
   AnnotatedExecutor exec(
-      db_, [this](const std::string& table, const Tuple& row, BitVector* out) {
+      db_,
+      [this](const std::string& table, const Tuple& row, BitVector* out) {
         catalog_->AnnotateRow(table, row, out);
-      });
+      },
+      view);
   return exec.Execute(side_plan);
 }
 
@@ -213,24 +216,33 @@ void IncJoin::JoinDeltaWithDelta(const DeltaBatch& dl, const DeltaBatch& dr,
 }
 
 bool IncJoin::TryIndexedJoin(const DeltaBatch& delta, bool delta_is_left,
-                             int sign, AnnotatedDelta* out) {
+                             int sign, const ReadView* view,
+                             AnnotatedDelta* out) {
   const std::optional<StatelessChain>& chain =
       delta_is_left ? right_chain_ : left_chain_;
   int index_col = delta_is_left ? right_index_col_ : left_index_col_;
   if (!chain || index_col < 0) return false;
-  const Table* table = db_->GetTable(chain->table);
-  if (table == nullptr) return false;
+  // Probe the pinned snapshot's lazily built hash index: rows and index
+  // are immutable and consistent at the round's cut.
+  std::shared_ptr<const TableSnapshot> pinned;
+  const TableSnapshot* snap = view ? view->Find(chain->table) : nullptr;
+  if (snap == nullptr) {
+    const Table* table = db_->GetTable(chain->table);
+    if (table == nullptr) return false;
+    pinned = table->Snapshot();
+    snap = pinned.get();
+  }
 
   size_t delta_key_col = delta_is_left ? keys_[0].first : keys_[0].second;
   size_t side_key_col = delta_is_left ? keys_[0].second : keys_[0].first;
   (void)side_key_col;
   delta.ForEachRow([&](const AnnotatedDeltaRow& d) {
-    const std::vector<Table::RowLoc>* locs =
-        table->IndexProbe(static_cast<size_t>(index_col),
-                          d.row[delta_key_col]);
+    const std::vector<TableSnapshot::RowLoc>* locs =
+        snap->IndexProbe(static_cast<size_t>(index_col),
+                         d.row[delta_key_col]);
     if (locs == nullptr) return;
-    for (const Table::RowLoc& loc : *locs) {
-      Tuple base = table->chunks()[loc.chunk].GetRow(loc.row);
+    for (const TableSnapshot::RowLoc& loc : *locs) {
+      Tuple base = snap->chunks()[loc.chunk]->GetRow(loc.row);
       BitVector side_sketch;
       catalog_->AnnotateRow(chain->table, base, &side_sketch);
       Tuple side_row;
@@ -271,8 +283,9 @@ Result<DeltaBatch> IncJoin::Process(const DeltaContext& ctx) {
   if (!dl.empty()) {
     stats_->join_rows_shipped += dl.size();
     ++stats_->join_round_trips;
-    if (!TryIndexedJoin(dl, /*delta_is_left=*/true, +1, &out)) {
-      IMP_ASSIGN_OR_RETURN(AnnotatedRelation right_side, EvalSide(right_plan_));
+    if (!TryIndexedJoin(dl, /*delta_is_left=*/true, +1, ctx.view, &out)) {
+      IMP_ASSIGN_OR_RETURN(AnnotatedRelation right_side,
+                           EvalSide(right_plan_, ctx.view));
       JoinDeltaWithSide(dl, right_side, /*delta_is_left=*/true, +1, &out);
     }
   }
@@ -280,8 +293,9 @@ Result<DeltaBatch> IncJoin::Process(const DeltaContext& ctx) {
   if (!dr.empty()) {
     stats_->join_rows_shipped += dr.size();
     ++stats_->join_round_trips;
-    if (!TryIndexedJoin(dr, /*delta_is_left=*/false, +1, &out)) {
-      IMP_ASSIGN_OR_RETURN(AnnotatedRelation left_side, EvalSide(left_plan_));
+    if (!TryIndexedJoin(dr, /*delta_is_left=*/false, +1, ctx.view, &out)) {
+      IMP_ASSIGN_OR_RETURN(AnnotatedRelation left_side,
+                           EvalSide(left_plan_, ctx.view));
       JoinDeltaWithSide(dr, left_side, /*delta_is_left=*/false, +1, &out);
     }
   }

@@ -44,15 +44,19 @@ class IncJoin final : public IncOperator {
 
  private:
   /// Evaluate one side's subplan on the backend under annotated semantics
-  /// (this is the delegated-round-trip path).
-  Result<AnnotatedRelation> EvalSide(const PlanPtr& side_plan);
+  /// (this is the delegated-round-trip path). Reads the round's pinned
+  /// view when present, so the side is evaluated at the round's cut.
+  Result<AnnotatedRelation> EvalSide(const PlanPtr& side_plan,
+                                     const ReadView* view);
 
   /// Index fast path for the delegated join: when the probed side is a
   /// stateless chain over one scan and the (single) join key maps to a
   /// scan column, the backend answers Δ ⋈ side via a hash-index probe per
-  /// delta row instead of scanning the side. Returns true when handled.
+  /// delta row instead of scanning the side (the index lives on the pinned
+  /// snapshot, so probes are consistent at the round's cut). Returns true
+  /// when handled.
   bool TryIndexedJoin(const DeltaBatch& delta, bool delta_is_left,
-                      int sign, AnnotatedDelta* out);
+                      int sign, const ReadView* view, AnnotatedDelta* out);
 
   /// Hash of a delta/annotated row's join key on the given side.
   uint64_t KeyHash(const Tuple& row, bool left_side) const;

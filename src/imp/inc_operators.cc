@@ -36,13 +36,21 @@ IncScan::IncScan(std::string table, ExprPtr filter, const Database* db,
       schema_(std::move(schema)),
       stats_(stats) {}
 
-Result<AnnotatedRelation> IncScan::Build(const DeltaContext&) {
+Result<AnnotatedRelation> IncScan::Build(const DeltaContext& ctx) {
   AnnotatedRelation out;
   out.schema = schema_;
-  const Table* table = db_->GetTable(table_);
-  if (table == nullptr) return Status::NotFound("no such table: " + table_);
-  out.rows.reserve(table->NumRows());
-  table->ForEachRow([&](const Tuple& row) {
+  // Read through the round's pinned view (capture at the frozen
+  // watermark); without one, pin the table's current published snapshot.
+  std::shared_ptr<const TableSnapshot> pinned;
+  const TableSnapshot* snap = ctx.view ? ctx.view->Find(table_) : nullptr;
+  if (snap == nullptr) {
+    const Table* table = db_->GetTable(table_);
+    if (table == nullptr) return Status::NotFound("no such table: " + table_);
+    pinned = table->Snapshot();
+    snap = pinned.get();
+  }
+  out.rows.reserve(snap->num_rows());
+  snap->ForEachRow([&](const Tuple& row) {
     if (filter_ && !filter_->Eval(row).IsTrue()) return;
     AnnotatedRow ar;
     ar.row = row;

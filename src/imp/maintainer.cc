@@ -141,17 +141,20 @@ void Maintainer::ComputePushdowns() {
   });
 }
 
-Result<ProvenanceSketch> Maintainer::Initialize() {
+Result<ProvenanceSketch> Maintainer::Initialize(const ReadView* view) {
   DeltaContext empty;
+  empty.view = view;
   IMP_ASSIGN_OR_RETURN(AnnotatedRelation result, root_->Build(empty));
   merge_ = IncMerge(catalog_->total_fragments());
   merge_.Build(result);
   sketch_.fragments = merge_.CurrentSketch();
   sketch_.fragments.Resize(catalog_->total_fragments());
-  // Anchor at the stable watermark: the state was built from published
-  // data only, so claiming validity for in-flight allocated versions
-  // would silently skip their deltas.
-  sketch_.valid_version = db_->StableVersion();
+  // Anchor at the view's watermark (the state was built from exactly that
+  // pinned set of snapshots) — or, without a view, at the stable
+  // watermark: the state was built from published data only, so claiming
+  // validity for in-flight allocated versions would silently skip their
+  // deltas.
+  sketch_.valid_version = view ? view->watermark() : db_->StableVersion();
   return sketch_;
 }
 
@@ -171,11 +174,13 @@ Result<SketchDelta> Maintainer::MaintainAnnotated(const DeltaContext& ctx,
     if (result.status().code() != StatusCode::kNeedsRecapture) {
       return result.status();
     }
-    // Truncated state ran dry: rebuild everything from the current
-    // database, then report the old-vs-new sketch difference as the delta.
+    // Truncated state ran dry: rebuild everything from the round's pinned
+    // view (falling back to the current published snapshots when the
+    // caller pinned none), then report the old-vs-new sketch difference as
+    // the delta.
     ++stats_.recaptures;
     BitVector before = sketch_.fragments;
-    IMP_RETURN_NOT_OK(Initialize().status());
+    IMP_RETURN_NOT_OK(Initialize(ctx.view).status());
     sketch_.valid_version = new_version;
     SketchDelta diff;
     BitVector after = sketch_.fragments;
@@ -192,7 +197,8 @@ Result<SketchDelta> Maintainer::MaintainAnnotated(const DeltaContext& ctx,
   return delta;
 }
 
-Result<SketchDelta> Maintainer::MaintainFromBackend(uint64_t cut_version) {
+Result<SketchDelta> Maintainer::MaintainFromBackend(uint64_t cut_version,
+                                                    const ReadView* view) {
   std::vector<TableDelta> deltas;
   for (const std::string& table : tables_) {
     TableDelta d = db_->ScanDelta(table, sketch_.valid_version, cut_version,
@@ -202,6 +208,7 @@ Result<SketchDelta> Maintainer::MaintainFromBackend(uint64_t cut_version) {
   last_fetch_stats_.delta_scans = tables_.size();
   last_fetch_stats_.annotation_passes = deltas.size();
   DeltaContext ctx = MakeDeltaContext(std::move(deltas), *catalog_);
+  ctx.view = view;
   return MaintainAnnotated(ctx, cut_version);
 }
 

@@ -41,7 +41,10 @@ class Maintainer {
 
   /// Build all operator state by evaluating the (annotated) query once and
   /// record the accurate sketch — the capture step (Fig. 2, blue pipeline).
-  Result<ProvenanceSketch> Initialize();
+  /// With `view`, the capture reads the pinned snapshots and the sketch
+  /// anchors at the view's watermark; without one it reads each table's
+  /// currently published snapshot and anchors at StableVersion().
+  Result<ProvenanceSketch> Initialize(const ReadView* view = nullptr);
 
   /// Incrementally maintain with raw backend deltas, advancing the sketch
   /// to `new_version`. Returns the sketch delta ΔP. On buffer exhaustion
@@ -66,8 +69,11 @@ class Maintainer {
   /// (applying selection push-down) and maintain up to `cut_version` — the
   /// frozen epoch cut of the maintenance round. Only published delta
   /// records are visible, so a cut at the stable watermark never observes
-  /// a statement that is still being applied.
-  Result<SketchDelta> MaintainFromBackend(uint64_t cut_version);
+  /// a statement that is still being applied. `view` (pinned at the cut)
+  /// is what delegated joins and recapture-on-truncation read through, so
+  /// the round stays at one watermark even under concurrent ingestion.
+  Result<SketchDelta> MaintainFromBackend(uint64_t cut_version,
+                                          const ReadView* view = nullptr);
   /// Convenience: cut at the database's stable watermark.
   Result<SketchDelta> MaintainFromBackend();
 

@@ -78,21 +78,24 @@ Status ImpSystem::PartitionTable(const std::string& table,
                                  const std::string& attribute,
                                  size_t num_fragments) {
   std::unique_lock<std::shared_mutex> frontend(frontend_mu_);
-  // A new partition can make previously unsketchable templates sketchable.
-  // Cleared BEFORE the read session: shard locks precede the session in
-  // the lock hierarchy (conservative if registration fails below).
-  sketches_.ClearUnsketchable();
-  auto read = db_->ReadSession();
   const Table* t = db_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   auto idx = t->schema().IndexOf(attribute);
   if (!idx.has_value()) {
     return Status::NotFound("no such column: " + table + "." + attribute);
   }
-  std::vector<Value> values = t->ColumnValues(*idx);
+  // Read the histogram source from the pinned published snapshot — no
+  // backend lock; a concurrent writer publishes past us without blocking.
+  std::shared_ptr<const TableSnapshot> snap = t->Snapshot();
+  std::vector<Value> values = snap->ColumnValues(*idx);
   if (values.empty()) {
     return Status::InvalidArgument("cannot partition empty table " + table);
   }
+  // A new partition can make previously unsketchable templates sketchable.
+  // Cleared only once validation has passed — a doomed request must not
+  // re-enable capture attempts for templates that stay unsketchable (same
+  // failure-path contract as RepartitionTable).
+  sketches_.ClearUnsketchable();
   return catalog_.Register(RangePartition::EquiDepth(
       table, attribute, *idx, std::move(values), num_fragments));
 }
@@ -120,14 +123,16 @@ Result<SketchEntry*> ImpSystem::TryCreateEntryLocked(
   entry->filter_tables = std::move(filter_tables);
 
   auto start = std::chrono::steady_clock::now();
-  auto read = db_->ReadSession();
+  // Capture over a pinned view: the state is built from exactly the
+  // watermark the sketch anchors at, while ingestion publishes freely.
+  ReadView view = db_->OpenReadView();
   if (config_.mode == ExecutionMode::kIncremental) {
     entry->maintainer = std::make_unique<Maintainer>(db_, &catalog_, plan,
                                                      config_.maintainer);
-    IMP_ASSIGN_OR_RETURN(entry->sketch, entry->maintainer->Initialize());
+    IMP_ASSIGN_OR_RETURN(entry->sketch, entry->maintainer->Initialize(&view));
   } else {
     CaptureEngine capture(db_, &catalog_);
-    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(plan));
+    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(plan, &view));
   }
   // Readers resolve the entry only after InsertLocked below, but publish
   // first so no window ever exposes an entry without a current snapshot.
@@ -172,7 +177,7 @@ Status ImpSystem::EvictSketchStates() {
   return Status::OK();
 }
 
-Status ImpSystem::RecaptureEntry(SketchEntry* entry) {
+Status ImpSystem::RecaptureEntry(SketchEntry* entry, const ReadView& view) {
   // Re-derive which partitioned tables are safely filterable (partition
   // attributes may have changed).
   entry->filter_tables.clear();
@@ -188,10 +193,10 @@ Status ImpSystem::RecaptureEntry(SketchEntry* entry) {
         db_, &catalog_, entry->plan, config_.maintainer);
     entry->state_evicted = false;
     db_->EraseStateBlob(entry->state_key);
-    IMP_ASSIGN_OR_RETURN(entry->sketch, entry->maintainer->Initialize());
+    IMP_ASSIGN_OR_RETURN(entry->sketch, entry->maintainer->Initialize(&view));
   } else {
     CaptureEngine capture(db_, &catalog_);
-    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(entry->plan));
+    IMP_ASSIGN_OR_RETURN(entry->sketch, capture.Capture(entry->plan, &view));
   }
   // The fragment-id space changed with the catalog: readers arriving after
   // the repartition releases the front-end lock must see the recaptured
@@ -207,34 +212,46 @@ Status ImpSystem::RecaptureEntry(SketchEntry* entry) {
 Status ImpSystem::RepartitionTable(const std::string& table,
                                    const std::string& attribute,
                                    size_t num_fragments) {
-  // Stop-the-world: every query path reads the catalog, and the global
-  // fragment-id compaction below invalidates every sketch at once. A
-  // reader that already pinned a SketchSnapshot keeps its (immutable,
-  // pre-repartition) view; it cannot be executing concurrently because it
-  // holds the front-end lock shared for the query's duration.
+  // Validate the request BEFORE acquiring any lock: a bad table/column or
+  // an empty table must fail without serializing concurrent readers and
+  // without touching sketch bookkeeping — the failure path used to clear
+  // every shard's unsketchable cache (re-enabling capture attempts) under
+  // the exclusive front-end lock even when nothing was going to change
+  // (regression-tested). The schema is immutable, so these checks cannot
+  // be invalidated later; emptiness is re-checked on the frozen snapshot.
+  {
+    const Table* t = db_->GetTable(table);
+    if (t == nullptr) return Status::NotFound("no such table: " + table);
+    if (!t->schema().IndexOf(attribute).has_value()) {
+      return Status::NotFound("no such column: " + table + "." + attribute);
+    }
+    if (t->Snapshot()->num_rows() == 0) {
+      return Status::InvalidArgument("cannot partition empty table " + table);
+    }
+  }
+  // Stop-the-world for the SKETCH STORE: every query path reads the
+  // catalog, and the global fragment-id compaction below invalidates every
+  // sketch at once. A reader that already pinned a SketchSnapshot keeps
+  // its (immutable, pre-repartition) view; it cannot be executing
+  // concurrently because it holds the front-end lock shared for the
+  // query's duration.
   std::unique_lock<std::shared_mutex> frontend(frontend_mu_);
-  // Collect entries BEFORE opening the read session: the lock hierarchy is
-  // shard locks -> backend session, and AllEntries read-locks each shard.
-  // (Uncontended here — the exclusive front-end lock already excludes every
-  // shard-lock holder — but the acquisition order must hold everywhere.)
   std::vector<SketchEntry*> entries = sketches_.AllEntries();
   // The replaced partition (different attribute or ranges) can change
-  // which templates are sketchable; also a shard-lock user, so it runs
-  // before the session opens. Conservative if a validation below fails.
+  // which templates are sketchable. Conservative if a step below fails.
   sketches_.ClearUnsketchable();
-  auto read = db_->ReadSession();
-  // Validate everything BEFORE touching the catalog: once Unregister
-  // compacts the global fragment-id space, an early return would leave
-  // every published snapshot encoding ids the new catalog reinterprets —
-  // and the delta-based staleness probe cannot flag that.
+  // On the STORAGE side only the affected table freezes, and only
+  // briefly: its write stripe blocks that table's appliers just long
+  // enough to read the histogram values and pin the view against the
+  // identical state of `table` — ingestion into OTHER tables keeps
+  // flowing throughout, and this table's resumes as soon as the view is
+  // pinned below. This replaces the old whole-backend read session.
+  auto stripe = db_->WriteSession(table);
   const Table* t = db_->GetTable(table);
-  if (t == nullptr) return Status::NotFound("no such table: " + table);
   auto idx = t->schema().IndexOf(attribute);
-  if (!idx.has_value()) {
-    return Status::NotFound("no such column: " + table + "." + attribute);
-  }
-  std::vector<Value> values = t->ColumnValues(*idx);
+  std::vector<Value> values = t->Snapshot()->ColumnValues(*idx);
   if (values.empty()) {
+    // Emptied between validation and the freeze: still no mutation done.
     return Status::InvalidArgument("cannot partition empty table " + table);
   }
   IMP_RETURN_NOT_OK(catalog_.Unregister(table));
@@ -246,9 +263,19 @@ Status ImpSystem::RepartitionTable(const std::string& table,
   // the remaining entries.
   Status registered = catalog_.Register(RangePartition::EquiDepth(
       table, attribute, *idx, std::move(values), num_fragments));
+  ReadView view = db_->OpenReadView();
+  // The stripe only had to keep the histogram values and the pinned view's
+  // snapshot of `table` identical; both are frozen now, so release it
+  // before the (potentially long) recapture loop — a blocked ingestion
+  // worker would otherwise stall every table's ingestion for the whole
+  // repartition. Recaptures read the immutable view, so concurrently
+  // published statements merely leave the new sketches stale-and-
+  // maintainable.
+  stripe.unlock();
   Status first_error = registered;
   for (SketchEntry* entry : entries) {
-    Status recaptured = registered.ok() ? RecaptureEntry(entry) : registered;
+    Status recaptured =
+        registered.ok() ? RecaptureEntry(entry, view) : registered;
     if (!recaptured.ok()) {
       // The entry's sketch still encodes pre-repartition fragment ids.
       // Disable sketch filtering for it (an empty filter set leaves every
@@ -266,18 +293,23 @@ Status ImpSystem::RepartitionTable(const std::string& table,
 
 Result<Relation> ImpSystem::ExecutePlain(const PlanPtr& plan) {
   auto start = std::chrono::steady_clock::now();
-  auto read = db_->ReadSession();
-  Executor exec(db_);
+  ReadView view = db_->OpenReadView();
+  Executor exec(db_, &view);
   Result<Relation> result = exec.Execute(plan);
   std::lock_guard<std::mutex> stats(stats_mu_);
   stats_.query_seconds += SecondsSince(start);
   return result;
 }
 
-bool ImpSystem::EntryIsStaleAt(const SketchEntry& entry,
-                               uint64_t version) const {
+bool ImpSystem::EntryIsStaleAt(const SketchEntry& entry, uint64_t version,
+                               const ReadView& view) {
+  // A table snapshot's version stamp is the last statement that modified
+  // the table as of the view's watermark; a sketch valid at `version`
+  // misses that table's deltas iff the stamp exceeds it. Unlike the old
+  // delta-log probe this cannot be fooled by a truncation sweep racing in
+  // behind a republished snapshot — the stamp survives truncation.
   for (const std::string& table : entry.tables) {
-    if (db_->HasPendingDelta(table, version)) return true;
+    if (view.TableVersion(table) > version) return true;
   }
   return false;
 }
@@ -297,38 +329,34 @@ SketchEntry* ImpSystem::FindReusableLocked(const SketchManager::Shard& shard,
 Result<Relation> ImpSystem::AnswerWithEntry(SketchManager::Shard& shard,
                                             SketchEntry* entry,
                                             const PlanPtr& plan) {
-  // Fast path — snapshot-isolated read. Pin the published snapshot, then
-  // validate it at the current watermark under the backend's read session:
-  // the session excludes the in-flight apply+publish, so the watermark is
-  // frozen for everything below. A snapshot with no pending delta on any
-  // of the entry's tables is exactly the sketch a fully serialized run
-  // would use (the serialized round would classify the entry non-stale and
-  // only fast-forward its version; the fragment set — all the rewrite
-  // reads — would be unchanged).
+  // Fast path — fully lock-free snapshot-isolated read. Pin a storage
+  // ReadView and the entry's published SketchSnapshot, then validate the
+  // sketch against the view's per-table version stamps: if no table of
+  // the entry advanced past the sketch, the snapshot is exactly the
+  // sketch a fully serialized run would use at the view's watermark (the
+  // serialized round would classify the entry non-stale and only
+  // fast-forward its version; the fragment set — all the rewrite reads —
+  // would be unchanged), and execution over the view observes exactly
+  // that watermark. Nothing here blocks the ingestion worker or a
+  // maintenance round, and neither can invalidate what we pinned.
   {
-    auto read = db_->ReadSession();
+    ReadView view = db_->OpenReadView();
     std::shared_ptr<const SketchSnapshot> snapshot = entry->Snapshot();
-    bool stale;
-    for (;;) {
-      stale = EntryIsStaleAt(*entry, snapshot->valid_version());
-      // Confirm the pinned snapshot is still the entry's CURRENT one. A
-      // repair published behind our pin may have let the truncation sweep
-      // drop exactly the delta records that proved our older snapshot
-      // stale — the probe above would then vacuously say "fresh". If a
-      // newer snapshot exists, every truncated record is at or below ITS
-      // valid_version (the sweep's minimum includes this entry), so
-      // re-validating against it is sound. Bounded: publications cut at
-      // the stable watermark, which our read session freezes, so each
-      // entry republishes at most once while we sit here.
-      std::shared_ptr<const SketchSnapshot> current = entry->Snapshot();
-      if (current == snapshot) break;
-      snapshot = std::move(current);
+    while (snapshot->valid_version() > view.watermark()) {
+      // A concurrent repair published a snapshot NEWER than our view
+      // (its cut was taken after ours). Executing view-state at W with a
+      // sketch repaired to W' > W could miss fragments deleted in
+      // (W, W']; advance the view instead — the stable watermark has
+      // necessarily reached the snapshot's cut, so re-opening closes the
+      // gap (each iteration strictly raises the watermark).
+      view = db_->OpenReadView();
+      snapshot = entry->Snapshot();
     }
-    if (!stale) {
+    if (!EntryIsStaleAt(*entry, snapshot->valid_version(), view)) {
       auto start = std::chrono::steady_clock::now();
       PlanPtr rewritten =
           ApplyUseRewrite(plan, catalog_, *snapshot, &entry->filter_tables);
-      Executor exec(db_);
+      Executor exec(db_, &view);
       Result<Relation> result = exec.Execute(rewritten);
       std::lock_guard<std::mutex> stats(stats_mu_);
       stats_.query_seconds += SecondsSince(start);
@@ -341,22 +369,22 @@ Result<Relation> ImpSystem::AnswerWithEntry(SketchManager::Shard& shard,
   }
 
   // Slow path — lazy repair. Exclusive on this entry's shard (readers of
-  // other tables proceed); one read session spans staleness repair AND
-  // execution: the sketch is repaired to the watermark and the executor
-  // then scans exactly that state — a statement published between the two
-  // would otherwise leave base rows the (older) sketch filter was never
-  // maintained against. The shard lock itself is released before
-  // execution: once the repaired snapshot is pinned, the session alone
-  // keeps it current.
+  // other tables proceed); ONE pinned view spans staleness repair AND
+  // execution: the sketch is repaired to the view's watermark and the
+  // executor then scans exactly that pinned state — a statement published
+  // between the two would otherwise leave base rows the (older) sketch
+  // filter was never maintained against. The shard lock itself is
+  // released before execution: the repaired snapshot and the view are
+  // immutable, so nothing can drift between them.
   std::unique_lock<std::shared_mutex> wl(shard.mu);
-  auto read = db_->ReadSession();
-  IMP_RETURN_NOT_OK(MaintainBatchLocked({entry}));
+  ReadView view = db_->OpenReadView();
+  IMP_RETURN_NOT_OK(MaintainBatchLocked({entry}, view));
   std::shared_ptr<const SketchSnapshot> snapshot = entry->Snapshot();
   wl.unlock();
   auto start = std::chrono::steady_clock::now();
   PlanPtr rewritten =
       ApplyUseRewrite(plan, catalog_, *snapshot, &entry->filter_tables);
-  Executor exec(db_);
+  Executor exec(db_, &view);
   Result<Relation> result = exec.Execute(rewritten);
   std::lock_guard<std::mutex> stats(stats_mu_);
   stats_.query_seconds += SecondsSince(start);
@@ -428,18 +456,40 @@ Result<Relation> ImpSystem::Query(const std::string& sql) {
 }
 
 Result<uint64_t> ImpSystem::ApplySyncBound(const BoundUpdate& update) {
-  auto write = db_->WriteSession();
   switch (update.kind) {
     case BoundUpdate::Kind::kInsert:
+      // Insert/Delete take the table's write stripe internally; readers
+      // proceed on the published snapshots throughout.
       return db_->Insert(update.table, update.rows);
     case BoundUpdate::Kind::kDelete:
       return db_->Delete(update.table, WherePredicate(update));
     case BoundUpdate::Kind::kUpdate: {
+      // UPDATE = DELETE matching rows + INSERT the modified rows, computed
+      // and applied under ONE hold of the table's stripe so no other
+      // writer can slip between the halves (the old global write session's
+      // guarantee, now scoped to the one table).
+      if (!db_->HasTable(update.table)) {
+        return Status::NotFound("no such table: " + update.table);
+      }
       auto pred = WherePredicate(update);
+      auto session = db_->WriteSession(update.table);
       IMP_ASSIGN_OR_RETURN(std::vector<Tuple> modified,
                            ComputeUpdatedRows(*db_, update, pred));
-      IMP_RETURN_NOT_OK(db_->Delete(update.table, pred).status());
-      return db_->Insert(update.table, modified);
+      uint64_t delete_version = db_->AllocateVersion();
+      uint64_t insert_version = db_->AllocateVersion();
+      Status deleted =
+          db_->StageDelete(update.table, pred, delete_version).status();
+      Status inserted =
+          deleted.ok()
+              ? db_->StageInsert(update.table, modified, insert_version)
+              : deleted;
+      // One publication covers both halves; retire in allocation order.
+      db_->PublishTable(update.table);
+      db_->RetireVersion(delete_version);
+      db_->RetireVersion(insert_version);
+      IMP_RETURN_NOT_OK(deleted);
+      IMP_RETURN_NOT_OK(inserted);
+      return insert_version;
     }
   }
   return Status::Internal("unhandled update kind");
@@ -499,72 +549,115 @@ Result<uint64_t> ImpSystem::Update(const std::string& sql) {
   return UpdateBound(bound.update);
 }
 
-Status ImpSystem::ApplyIngestTask(const IngestTask& task) {
+Status ImpSystem::StageIngestTask(const IngestTask& task,
+                                  std::vector<std::string>* touched) {
   const BoundUpdate& update = task.update;
-  auto write = db_->WriteSession();
+  if (!db_->HasTable(update.table)) {
+    // The versions are still retired at the end of the batch cycle so the
+    // watermark cannot stall behind the failed statement.
+    return Status::NotFound("no such table: " + update.table);
+  }
+  if (std::find(touched->begin(), touched->end(), update.table) ==
+      touched->end()) {
+    touched->push_back(update.table);
+  }
+  auto session = db_->WriteSession(update.table);
   switch (update.kind) {
-    case BoundUpdate::Kind::kInsert: {
-      Status staged = db_->StageInsert(update.table, update.rows, task.version);
-      // Publish even a failed statement: it consumed its version, and the
-      // watermark must not stall behind a no-op.
-      db_->PublishVersion(update.table, task.version);
-      return staged;
-    }
-    case BoundUpdate::Kind::kDelete: {
-      Status staged =
-          db_->StageDelete(update.table, WherePredicate(update), task.version)
-              .status();
-      db_->PublishVersion(update.table, task.version);
-      return staged;
-    }
+    case BoundUpdate::Kind::kInsert:
+      return db_->StageInsert(update.table, update.rows, task.version);
+    case BoundUpdate::Kind::kDelete:
+      return db_->StageDelete(update.table, WherePredicate(update),
+                              task.version)
+          .status();
     case BoundUpdate::Kind::kUpdate: {
       auto pred = WherePredicate(update);
-      Result<std::vector<Tuple>> modified =
-          ComputeUpdatedRows(*db_, update, pred);
-      if (!modified.ok()) {
-        db_->PublishVersion(update.table, task.delete_version);
-        db_->PublishVersion(update.table, task.version);
-        return modified.status();
-      }
-      Status deleted =
-          db_->StageDelete(update.table, pred, task.delete_version).status();
-      db_->PublishVersion(update.table, task.delete_version);
-      Status inserted =
-          db_->StageInsert(update.table, modified.value(), task.version);
-      db_->PublishVersion(update.table, task.version);
-      IMP_RETURN_NOT_OK(deleted);
-      return inserted;
+      // Computed against the worker's current applied state (all earlier
+      // tickets staged), under the stripe — identical to the synchronous
+      // path's view of the table.
+      IMP_ASSIGN_OR_RETURN(std::vector<Tuple> modified,
+                           ComputeUpdatedRows(*db_, update, pred));
+      IMP_RETURN_NOT_OK(
+          db_->StageDelete(update.table, pred, task.delete_version).status());
+      return db_->StageInsert(update.table, modified, task.version);
     }
   }
-  // Defensive: even an unrecognized statement must retire its allocated
-  // version(s) — the watermark never stalls.
-  if (task.delete_version != 0) {
-    db_->PublishVersion(update.table, task.delete_version);
-  }
-  db_->PublishVersion(update.table, task.version);
   return Status::Internal("unhandled update kind");
 }
 
 void ImpSystem::IngestWorkerLoop() {
-  while (std::optional<IngestTask> task = ingest_queue_->Pop()) {
+  const size_t batch_limit = std::max<size_t>(1, config_.ingest_apply_batch);
+  std::vector<IngestTask> batch;
+  std::vector<Status> statuses;
+  std::vector<std::string> touched;
+  while (std::optional<IngestTask> first = ingest_queue_->Pop()) {
+    // Drain up to batch_limit queued statements into one apply cycle; the
+    // first pop blocks (idle worker), the rest are opportunistic.
+    batch.clear();
+    statuses.clear();
+    touched.clear();
+    batch.push_back(std::move(*first));
+    while (batch.size() < batch_limit) {
+      std::optional<IngestTask> next = ingest_queue_->TryPop();
+      if (!next) break;
+      batch.push_back(std::move(*next));
+    }
     auto start = std::chrono::steady_clock::now();
-    Status applied = ApplyIngestTask(*task);
+    // Stage every statement in ticket order; publication is deferred to
+    // the end of the cycle, so each touched table gets ONE delta
+    // publication + ONE snapshot swap per batch instead of per statement.
+    for (const IngestTask& task : batch) {
+      statuses.push_back(StageIngestTask(task, &touched));
+    }
+    // Publish per touched table, retiring that table's versions right
+    // after its publication (a version may only retire once its table
+    // snapshot is visible — and retiring table by table keeps the stable
+    // watermark advancing even if the NEXT table's stripe is briefly held
+    // by a repartition freeze, which view-opening readers may be spinning
+    // on the watermark for). The version clock reorders out-of-order
+    // retires internally.
+    for (const std::string& table : touched) {
+      auto session = db_->WriteSession(table);
+      db_->PublishTable(table);
+      session.unlock();
+      for (const IngestTask& task : batch) {
+        if (task.update.table != table) continue;
+        if (task.delete_version != 0) db_->RetireVersion(task.delete_version);
+        db_->RetireVersion(task.version);
+      }
+    }
+    // Failed statements (missing table, unhandled kind) still consume
+    // their versions — the watermark never stalls behind a no-op.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (statuses[i].ok()) continue;
+      const IngestTask& task = batch[i];
+      if (std::find(touched.begin(), touched.end(), task.update.table) !=
+          touched.end()) {
+        continue;  // staged tables retired their versions above
+      }
+      if (task.delete_version != 0) db_->RetireVersion(task.delete_version);
+      db_->RetireVersion(task.version);
+    }
     {
       // Same mutex as the producer-side fields: a front end may poll
       // stats() for ingestion progress while the worker runs.
       std::lock_guard<std::mutex> lock(update_stats_mu_);
       stats_.ingest_apply_seconds += SecondsSince(start);
-      ++stats_.ingest_applied;
+      stats_.ingest_applied += batch.size();
+      ++stats_.ingest_batches;
+      stats_.ingest_batch_max = std::max(stats_.ingest_batch_max, batch.size());
     }
-    if (!applied.ok()) {
+    for (const Status& applied : statuses) {
+      if (applied.ok()) continue;
       std::lock_guard<std::mutex> lock(ingest_error_mu_);
       if (ingest_error_.ok()) ingest_error_ = applied;
     }
-    // Eager maintenance runs on the worker, after the statement is
-    // published — the same "after every applied statement" points as the
-    // synchronous path, so eager rounds fire at identical epochs.
-    if (applied.ok()) NoteUpdate();
-    ingest_queue_->TaskDone();
+    // Eager maintenance runs on the worker, after the batch is published —
+    // one NoteUpdate per applied statement, the same statement count as
+    // the synchronous path (with batch_limit == 1 also the same epochs).
+    for (const Status& applied : statuses) {
+      if (applied.ok()) NoteUpdate();
+    }
+    for (size_t i = 0; i < batch.size(); ++i) ingest_queue_->TaskDone();
   }
 }
 
@@ -610,8 +703,10 @@ Status ImpSystem::MaintainAllShards() {
       for (const auto& entry : bucket) entries.push_back(entry.get());
     }
     if (entries.empty()) continue;
-    auto read = db_->ReadSession();
-    Status st = MaintainBatchLocked(entries);
+    // Pin this shard round's view at the current watermark; the round
+    // reads only through it, so the ingestion worker publishes freely.
+    ReadView view = db_->OpenReadView();
+    Status st = MaintainBatchLocked(entries, view);
     if (first_error.ok()) first_error = st;
   }
   TruncateDeltaLogs();
@@ -644,14 +739,15 @@ ThreadPool& ImpSystem::MaintenancePool() {
   return *maintenance_pool_;
 }
 
-Status ImpSystem::MaintainBatchLocked(
-    const std::vector<SketchEntry*>& entries) {
-  // Freeze the round's epoch cut at the stable watermark; the caller's
-  // read session spans the whole round, so every statement at or below
-  // the cut is fully published and no in-flight statement can race rows
-  // into the round. The cut — not CurrentVersion(), which may run ahead
-  // during asynchronous ingestion — keys every shared cache below.
-  const uint64_t cut = db_->StableVersion();
+Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
+                                      const ReadView& view) {
+  // The round's epoch cut is the pinned view's watermark: every statement
+  // at or below it is fully published IN THE VIEW, and later publications
+  // are invisible through it — so no in-flight statement can race rows
+  // into the round even though nothing is locked. The cut — not
+  // CurrentVersion(), which may run ahead during asynchronous ingestion —
+  // keys every shared cache below.
+  const uint64_t cut = view.watermark();
   const bool incremental = config_.mode == ExecutionMode::kIncremental;
 
   // Round planning (serial): restore evicted maintainers and classify each
@@ -680,7 +776,7 @@ Status ImpSystem::MaintainBatchLocked(
       continue;
     }
     if (entry->valid_version() >= cut) continue;
-    bool stale = EntryIsStaleAt(*entry, entry->valid_version());
+    bool stale = EntryIsStaleAt(*entry, entry->valid_version(), view);
     stale_count += stale ? 1 : 0;
     Item item{entry, stale, 0, 0, 0};
     if (entry->maintainer != nullptr) {
@@ -703,7 +799,7 @@ Status ImpSystem::MaintainBatchLocked(
   const bool shared = incremental && config_.shared_delta_fetch &&
                       stale_count > 0;
   auto round_start = std::chrono::steady_clock::now();
-  MaintenanceBatch batch(db_, &catalog_, cut);
+  MaintenanceBatch batch(db_, &catalog_, cut, &view);
   if (shared) {
     for (const Item& item : items) {
       if (!item.stale) continue;
@@ -737,13 +833,14 @@ Status ImpSystem::MaintainBatchLocked(
       Result<SketchDelta> result =
           shared ? entry->maintainer->MaintainAnnotated(
                        batch.ContextFor(*entry->maintainer), cut)
-                 : entry->maintainer->MaintainFromBackend(cut);
+                 : entry->maintainer->MaintainFromBackend(cut, &view);
       statuses[i] = result.status();
       if (result.ok()) entry->sketch = entry->maintainer->sketch();
     } else {
-      // Full maintenance: re-run the capture query (Sec. 1).
+      // Full maintenance: re-run the capture query (Sec. 1) over the
+      // round's pinned view, anchoring at the frozen cut.
       CaptureEngine capture(db_, &catalog_);
-      Result<ProvenanceSketch> result = capture.Capture(entry->plan);
+      Result<ProvenanceSketch> result = capture.Capture(entry->plan, &view);
       statuses[i] = result.status();
       if (result.ok()) entry->sketch = std::move(result).value();
     }

@@ -31,34 +31,42 @@
 //                  whereas the synchronous path validates before
 //                  allocating.)
 //
-// Concurrency model (the sharded, snapshot-isolated front end):
+// Concurrency model (sharded front end over a lock-free storage read path):
 //
-//   Query is reader-concurrent. A query resolves its entry under a brief
-//   per-shard read lock, pins the entry's immutable SketchSnapshot, and
-//   validates it against the stable watermark under the backend's read
-//   session: if none of the entry's tables has a pending delta beyond the
-//   snapshot, the snapshot is exactly the sketch a fully serialized run
-//   would use at this watermark, and the query rewrites + executes with no
-//   sketch-store lock held. Only a STALE entry (lazy repair) or a miss
+//   Query is reader-concurrent and takes NO backend lock at all. A query
+//   resolves its entry under a brief per-shard read lock, pins the entry's
+//   immutable SketchSnapshot AND a storage ReadView (the pinned set of
+//   per-table TableSnapshots at the stable watermark), and validates the
+//   sketch against the view by comparing version stamps: if no table of
+//   the entry was modified past the snapshot's valid version, the snapshot
+//   is exactly the sketch a fully serialized run would use at the view's
+//   watermark, and the query rewrites + executes over the view with no
+//   lock held anywhere. Only a STALE entry (lazy repair) or a miss
 //   (capture) takes the entry's shard write lock — and even then execution
 //   resumes lock-free once the repaired snapshot is published.
 //
-//   Maintenance is shard-exclusive. MaintainAll, eager worker rounds and
-//   lazy repairs take the write lock of only the shards they touch, one
-//   shard at a time, so readers and maintainers of different tables never
-//   block each other. Repartitioning and state eviction are stop-the-world
-//   (exclusive front-end lock): they mutate the partition catalog / drop
-//   maintainer state, which every other path reads.
+//   Maintenance is shard-exclusive but storage-lock-free. MaintainAll,
+//   eager worker rounds and lazy repairs take the write lock of only the
+//   shards they touch, one shard at a time; each round pins a ReadView at
+//   its frozen cut and scans deltas / delegates joins / recaptures through
+//   it — the ingestion worker keeps publishing concurrently without ever
+//   blocking or being blocked by a round. Repartitioning and state
+//   eviction remain stop-the-world for the SKETCH store (exclusive
+//   front-end lock); on the storage side repartition now freezes only the
+//   affected table's write stripe instead of the whole backend.
 //
 //   Lock hierarchy (acquire strictly downwards; never two shard locks at
-//   once): front-end lock -> shard lock -> backend session -> delta-log /
-//   table internals. The stats mutexes are leaves.
+//   once): front-end lock -> shard lock -> table write stripe (writers
+//   only) -> delta-log / table internals. The stats mutexes are leaves.
+//   Readers appear nowhere in the hierarchy — the read path pins
+//   immutable snapshots and holds no lock while executing.
 //
-//   Snapshot lifetime: a pinned shared_ptr<const SketchSnapshot> stays
-//   valid and self-consistent indefinitely — publication swaps the
-//   pointer, never mutates the pointee — but is only guaranteed CURRENT
-//   while the pinning query's read session is held (the session freezes
-//   the watermark).
+//   Snapshot lifetime: pinned SketchSnapshots, TableSnapshots and
+//   ReadViews stay valid and self-consistent indefinitely — publication
+//   swaps pointers, never mutates pointees; reclamation is epoch-based
+//   through the pins (the last holder frees an old snapshot). A
+//   SketchSnapshot is guaranteed CURRENT at watermark W exactly when no
+//   entry table's view version exceeds its valid version.
 
 #ifndef IMP_MIDDLEWARE_IMP_SYSTEM_H_
 #define IMP_MIDDLEWARE_IMP_SYSTEM_H_
@@ -110,6 +118,15 @@ struct ImpConfig {
   /// Bounded ingestion queue capacity; producers block when it is full
   /// (backpressure instead of unbounded memory growth).
   size_t ingest_queue_capacity = 1024;
+  /// Asynchronous ingestion batching: the worker drains up to this many
+  /// queued statements per apply cycle and publishes each touched table
+  /// ONCE per batch (one snapshot swap + one delta publication instead of
+  /// per statement), raising sustained ingest throughput under deep
+  /// queues. 1 = publish per statement (the PR 3 behaviour: eager rounds
+  /// then fire at exactly the synchronous path's epochs). Versions are
+  /// still applied and retired in ticket order, so drained results are
+  /// identical for any batch size.
+  size_t ingest_apply_batch = 1;
   /// After each MaintainAll round, truncate every table's delta log up to
   /// the minimum valid_version across all sketch shards (no sketch will
   /// ever re-scan below it), bounding log growth on long-lived systems.
@@ -146,6 +163,9 @@ struct ImpSystemStats {
   size_t ingest_enqueued = 0;      ///< statements enqueued (async mode)
   size_t ingest_applied = 0;       ///< statements applied by the worker
   size_t ingest_queue_peak = 0;    ///< queue-depth high-water mark
+  size_t ingest_batches = 0;       ///< worker apply cycles (publishes per
+                                   ///< touched table once per cycle)
+  size_t ingest_batch_max = 0;     ///< largest statements-per-cycle drained
   double ingest_apply_seconds = 0; ///< worker time applying statements
   double capture_seconds = 0;
   double maintain_seconds = 0;
@@ -161,7 +181,7 @@ struct ImpSystemStats {
 
 /// Thread-safety contract: Update()/UpdateBound() may be called from many
 /// producer threads concurrently (async mode serializes them on the queue;
-/// sync mode on the backend's write session). Query/QueryPlan and
+/// sync mode on the per-table write stripes). Query/QueryPlan and
 /// MaintainAll may also be called from many threads concurrently with each
 /// other, with the producers and with the ingestion worker's eager rounds;
 /// each query's result is identical to a fully serialized run at the
@@ -238,12 +258,14 @@ class ImpSystem {
     uint64_t delete_version = 0;  ///< kUpdate only: the delete half
   };
 
-  /// Plain (no-sketch) execution under its own read session.
+  /// Plain (no-sketch) execution over its own pinned ReadView.
   Result<Relation> ExecutePlain(const PlanPtr& plan);
-  /// True iff any of the entry's tables has a published delta newer than
-  /// `version` — the staleness verdict shared by the snapshot fast path
-  /// and batch-round planning (wait-free probes).
-  bool EntryIsStaleAt(const SketchEntry& entry, uint64_t version) const;
+  /// True iff any of the entry's tables was modified past `version` as of
+  /// the pinned `view` — the staleness verdict shared by the snapshot
+  /// fast path and batch-round planning. Pure snapshot-stamp comparisons:
+  /// wait-free, and immune to delta-log truncation racing the probe.
+  static bool EntryIsStaleAt(const SketchEntry& entry, uint64_t version,
+                             const ReadView& view);
   /// First candidate of `key` in `shard` that passes the reuse check.
   /// Caller holds the shard's lock (either side).
   SketchEntry* FindReusableLocked(const SketchManager::Shard& shard,
@@ -259,13 +281,15 @@ class ImpSystem {
                                             const PlanPtr& plan);
   /// One batched maintenance round over `entries`: shared delta fetch &
   /// annotation (config.shared_delta_fetch), parallel per-entry fan-out
-  /// (config.maintenance_threads), cut frozen at the stable watermark.
-  /// Caller holds the front-end lock (either side), the WRITE lock of the
-  /// single shard containing every entry in `entries`, AND the backend's
-  /// read session (so the repaired sketches and any subsequent execution
-  /// under the same session observe one consistent watermark). Each
-  /// repaired entry's snapshot is republished before the round returns.
-  Status MaintainBatchLocked(const std::vector<SketchEntry*>& entries);
+  /// (config.maintenance_threads), cut frozen at `view.watermark()`.
+  /// Caller holds the front-end lock (either side) and the WRITE lock of
+  /// the single shard containing every entry in `entries`, and passes the
+  /// pinned ReadView the round reads through (so the repaired sketches and
+  /// any subsequent execution over the same view observe one consistent
+  /// watermark — no backend lock involved). Each repaired entry's
+  /// snapshot is republished before the round returns.
+  Status MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
+                             const ReadView& view);
   /// MaintainAll body: per-shard write-locked rounds + truncation sweep.
   /// Caller holds the front-end lock (either side) and no shard lock.
   Status MaintainAllShards();
@@ -274,9 +298,10 @@ class ImpSystem {
   void TruncateDeltaLogs();
   /// Re-materialize an evicted maintainer from the backend blob store.
   Status EnsureMaintainer(SketchEntry* entry);
-  /// Rebuild an entry's state + sketch from scratch (repartitioning).
-  /// Caller holds the front-end lock exclusively.
-  Status RecaptureEntry(SketchEntry* entry);
+  /// Rebuild an entry's state + sketch from scratch (repartitioning),
+  /// reading through the repartition pass's pinned `view`. Caller holds
+  /// the front-end lock exclusively.
+  Status RecaptureEntry(SketchEntry* entry, const ReadView& view);
   /// Eager-strategy bookkeeping; runs on the caller (sync) or the
   /// ingestion worker (async), after the statement is applied.
   void NoteUpdate();
@@ -284,9 +309,15 @@ class ImpSystem {
   Result<uint64_t> ApplySyncBound(const BoundUpdate& update);
   /// Allocate version(s) + enqueue; returns the ticket (async mode).
   Result<uint64_t> EnqueueUpdate(const BoundUpdate& update);
-  /// Worker body: pop, apply under the backend's write session, publish.
+  /// Worker body: drain up to config.ingest_apply_batch statements per
+  /// cycle, stage each under its table's write stripe, publish every
+  /// touched table once, retire the versions in ticket order.
   void IngestWorkerLoop();
-  Status ApplyIngestTask(const IngestTask& task);
+  /// Stage (apply without publishing) one statement under its table's
+  /// write stripe; records the touched table in `touched` (first-touch
+  /// order) for the batch-end publication.
+  Status StageIngestTask(const IngestTask& task,
+                         std::vector<std::string>* touched);
   void StopIngestWorker();
   /// Worker pool for maintenance rounds, created on first use and reused
   /// across rounds (spawning/joining threads per round would dominate

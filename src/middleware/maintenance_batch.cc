@@ -38,6 +38,7 @@ const AnnotatedDelta* MaintenanceBatch::GetOrFetch(std::string_view table,
 
 DeltaContext MaintenanceBatch::ContextFor(const Maintainer& maintainer) {
   DeltaContext ctx;
+  ctx.view = view_;
   const uint64_t from_version = maintainer.maintained_version();
   for (const std::string& table : maintainer.tables()) {
     const AnnotatedDelta* shared =

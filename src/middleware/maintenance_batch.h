@@ -87,9 +87,14 @@ struct DeltaCacheKeyLess {
 
 class MaintenanceBatch {
  public:
+  /// `view` is the round's pinned ReadView at the cut (`to_version`); the
+  /// contexts handed out carry it so every base-table read the operator
+  /// chains perform stays at the round's watermark. May be null (tests):
+  /// consumers then fall back to the current published snapshots. The view
+  /// must outlive the batch and every context it handed out.
   MaintenanceBatch(const Database* db, const PartitionCatalog* catalog,
-                   uint64_t to_version)
-      : db_(db), catalog_(catalog), to_version_(to_version) {}
+                   uint64_t to_version, const ReadView* view = nullptr)
+      : db_(db), catalog_(catalog), to_version_(to_version), view_(view) {}
 
   MaintenanceBatch(const MaintenanceBatch&) = delete;
   MaintenanceBatch& operator=(const MaintenanceBatch&) = delete;
@@ -119,6 +124,7 @@ class MaintenanceBatch {
   const Database* db_;
   const PartitionCatalog* catalog_;
   const uint64_t to_version_;
+  const ReadView* view_;
 
   mutable std::mutex mu_;  ///< guards cache_ and all counters
   std::map<DeltaCacheKey, AnnotatedDelta, DeltaCacheKeyLess> cache_;

@@ -2,24 +2,28 @@
 
 namespace imp {
 
-Result<ProvenanceSketch> CaptureEngine::Capture(const PlanPtr& plan) const {
-  IMP_ASSIGN_OR_RETURN(auto pair, CaptureWithResult(plan));
+Result<ProvenanceSketch> CaptureEngine::Capture(const PlanPtr& plan,
+                                                const ReadView* view) const {
+  IMP_ASSIGN_OR_RETURN(auto pair, CaptureWithResult(plan, view));
   return pair.second;
 }
 
 Result<std::pair<Relation, ProvenanceSketch>> CaptureEngine::CaptureWithResult(
-    const PlanPtr& plan) const {
+    const PlanPtr& plan, const ReadView* view) const {
   AnnotatedExecutor exec(
-      db_, [this](const std::string& table, const Tuple& row, BitVector* out) {
+      db_,
+      [this](const std::string& table, const Tuple& row, BitVector* out) {
         catalog_->AnnotateRow(table, row, out);
-      });
+      },
+      view);
   IMP_ASSIGN_OR_RETURN(AnnotatedRelation result, exec.Execute(plan));
   ProvenanceSketch sketch;
   sketch.fragments = result.SketchUnion();
   sketch.fragments.Resize(catalog_->total_fragments());
-  // The capture query read published data only; anchor at the watermark so
-  // in-flight asynchronously-ingested statements still count as pending.
-  sketch.valid_version = db_->StableVersion();
+  // The capture query read the pinned view (or published snapshots only);
+  // anchor at its watermark so in-flight asynchronously-ingested
+  // statements still count as pending.
+  sketch.valid_version = view ? view->watermark() : db_->StableVersion();
   return std::make_pair(result.ToRelation(), std::move(sketch));
 }
 

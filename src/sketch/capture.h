@@ -18,15 +18,18 @@ class CaptureEngine {
   CaptureEngine(const Database* db, const PartitionCatalog* catalog)
       : db_(db), catalog_(catalog) {}
 
-  /// Capture the accurate sketch for `plan` under the catalog's partitions,
-  /// valid as of the backend's current version.
-  Result<ProvenanceSketch> Capture(const PlanPtr& plan) const;
+  /// Capture the accurate sketch for `plan` under the catalog's
+  /// partitions. With `view`, the capture query reads the pinned snapshots
+  /// and the sketch is valid at the view's watermark; without one it reads
+  /// the currently published snapshots and anchors at the stable watermark.
+  Result<ProvenanceSketch> Capture(const PlanPtr& plan,
+                                   const ReadView* view = nullptr) const;
 
   /// Capture and also return the (un-annotated) query result — IMP uses
   /// this when a fresh sketch is captured to answer the triggering query in
   /// the same pass (Fig. 2, dashed blue then green pipelines).
   Result<std::pair<Relation, ProvenanceSketch>> CaptureWithResult(
-      const PlanPtr& plan) const;
+      const PlanPtr& plan, const ReadView* view = nullptr) const;
 
  private:
   const Database* db_;

@@ -1,6 +1,7 @@
 #include "storage/database.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace imp {
 
@@ -33,11 +34,52 @@ std::vector<std::string> Database::TableNames() const {
   return out;
 }
 
+std::unique_lock<std::mutex> Database::WriteSession(
+    std::string_view table) const {
+  const Table* t = GetTable(table);
+  IMP_CHECK_MSG(t != nullptr, "WriteSession on missing table");
+  return std::unique_lock<std::mutex>(t->write_stripe());
+}
+
+ReadView Database::OpenReadView() const {
+  // Open loop: pin every table's snapshot after reading the stable
+  // watermark W. stable() >= W happens-after every table publication of
+  // every statement <= W (PublishTable's release swap precedes the clock
+  // retire), so each pinned snapshot contains ALL statements <= W touching
+  // its table. A snapshot stamped beyond W means a publication landed
+  // mid-open: re-read the (now advanced) watermark and re-pin. The loop
+  // converges at the first open that doesn't straddle a publication —
+  // writers never block it and it never blocks writers.
+  for (;;) {
+    uint64_t w = clock_.stable();
+    std::vector<ReadView::Entry> entries;
+    entries.reserve(tables_.size());
+    bool consistent = true;
+    for (const auto& [name, table] : tables_) {
+      std::shared_ptr<const TableSnapshot> snap = table->Snapshot();
+      if (snap->version() > w) {
+        consistent = false;
+        break;
+      }
+      entries.push_back(ReadView::Entry{std::string_view(name),
+                                        std::move(snap)});
+    }
+    if (consistent) return ReadView(w, std::move(entries));
+    // A publication straddled this open (a table is stamped past the
+    // watermark we read, i.e. its statement's clock retire is still in
+    // flight). Yield instead of spinning hot — the writer needs the CPU
+    // to finish the retire that unblocks us.
+    std::this_thread::yield();
+  }
+}
+
 Status Database::BulkLoad(const std::string& table,
                           const std::vector<Tuple>& rows) {
   Table* t = GetMutableTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
+  auto session = WriteSession(table);
   for (const Tuple& row : rows) t->AppendRow(row);
+  t->PublishSnapshot();
   return Status::OK();
 }
 
@@ -66,17 +108,29 @@ Result<size_t> Database::StageDelete(
   return count;
 }
 
+void Database::PublishTable(std::string_view table) {
+  Table* t = GetMutableTable(table);
+  if (t == nullptr) return;
+  // Deltas first: the snapshot's version stamp is the log's published
+  // watermark, so the stamp reflects everything this publication exposes.
+  t->PublishDeltas();
+  t->PublishSnapshot();
+}
+
 void Database::PublishVersion(const std::string& table, uint64_t version) {
   // A failed statement may target a missing table: retire its version
   // anyway so the stable watermark cannot stall behind it.
-  Table* t = GetMutableTable(table);
-  if (t != nullptr) t->PublishDeltas();
-  clock_.Publish(version);
+  PublishTable(table);
+  RetireVersion(version);
 }
 
 Result<uint64_t> Database::Insert(const std::string& table,
                                   const std::vector<Tuple>& rows) {
   if (!HasTable(table)) return Status::NotFound("no such table: " + table);
+  // Allocation happens under the stripe: concurrent sync writers to the
+  // same table stage in allocation order, keeping the log's version column
+  // non-decreasing.
+  auto session = WriteSession(table);
   uint64_t v = AllocateVersion();
   Status staged = StageInsert(table, rows, v);
   // Publish even on failure: an allocated version that never publishes
@@ -90,6 +144,7 @@ Result<uint64_t> Database::Delete(
     const std::string& table, const std::function<bool(const Tuple&)>& pred,
     size_t limit) {
   if (!HasTable(table)) return Status::NotFound("no such table: " + table);
+  auto session = WriteSession(table);
   uint64_t v = AllocateVersion();
   Status staged = StageDelete(table, pred, v, limit).status();
   PublishVersion(table, v);

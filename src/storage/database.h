@@ -4,7 +4,8 @@
 // backend surface IMP needs (Sec. 2 / Sec. 7): applying updates under a
 // monotonically increasing statement-level snapshot version, fetching the
 // (optionally pre-filtered) delta between two versions, and evaluating
-// queries / delta joins (via exec::Executor, which takes a const Database&).
+// queries / delta joins (via exec::Executor, which reads through a pinned
+// ReadView or the tables' published snapshots).
 //
 // Versioning is epoch-aware (storage/version_clock.h): every statement's
 // version is first *allocated*, then *applied* (base rows + staged delta
@@ -15,16 +16,25 @@
 // On the synchronous Insert/Delete path the three steps happen under the
 // caller, so the two counters always coincide there.
 //
-// Concurrency: the synchronous mutators and the catalog are single-session
-// as before. The asynchronous ingestion path (AllocateVersion / Stage* /
-// PublishVersion, driven by the middleware's single ingestion worker) is
-// safe against concurrent readers on two levels:
-//   * delta-log readers (ScanDelta / PendingDeltaCount / HasPendingDelta)
-//     see only each table log's published prefix — per-table ("striped")
-//     locks plus an atomic publication step, no global latch;
-//   * base-table readers (query execution, maintenance) exclude in-flight
-//     appliers via the session lock: the worker applies each statement
-//     under WriteSession(), readers hold ReadSession() for their span.
+// Concurrency — the lock-free read path (no global session lock exists):
+//
+//   * READERS NEVER LOCK. Base-table readers pin an immutable, epoch-
+//     stamped TableSnapshot per table — or a whole-database ReadView
+//     (storage/read_view.h) when they need one consistent watermark across
+//     tables — via a single atomic load each. Delta-log readers
+//     (ScanDelta / PendingDeltaCount / HasPendingDelta) are wait-free
+//     against the published tail (storage/delta_log.h). Old snapshots are
+//     reclaimed epoch-style when the last pin drops; a writer never waits
+//     for or observes readers.
+//   * WRITERS STRIPE PER TABLE. Every mutation of a table — the sync
+//     Insert/Delete path, the ingestion worker's staged applies, snapshot
+//     publication — runs under that table's write stripe
+//     (WriteSession(table)); writers to different tables never contend.
+//     Publication order inside PublishVersion — deltas, then the table
+//     snapshot, then the version clock — is what makes a ReadView opened
+//     at stable watermark W see every statement <= W.
+//   * The catalog (CreateTable) is setup-time only: creating tables
+//     concurrently with readers/writers is unsupported, as in the seed.
 
 #ifndef IMP_STORAGE_DATABASE_H_
 #define IMP_STORAGE_DATABASE_H_
@@ -32,12 +42,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/read_view.h"
 #include "storage/table.h"
 #include "storage/version_clock.h"
 
@@ -56,7 +67,8 @@ class Database {
  public:
   Database() = default;
 
-  /// Create an empty table; fails if the name exists.
+  /// Create an empty table; fails if the name exists. Setup-time only (not
+  /// safe against concurrent readers of the catalog).
   Status CreateTable(const std::string& name, Schema schema);
   // Catalog lookups take string_views (the table map's transparent
   // comparator resolves them without building a std::string per call) so
@@ -67,12 +79,14 @@ class Database {
   std::vector<std::string> TableNames() const;
 
   /// Bulk load without delta logging or version bump (initial load; the
-  /// paper's experiments capture sketches only after loading).
+  /// paper's experiments capture sketches only after loading). Publishes
+  /// the loaded rows as the table's next snapshot.
   Status BulkLoad(const std::string& table, const std::vector<Tuple>& rows);
 
   /// Insert rows as one statement: appends to base data and delta log,
   /// bumps the snapshot version. Returns the new version. Synchronous:
-  /// the version is allocated, applied and published under the caller.
+  /// the version is allocated, applied and published under the caller
+  /// (holding the table's write stripe).
   Result<uint64_t> Insert(const std::string& table,
                           const std::vector<Tuple>& rows);
 
@@ -88,15 +102,18 @@ class Database {
 
   /// Highest fully-published version: every statement <= this version has
   /// been applied and its delta records are visible. The epoch cut for
-  /// maintenance rounds.
+  /// maintenance rounds and ReadViews.
   uint64_t StableVersion() const { return clock_.stable(); }
 
   // --- Epoch-aware append path (asynchronous ingestion) -------------------
   //
-  // The middleware's ingestion worker drives one statement through
-  //   v = AllocateVersion();             (at enqueue: v is the ticket)
-  //   StageInsert/StageDelete(..., v);   (at apply, under WriteSession)
-  //   PublishVersion(table, v);
+  // The middleware's ingestion worker drives statements through
+  //   v = AllocateVersion();              (at enqueue: v is the ticket)
+  //   { WriteSession(table);              (at apply)
+  //     StageInsert/StageDelete(..., v); }
+  //   PublishVersion(table, v);           (or, batched: one PublishTable
+  //                                        per touched table, then
+  //                                        RetireVersion per statement)
   // Statements must be applied in allocation order (the bounded MPSC
   // queue's pop order); each table's log then keeps non-decreasing
   // versions, which the window binary search relies on.
@@ -105,43 +122,57 @@ class Database {
   uint64_t AllocateVersion() { return clock_.Allocate(); }
 
   /// Apply an insert at a pre-allocated version: append base rows and
-  /// stage delta records into `table`'s unpublished log tail.
+  /// stage delta records into `table`'s unpublished log tail. Caller holds
+  /// the table's write stripe.
   Status StageInsert(const std::string& table, const std::vector<Tuple>& rows,
                      uint64_t version);
 
   /// Apply a delete at a pre-allocated version (at most `limit` rows).
-  /// Returns the number of rows removed.
+  /// Returns the number of rows removed. Caller holds the table's stripe.
   Result<size_t> StageDelete(const std::string& table,
                              const std::function<bool(const Tuple&)>& pred,
                              uint64_t version, size_t limit = SIZE_MAX);
 
-  /// Publish `version`: make `table`'s staged delta records visible and
-  /// advance the stable watermark once the version gap below closes. Also
-  /// used to retire the version of a failed statement (a no-op statement
-  /// still consumes its version, otherwise the watermark would stall).
+  /// Publish `table`'s staged state: make its staged delta records visible
+  /// and swap in the next immutable TableSnapshot. Caller holds the
+  /// table's write stripe. One call may cover several staged statements
+  /// (the ingestion worker's batched apply publishes once per batch).
+  void PublishTable(std::string_view table);
+
+  /// Retire `version` in the version clock: the statement is fully applied
+  /// and published, and the stable watermark advances once the version gap
+  /// below closes. Must happen AFTER the owning table's PublishTable so a
+  /// ReadView at the advanced watermark finds the data. Also used to
+  /// retire the version of a failed statement (a no-op statement still
+  /// consumes its version, otherwise the watermark would stall).
+  void RetireVersion(uint64_t version) { clock_.Publish(version); }
+
+  /// PublishTable + RetireVersion for one statement (the per-statement
+  /// publication path). Caller holds the table's write stripe; a missing
+  /// table (failed statement) only retires the version.
   void PublishVersion(const std::string& table, uint64_t version);
 
-  // --- Session lock -------------------------------------------------------
+  // --- Per-table write stripe ---------------------------------------------
 
-  /// Shared-side guard for base-table readers (query execution, sketch
-  /// capture, maintenance rounds). Cheap when uncontended; excludes an
-  /// in-flight asynchronous apply for the guard's lifetime.
-  std::shared_lock<std::shared_mutex> ReadSession() const {
-    return std::shared_lock<std::shared_mutex>(session_mu_);
-  }
-  /// Exclusive-side guard the ingestion worker holds while applying one
-  /// statement (and the synchronous update path holds around its apply).
-  std::unique_lock<std::shared_mutex> WriteSession() const {
-    return std::unique_lock<std::shared_mutex>(session_mu_);
-  }
+  /// Exclusive guard every writer of `table` holds while applying and
+  /// publishing (sync mutators, the ingestion worker, repartitioning's
+  /// freeze of one table). Never taken by readers — the read path is
+  /// lock-free. The table must exist.
+  std::unique_lock<std::mutex> WriteSession(std::string_view table) const;
+
+  // --- Lock-free read path -------------------------------------------------
+
+  /// Pin a consistent set of every table's snapshot at the current stable
+  /// watermark (see storage/read_view.h). Wait-free in the absence of a
+  /// racing publication; lock-free overall (retries only while publications
+  /// land mid-open).
+  ReadView OpenReadView() const;
 
   /// Fetch the signed delta of `table` in the half-open version interval
   /// (from_version, to_version]. If `pred` is set, only rows satisfying it
   /// are returned — this implements IMP's "filtering deltas based on
   /// selections" push-down (Sec. 7.2). Only published records are visible;
-  /// the log's published versions are non-decreasing, so the window start
-  /// is binary-searched: a small stale tail of a long-lived log costs
-  /// O(window), not O(log length).
+  /// wait-free against the in-flight writer and concurrent truncation.
   TableDelta ScanDelta(std::string_view table, uint64_t from_version,
                        uint64_t to_version,
                        const std::function<bool(const Tuple&)>& pred = {}) const;
@@ -151,18 +182,15 @@ class Database {
                            uint64_t from_version) const;
 
   /// True iff `table` has any published delta row newer than `from_version`.
-  /// Wait-free (two atomic loads): staleness tests on the maintenance hot
-  /// path use this instead of counting the whole log, and it is safe
-  /// against a concurrent in-flight writer.
+  /// Wait-free (two atomic loads).
   bool HasPendingDelta(std::string_view table, uint64_t from_version) const;
 
   /// Truncate every table's delta log up to `version` (drop records with
   /// version <= it). Driven by the middleware after a MaintainAll round
   /// with the minimum valid_version across all sketch shards: no sketch
   /// will ever re-scan below that watermark. Safe against concurrent
-  /// window scans and the in-flight ingestion writer — each log's internal
-  /// lock serializes the erase, and only the published prefix below every
-  /// active round's scan window is removed.
+  /// window scans (pinned log views keep dropped segments alive) and the
+  /// in-flight ingestion writer (per-log writer mutex).
   void TruncateDeltaLogs(uint64_t version);
 
   /// Key-value blob store used by the middleware to persist incremental
@@ -183,7 +211,6 @@ class Database {
   /// lookup) so per-call key strings are never built on the hot path.
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
   VersionClock clock_;
-  mutable std::shared_mutex session_mu_;
   std::map<std::string, std::string> state_blobs_;
 };
 

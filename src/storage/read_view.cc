@@ -1,0 +1,15 @@
+#include "storage/read_view.h"
+
+#include <algorithm>
+
+namespace imp {
+
+const TableSnapshot* ReadView::Find(std::string_view table) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), table,
+      [](const Entry& e, std::string_view t) { return e.table < t; });
+  if (it == entries_.end() || it->table != table) return nullptr;
+  return it->snapshot.get();
+}
+
+}  // namespace imp

@@ -1,0 +1,83 @@
+// ReadView: a pinned, consistent set of table snapshots at a chosen
+// watermark — the lock-free replacement for the backend's global read
+// session.
+//
+// A view is opened with Database::OpenReadView(): it reads the stable
+// watermark W, pins every table's published TableSnapshot (one atomic load
+// each) and validates that no pinned snapshot contains a statement beyond W
+// (retrying past a racing publication). The resulting set is exactly the
+// database a fully serialized schedule would show at watermark W:
+//
+//   * every statement <= W is fully published, and the publication order
+//     (table snapshot swap BEFORE the version clock retires the statement)
+//     means reading stable() >= W happens-after all of their table
+//     publications;
+//   * no pinned snapshot includes a statement > W (checked per snapshot via
+//     its version stamp; on violation the open loop re-reads the watermark
+//     and re-pins — the watermark only moves forward, so the loop converges
+//     as soon as it observes a quiescent instant between publications).
+//
+// Holding a view takes NO lock and blocks NO writer: consistency comes
+// entirely from immutability, and reclamation is epoch-based through the
+// pins — a snapshot (and the chunks/segments only it references) is freed
+// when the last view drops it. Query execution, sketch capture, delta-join
+// delegation and maintenance rounds all read base data through a view, so
+// every consumer observes one frozen watermark for its whole span without
+// ever touching a Database-wide latch (the old session_mu_ is gone).
+
+#ifndef IMP_STORAGE_READ_VIEW_H_
+#define IMP_STORAGE_READ_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace imp {
+
+class ReadView {
+ public:
+  struct Entry {
+    /// Points into the Database's catalog key (stable: tables are never
+    /// dropped and the Database outlives every view).
+    std::string_view table;
+    std::shared_ptr<const TableSnapshot> snapshot;
+  };
+
+  ReadView() = default;
+  ReadView(uint64_t watermark, std::vector<Entry> entries)
+      : watermark_(watermark), entries_(std::move(entries)) {}
+
+  /// The stable watermark the view is consistent at: the pinned snapshots
+  /// collectively equal the database after every statement <= watermark()
+  /// and before any other.
+  uint64_t watermark() const { return watermark_; }
+
+  /// The pinned snapshot of `table`, or nullptr when the table did not
+  /// exist at open time. Allocation-free (binary search over catalog-
+  /// ordered entries with string_view keys).
+  const TableSnapshot* Find(std::string_view table) const;
+
+  /// Version of the last statement that modified `table` as of this view
+  /// (0 for an unknown or never-updated table). The staleness verdict for
+  /// a sketch valid at v is simply TableVersion(t) > v — wait-free, and
+  /// immune to delta-log truncation racing the probe.
+  uint64_t TableVersion(std::string_view table) const {
+    const TableSnapshot* snap = Find(table);
+    return snap == nullptr ? 0 : snap->version();
+  }
+
+  size_t NumTables() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  uint64_t watermark_ = 0;
+  std::vector<Entry> entries_;  ///< sorted by table name
+};
+
+}  // namespace imp
+
+#endif  // IMP_STORAGE_READ_VIEW_H_

@@ -42,62 +42,25 @@ size_t DataChunk::MemoryBytes() const {
   return bytes;
 }
 
-void Table::AppendRow(const Tuple& row) {
-  IMP_CHECK_MSG(row.size() == schema_.size(), name_.c_str());
-  if (chunks_.empty() || chunks_.back().Full()) {
-    chunks_.emplace_back(schema_.size());
-  }
-  chunks_.back().AppendRow(row);
-  ++num_rows_;
-  // Keep materialized hash indexes current.
-  for (auto& [col, index] : hash_indexes_) {
-    index[row[col]].push_back(
-        RowLoc{static_cast<uint32_t>(chunks_.size() - 1),
-               static_cast<uint32_t>(chunks_.back().num_rows() - 1)});
+// ---- TableSnapshot ---------------------------------------------------------
+
+const std::string& TableSnapshot::table_name() const { return table_->name(); }
+
+const Schema& TableSnapshot::schema() const { return table_->schema(); }
+
+void TableSnapshot::ForEachRow(
+    const std::function<void(const Tuple&)>& fn) const {
+  for (const auto& chunk : chunks_) {
+    for (size_t r = 0; r < chunk->num_rows(); ++r) fn(chunk->GetRow(r));
   }
 }
 
-std::vector<Tuple> Table::DeleteWhere(
-    const std::function<bool(const Tuple&)>& pred) {
-  return DeleteWhereLimit(pred, SIZE_MAX);
-}
-
-std::vector<Tuple> Table::DeleteWhereLimit(
-    const std::function<bool(const Tuple&)>& pred, size_t limit) {
-  std::vector<Tuple> removed;
-  std::vector<DataChunk> kept;
-  size_t kept_rows = 0;
-  for (const DataChunk& chunk : chunks_) {
-    for (size_t r = 0; r < chunk.num_rows(); ++r) {
-      Tuple row = chunk.GetRow(r);
-      if (removed.size() < limit && pred(row)) {
-        removed.push_back(std::move(row));
-        continue;
-      }
-      if (kept.empty() || kept.back().Full()) kept.emplace_back(schema_.size());
-      kept.back().AppendRow(row);
-      ++kept_rows;
-    }
-  }
-  chunks_ = std::move(kept);
-  num_rows_ = kept_rows;
-  // Row locations changed wholesale; drop indexes (rebuilt lazily).
-  hash_indexes_.clear();
-  return removed;
-}
-
-void Table::ForEachRow(const std::function<void(const Tuple&)>& fn) const {
-  for (const DataChunk& chunk : chunks_) {
-    for (size_t r = 0; r < chunk.num_rows(); ++r) fn(chunk.GetRow(r));
-  }
-}
-
-std::pair<Value, Value> Table::ColumnMinMax(size_t col) const {
+std::pair<Value, Value> TableSnapshot::ColumnMinMax(size_t col) const {
   Value min, max;
   bool first = true;
-  for (const DataChunk& chunk : chunks_) {
-    const auto& column = chunk.column(col);
-    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+  for (const auto& chunk : chunks_) {
+    const auto& column = chunk->column(col);
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
       const Value& v = column[r];
       if (v.is_null()) continue;
       if (first) {
@@ -113,31 +76,31 @@ std::pair<Value, Value> Table::ColumnMinMax(size_t col) const {
   return {min, max};
 }
 
-std::vector<Value> Table::ColumnValues(size_t col) const {
+std::vector<Value> TableSnapshot::ColumnValues(size_t col) const {
   std::vector<Value> out;
   out.reserve(num_rows_);
-  for (const DataChunk& chunk : chunks_) {
-    const auto& column = chunk.column(col);
-    out.insert(out.end(), column.begin(), column.begin() + chunk.num_rows());
+  for (const auto& chunk : chunks_) {
+    const auto& column = chunk->column(col);
+    out.insert(out.end(), column.begin(), column.begin() + chunk->num_rows());
   }
   return out;
 }
 
-void Table::BuildIndex(size_t col) const {
+void TableSnapshot::BuildIndex(size_t col) const {
   HashIndex index;
   index.reserve(num_rows_);
   for (uint32_t c = 0; c < chunks_.size(); ++c) {
-    const auto& column = chunks_[c].column(col);
-    for (uint32_t r = 0; r < chunks_[c].num_rows(); ++r) {
+    const auto& column = chunks_[c]->column(col);
+    for (uint32_t r = 0; r < chunks_[c]->num_rows(); ++r) {
       index[column[r]].push_back(RowLoc{c, r});
     }
   }
   hash_indexes_[col] = std::move(index);
 }
 
-const std::vector<Table::RowLoc>* Table::IndexProbe(size_t col,
-                                                    const Value& v) const {
-  IMP_CHECK(col < schema_.size());
+const std::vector<TableSnapshot::RowLoc>* TableSnapshot::IndexProbe(
+    size_t col, const Value& v) const {
+  IMP_CHECK(col < schema().size());
   // Fast path: the index exists — a shared lock keeps concurrent probes
   // from maintenance workers parallel. Map nodes are stable, so the index
   // stays valid after the lock is released.
@@ -149,7 +112,7 @@ const std::vector<Table::RowLoc>* Table::IndexProbe(size_t col,
   }
   if (index == nullptr) {
     // Slow path: serialize the lazy build; re-check under the exclusive
-    // lock since another worker may have built it meanwhile.
+    // lock since another reader may have built it meanwhile.
     std::unique_lock<std::shared_mutex> lock(index_mu_);
     auto it = hash_indexes_.find(col);
     if (it == hash_indexes_.end()) {
@@ -162,9 +125,122 @@ const std::vector<Table::RowLoc>* Table::IndexProbe(size_t col,
   return hit == index->end() ? nullptr : &hit->second;
 }
 
+size_t TableSnapshot::MemoryBytes() const {
+  size_t bytes = sizeof(TableSnapshot);
+  for (const auto& chunk : chunks_) bytes += chunk->MemoryBytes();
+  return bytes;
+}
+
+// ---- Table -----------------------------------------------------------------
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  // Publish the empty snapshot so readers never observe a null pointer.
+  snapshot_ = std::make_shared<const TableSnapshot>(
+      this, std::vector<std::shared_ptr<const DataChunk>>{}, /*num_rows=*/0,
+      /*version=*/0, /*epoch=*/++snapshot_epoch_);
+}
+
+void Table::AppendRow(const Tuple& row) {
+  IMP_CHECK_MSG(row.size() == schema_.size(), name_.c_str());
+  if (chunks_.empty() || chunks_.back()->Full()) {
+    chunks_.push_back(std::make_shared<DataChunk>(schema_.size()));
+  } else if (chunks_.back().use_count() > 1) {
+    // The tail chunk is still referenced by a published snapshot, so it is
+    // physically immutable for pinned readers. Small tails are cloned
+    // (copy-on-write; the clone stays private until the next
+    // PublishSnapshot shares it again); a tail at or past the seal
+    // threshold is sealed instead — the append opens a fresh chunk. The
+    // threshold bounds a statement's publication overhead to one
+    // ≤kSealThreshold-row clone (per-statement publishing would otherwise
+    // re-clone an ever-growing tail, quadratic over a chunk's fill) while
+    // keeping every sealed chunk at least kSealThreshold rows full.
+    if (chunks_.back()->num_rows() >= DataChunk::kSealThreshold) {
+      chunks_.push_back(std::make_shared<DataChunk>(schema_.size()));
+    } else {
+      chunks_.back() = std::make_shared<DataChunk>(*chunks_.back());
+    }
+  }
+  chunks_.back()->AppendRow(row);
+  ++num_rows_;
+}
+
+std::vector<Tuple> Table::DeleteWhere(
+    const std::function<bool(const Tuple&)>& pred) {
+  return DeleteWhereLimit(pred, SIZE_MAX);
+}
+
+std::vector<Tuple> Table::DeleteWhereLimit(
+    const std::function<bool(const Tuple&)>& pred, size_t limit) {
+  std::vector<Tuple> removed;
+  std::vector<std::shared_ptr<DataChunk>> kept;
+  size_t kept_rows = 0;
+  for (const auto& chunk : chunks_) {
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      Tuple row = chunk->GetRow(r);
+      if (removed.size() < limit && pred(row)) {
+        removed.push_back(std::move(row));
+        continue;
+      }
+      if (kept.empty() || kept.back()->Full()) {
+        kept.push_back(std::make_shared<DataChunk>(schema_.size()));
+      }
+      kept.back()->AppendRow(row);
+      ++kept_rows;
+    }
+  }
+  // The rebuilt chunks replace the old ones wholesale; snapshots pinned by
+  // concurrent readers keep the old chunks alive until the last pin drops.
+  chunks_ = std::move(kept);
+  num_rows_ = kept_rows;
+  return removed;
+}
+
+void Table::ForEachRow(const std::function<void(const Tuple&)>& fn) const {
+  for (const auto& chunk : chunks_) {
+    for (size_t r = 0; r < chunk->num_rows(); ++r) fn(chunk->GetRow(r));
+  }
+}
+
+std::pair<Value, Value> Table::ColumnMinMax(size_t col) const {
+  Value min, max;
+  bool first = true;
+  for (const auto& chunk : chunks_) {
+    const auto& column = chunk->column(col);
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      const Value& v = column[r];
+      if (v.is_null()) continue;
+      if (first) {
+        min = v;
+        max = v;
+        first = false;
+      } else {
+        if (v < min) min = v;
+        if (max < v) max = v;
+      }
+    }
+  }
+  return {min, max};
+}
+
+void Table::PublishSnapshot() {
+  // Sharing the writer's chunk pointers is what makes publication O(#chunks):
+  // row data is never copied here. The tail chunk becomes shared — the next
+  // append clones it (COW), every other chunk is immutable by construction.
+  std::vector<std::shared_ptr<const DataChunk>> chunks(chunks_.begin(),
+                                                       chunks_.end());
+  auto next = std::make_shared<const TableSnapshot>(
+      this, std::move(chunks), num_rows_, delta_log_.last_published_version(),
+      ++snapshot_epoch_);
+  std::atomic_store_explicit(&snapshot_,
+                             std::shared_ptr<const TableSnapshot>(next),
+                             std::memory_order_release);
+}
+
 size_t Table::MemoryBytes() const {
   size_t bytes = sizeof(Table);
-  for (const DataChunk& chunk : chunks_) bytes += chunk.MemoryBytes();
+  std::shared_ptr<const TableSnapshot> snap = Snapshot();
+  bytes += snap->MemoryBytes();
   bytes += delta_log_.MemoryBytes();
   return bytes;
 }

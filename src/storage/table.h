@@ -1,4 +1,5 @@
-// Columnar chunked tables and per-table delta logs.
+// Columnar chunked tables, immutable published table snapshots, and
+// per-table delta logs.
 //
 // This is the storage layer of the in-memory backend that stands in for the
 // paper's PostgreSQL instance. Layout follows Sec. 7.1: data is stored in a
@@ -7,13 +8,34 @@
 // statement's snapshot version, which is what IMP later fetches to maintain
 // sketches ("we extract the delta between the current version of the
 // database and the database instance at the original time of capture").
-
+//
+// Concurrency model (the lock-free read path):
+//
+//   Readers never lock. Every Table publishes an immutable, epoch-stamped
+//   TableSnapshot via an RCU-style atomic shared_ptr swap — the same design
+//   the middleware uses for SketchSnapshots, pushed down into storage. A
+//   reader pins the snapshot (one atomic load) and scans chunks, zone maps
+//   and lazily built hash indexes that are guaranteed never to change under
+//   it. Reclamation is epoch-based through the pins themselves: an old
+//   snapshot (and any chunk only it references) is freed exactly when the
+//   last ReadView / pinned pointer drops it — a writer never waits for or
+//   even observes readers.
+//
+//   Writers are serialized per table by the Database's write stripe (one
+//   mutex per table, never taken by readers). Appends copy-on-write the
+//   tail chunk when a published snapshot still shares it, so published
+//   chunk data is physically immutable; deletes rebuild the chunk list off
+//   to the side. PublishSnapshot() then swaps in a fresh snapshot whose
+//   epoch strictly increases — the monotonicity witness tests assert.
 #ifndef IMP_STORAGE_TABLE_H_
 #define IMP_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -30,9 +52,17 @@ namespace imp {
 /// predicates — in particular the sketch use-rewrite's fragment ranges —
 /// can skip whole chunks. This is the physical-design hook that makes
 /// provenance-based data skipping actually skip data in our backend.
+///
+/// Chunks referenced by a published TableSnapshot are immutable; the write
+/// path clones a shared tail chunk before appending (copy-on-write).
 class DataChunk {
  public:
   static constexpr size_t kDefaultCapacity = 4096;
+  /// Minimum rows before a snapshot-shared tail chunk is sealed instead of
+  /// cloned on the next append (see Table::AppendRow). Bounds the
+  /// copy-on-write cost of a single-row statement to one ≤kSealThreshold
+  /// clone while keeping chunks at least this full.
+  static constexpr size_t kSealThreshold = 256;
 
   explicit DataChunk(size_t num_columns)
       : columns_(num_columns), zone_(num_columns), num_rows_(0) {}
@@ -69,54 +99,58 @@ class DataChunk {
   size_t num_rows_;
 };
 
-/// A base table: schema + chunks + append-only delta log.
-class Table {
+class Table;
+
+/// The immutable, epoch-stamped published state of one table — the storage
+/// twin of the middleware's SketchSnapshot. A pinned snapshot is
+/// self-consistent forever: publication swaps the Table's pointer, it never
+/// mutates a snapshot that readers may hold. All read-side table access
+/// (query execution, sketch capture, delta-join delegation) goes through a
+/// snapshot; nothing on this class takes a table or session lock.
+class TableSnapshot {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  TableSnapshot(const Table* table,
+                std::vector<std::shared_ptr<const DataChunk>> chunks,
+                size_t num_rows, uint64_t version, uint64_t epoch)
+      : table_(table),
+        chunks_(std::move(chunks)),
+        num_rows_(num_rows),
+        version_(version),
+        epoch_(epoch) {}
 
-  const std::string& name() const { return name_; }
-  const Schema& schema() const { return schema_; }
-  size_t NumRows() const { return num_rows_; }
-  const std::vector<DataChunk>& chunks() const { return chunks_; }
+  TableSnapshot(const TableSnapshot&) = delete;
+  TableSnapshot& operator=(const TableSnapshot&) = delete;
 
-  /// Append a row to the base data (does not touch the delta log; the
-  /// Database wrapper records deltas with version stamps).
-  void AppendRow(const Tuple& row);
+  const std::string& table_name() const;
+  const Schema& schema() const;
 
-  /// Remove all rows matching `pred`; returns the removed rows. Rebuilds
-  /// the chunk storage (delete is rare relative to scans in the workloads).
-  std::vector<Tuple> DeleteWhere(
-      const std::function<bool(const Tuple&)>& pred);
+  size_t num_rows() const { return num_rows_; }
+  const std::vector<std::shared_ptr<const DataChunk>>& chunks() const {
+    return chunks_;
+  }
 
-  /// Remove up to `limit` arbitrary rows matching `pred`.
-  std::vector<Tuple> DeleteWhereLimit(
-      const std::function<bool(const Tuple&)>& pred, size_t limit);
+  /// Version of the last statement that modified the table as of this
+  /// snapshot (the table's delta-log watermark at publication; 0 when the
+  /// table was never updated). A sketch valid at version v is fresh
+  /// against this snapshot iff version() <= v — the wait-free staleness
+  /// verdict that replaced the delta-log probe under a read session.
+  uint64_t version() const { return version_; }
+
+  /// Publication sequence number, strictly increasing per table — the
+  /// monotonicity witness concurrency tests observe.
+  uint64_t epoch() const { return epoch_; }
 
   /// Invoke `fn` on every row (materializing row tuples chunk by chunk).
   void ForEachRow(const std::function<void(const Tuple&)>& fn) const;
 
-  /// Delta log access (used by Database::ScanDelta). Readers see only the
-  /// published prefix; records staged by AppendDelta become visible at the
-  /// next PublishDeltas().
-  const DeltaLog& delta_log() const { return delta_log_; }
-  /// Stage one record into the log's unpublished tail (writer-serialized;
-  /// the Database wrapper stamps versions and publishes per statement).
-  void AppendDelta(DeltaRecord rec) { delta_log_.Append(std::move(rec)); }
-  /// Publish every staged record (the statement is fully applied).
-  void PublishDeltas() { delta_log_.Publish(); }
-  /// Drop delta records at or below `version` (log truncation once every
-  /// sketch has been maintained past that point).
-  void TruncateDeltaLog(uint64_t version) { delta_log_.Truncate(version); }
-
-  /// Min / max of an integer or double column over the base data; used to
-  /// build range partitions covering the whole domain.
+  /// Min / max of an integer or double column; used to build range
+  /// partitions covering the whole domain.
   std::pair<Value, Value> ColumnMinMax(size_t col) const;
 
   /// All values of a column (for equi-depth histogram construction).
   std::vector<Value> ColumnValues(size_t col) const;
 
-  /// Position of a row in the chunked storage.
+  /// Position of a row in the snapshot's chunked storage.
   struct RowLoc {
     uint32_t chunk = 0;
     uint32_t row = 0;
@@ -124,11 +158,11 @@ class Table {
 
   /// Probe the hash index on `col` for rows with value `v`. The index is
   /// built lazily on first use (an access-method cache, so logically
-  /// const), kept up to date by AppendRow and dropped by DeleteWhere*.
-  /// Returns nullptr when no row matches. Safe to call from concurrent
-  /// readers (parallel maintenance probes indexes from worker threads; the
-  /// lazy build is serialized on index_mu_) as long as no writer mutates
-  /// the table — writers are never concurrent with maintenance.
+  /// const) and belongs to THIS snapshot — it can never go stale or point
+  /// into rows the snapshot does not contain. Returns nullptr when no row
+  /// matches. Safe from any number of concurrent readers: the lazy build
+  /// is serialized on index_mu_, steady-state probes take the shared side,
+  /// and map nodes are stable so a returned pointer outlives the lock.
   const std::vector<RowLoc>* IndexProbe(size_t col, const Value& v) const;
 
   /// True once an index on `col` has been materialized.
@@ -143,17 +177,107 @@ class Table {
   using HashIndex = std::unordered_map<Value, std::vector<RowLoc>, ValueHash>;
   void BuildIndex(size_t col) const;
 
-  std::string name_;
-  Schema schema_;
-  std::vector<DataChunk> chunks_;
-  size_t num_rows_ = 0;
-  DeltaLog delta_log_;
-  /// Guards hash_indexes_ against concurrent lazy builds from parallel
-  /// maintenance workers; steady-state probes only take the shared side.
-  /// Writer paths (AppendRow, DeleteWhere*) touch the map unlocked — they
-  /// never run concurrently with readers.
+  const Table* table_;  ///< name/schema only; the Database outlives views
+  std::vector<std::shared_ptr<const DataChunk>> chunks_;
+  size_t num_rows_;
+  uint64_t version_;
+  uint64_t epoch_;
+  /// Guards hash_indexes_ against concurrent lazy builds; steady-state
+  /// probes only take the shared side. Leaf lock.
   mutable std::shared_mutex index_mu_;
   mutable std::map<size_t, HashIndex> hash_indexes_;
+};
+
+/// A base table: schema + chunks + append-only delta log + the published
+/// snapshot. The mutating members and the writer-side accessors below
+/// require the caller to hold the table's write stripe
+/// (Database::WriteSession(table)); Snapshot() is the lock-free read side.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  // --- Read side (lock-free) ----------------------------------------------
+
+  /// Pin the current published snapshot (never null; an empty snapshot is
+  /// published at construction). One atomic load, safe from any thread.
+  std::shared_ptr<const TableSnapshot> Snapshot() const {
+    return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+  }
+
+  /// Delta log access (used by Database::ScanDelta). Readers see only the
+  /// published prefix, wait-free; records staged by AppendDelta become
+  /// visible at the next PublishDeltas().
+  const DeltaLog& delta_log() const { return delta_log_; }
+
+  // --- Writer side (caller holds the table's write stripe) ----------------
+
+  size_t NumRows() const { return num_rows_; }
+  const std::vector<std::shared_ptr<DataChunk>>& chunks() const {
+    return chunks_;
+  }
+
+  /// Append a row to the base data (does not touch the delta log; the
+  /// Database wrapper records deltas with version stamps). Clones the tail
+  /// chunk first when a published snapshot still shares it.
+  void AppendRow(const Tuple& row);
+
+  /// Remove all rows matching `pred`; returns the removed rows. Rebuilds
+  /// the chunk storage off to the side (delete is rare relative to scans
+  /// in the workloads); pinned snapshots keep the old chunks alive.
+  std::vector<Tuple> DeleteWhere(
+      const std::function<bool(const Tuple&)>& pred);
+
+  /// Remove up to `limit` arbitrary rows matching `pred`.
+  std::vector<Tuple> DeleteWhereLimit(
+      const std::function<bool(const Tuple&)>& pred, size_t limit);
+
+  /// Invoke `fn` on every row of the WRITER's current state — including
+  /// applied-but-unpublished statements (e.g. computing an UPDATE's
+  /// modified rows mid-statement). Readers use Snapshot()->ForEachRow.
+  void ForEachRow(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Writer-side column min/max over the current applied state.
+  std::pair<Value, Value> ColumnMinMax(size_t col) const;
+
+  /// Stage one record into the log's unpublished tail (the Database
+  /// wrapper stamps versions and publishes per statement or batch).
+  void AppendDelta(DeltaRecord rec) { delta_log_.Append(std::move(rec)); }
+  /// Publish every staged record (the statement(s) are fully applied).
+  void PublishDeltas() { delta_log_.Publish(); }
+  /// Drop delta records at or below `version` (log truncation once every
+  /// sketch has been maintained past that point). Unlike the writer API
+  /// this MAY be called without the stripe — the log serializes
+  /// truncation against its writer internally.
+  void TruncateDeltaLog(uint64_t version) { delta_log_.Truncate(version); }
+
+  /// Publish the writer's current chunks as the next immutable snapshot,
+  /// stamped with the delta log's published watermark and epoch + 1. The
+  /// tail chunk becomes shared with the snapshot (the next append clones
+  /// it). Old snapshots stay alive while pinned and are reclaimed with
+  /// the last pin.
+  void PublishSnapshot();
+
+  /// Epoch of the currently published snapshot (tests / introspection).
+  uint64_t SnapshotEpoch() const { return Snapshot()->epoch(); }
+
+  size_t MemoryBytes() const;
+
+  /// The table's write stripe (Database::WriteSession locks it).
+  std::mutex& write_stripe() const { return stripe_mu_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::shared_ptr<DataChunk>> chunks_;
+  size_t num_rows_ = 0;
+  uint64_t snapshot_epoch_ = 0;  ///< writer-side; last published epoch
+  DeltaLog delta_log_;
+  mutable std::mutex stripe_mu_;
+  /// The published snapshot (atomic shared_ptr swap; see class comment).
+  std::shared_ptr<const TableSnapshot> snapshot_;
 };
 
 }  // namespace imp

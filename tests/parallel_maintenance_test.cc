@@ -194,7 +194,7 @@ SystemSnapshot RunJoinWorkload(ImpConfig config, uint64_t seed) {
   IMP_CHECK(system.MaintainAll().ok());
   // The workload must actually have exercised the delegated indexed join
   // (worker threads lazily building/probing h's hash index on ttid).
-  IMP_CHECK(db.GetTable("h")->HasIndex(0));
+  IMP_CHECK(db.GetTable("h")->Snapshot()->HasIndex(0));
 
   SystemSnapshot snap;
   for (SketchEntry* entry : system.sketches().AllEntries()) {

@@ -1,7 +1,13 @@
 // Unit tests for the storage backend: chunked tables, versioned updates,
-// delta scans with push-down predicates.
+// delta scans with push-down predicates, and the lock-free read path —
+// immutable epoch-stamped TableSnapshots (copy-on-write chunk sharing),
+// ReadViews pinning a consistent watermark across tables, and the
+// segmented wait-free delta log under truncation.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "storage/database.h"
 
@@ -172,6 +178,275 @@ TEST(DatabaseTest, InsertIntoMissingTableFails) {
   Database db;
   EXPECT_FALSE(db.Insert("nope", {Row(1, 1)}).ok());
   EXPECT_FALSE(db.Delete("nope", [](const Tuple&) { return true; }).ok());
+}
+
+// ---- TableSnapshot: immutability, COW sharing, epoch monotonicity ----------
+
+TEST(TableSnapshotTest, PinnedSnapshotImmutableAcrossAppends) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.BulkLoad("t", {Row(1, 10), Row(2, 20)}).ok());
+  auto pinned = db.GetTable("t")->Snapshot();
+  ASSERT_EQ(pinned->num_rows(), 2u);
+
+  // The insert lands in the same (shared) tail chunk: the writer must
+  // clone it (copy-on-write), leaving the pinned snapshot bit-identical.
+  ASSERT_TRUE(db.Insert("t", {Row(3, 30)}).ok());
+  EXPECT_EQ(pinned->num_rows(), 2u);
+  ASSERT_EQ(pinned->chunks().size(), 1u);
+  EXPECT_EQ(pinned->chunks()[0]->num_rows(), 2u);
+  EXPECT_EQ(pinned->chunks()[0]->At(1, 1), Value::Int(20));
+  // The pinned zone map is frozen too (the clone got the update).
+  EXPECT_EQ(pinned->chunks()[0]->zone(0).max, Value::Int(2));
+
+  auto fresh = db.GetTable("t")->Snapshot();
+  EXPECT_EQ(fresh->num_rows(), 3u);
+  EXPECT_EQ(fresh->chunks()[0]->At(2, 0), Value::Int(3));
+  EXPECT_EQ(fresh->chunks()[0]->zone(0).max, Value::Int(3));
+  // Distinct physical tail chunks: the clone, not the original, grew.
+  EXPECT_NE(fresh->chunks()[0].get(), pinned->chunks()[0].get());
+}
+
+TEST(TableSnapshotTest, DeleteRebuildsWhilePinnedSnapshotKeepsOldRows) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.BulkLoad("t", {Row(1, 1), Row(2, 2), Row(3, 3)}).ok());
+  auto pinned = db.GetTable("t")->Snapshot();
+  ASSERT_TRUE(db.Delete("t", [](const Tuple& r) {
+                  return r[0].AsInt() >= 2;
+                }).ok());
+  EXPECT_EQ(pinned->num_rows(), 3u);  // epoch-based reclamation: still alive
+  EXPECT_EQ(db.GetTable("t")->Snapshot()->num_rows(), 1u);
+}
+
+TEST(TableSnapshotTest, EpochStrictlyIncreasesPerPublication) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  uint64_t e0 = db.GetTable("t")->SnapshotEpoch();
+  ASSERT_TRUE(db.BulkLoad("t", {Row(1, 1)}).ok());
+  uint64_t e1 = db.GetTable("t")->SnapshotEpoch();
+  ASSERT_TRUE(db.Insert("t", {Row(2, 2)}).ok());
+  uint64_t e2 = db.GetTable("t")->SnapshotEpoch();
+  ASSERT_TRUE(db.Delete("t", [](const Tuple&) { return true; }, 1).ok());
+  uint64_t e3 = db.GetTable("t")->SnapshotEpoch();
+  EXPECT_LT(e0, e1);
+  EXPECT_LT(e1, e2);
+  EXPECT_LT(e2, e3);
+}
+
+TEST(TableSnapshotTest, VersionStampIsLastModifyingStatement) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", TwoColSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("b", TwoColSchema()).ok());
+  EXPECT_EQ(db.GetTable("a")->Snapshot()->version(), 0u);
+  ASSERT_TRUE(db.Insert("a", {Row(1, 1)}).ok());  // v1
+  ASSERT_TRUE(db.Insert("b", {Row(2, 2)}).ok());  // v2
+  ASSERT_TRUE(db.Insert("a", {Row(3, 3)}).ok());  // v3
+  EXPECT_EQ(db.GetTable("a")->Snapshot()->version(), 3u);
+  EXPECT_EQ(db.GetTable("b")->Snapshot()->version(), 2u);
+}
+
+// ---- ReadView: consistent watermark pinning --------------------------------
+
+TEST(ReadViewTest, PinsConsistentWatermarkAcrossTables) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", TwoColSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("b", TwoColSchema()).ok());
+  ASSERT_TRUE(db.Insert("a", {Row(1, 1)}).ok());  // v1
+  ASSERT_TRUE(db.Insert("b", {Row(2, 2)}).ok());  // v2
+  ReadView view = db.OpenReadView();
+  EXPECT_EQ(view.watermark(), 2u);
+  EXPECT_EQ(view.NumTables(), 2u);
+  EXPECT_EQ(view.TableVersion("a"), 1u);
+  EXPECT_EQ(view.TableVersion("b"), 2u);
+  ASSERT_NE(view.Find("a"), nullptr);
+  EXPECT_EQ(view.Find("a")->num_rows(), 1u);
+  EXPECT_EQ(view.Find("ghost"), nullptr);
+  EXPECT_EQ(view.TableVersion("ghost"), 0u);
+}
+
+TEST(ReadViewTest, PinnedViewUnaffectedByLaterPublishes) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.Insert("t", {Row(1, 1)}).ok());
+  ReadView view = db.OpenReadView();
+  ASSERT_TRUE(db.Insert("t", {Row(2, 2)}).ok());
+  ASSERT_TRUE(db.Insert("t", {Row(3, 3)}).ok());
+  // The pinned view stays at its watermark; a fresh view advances.
+  EXPECT_EQ(view.watermark(), 1u);
+  EXPECT_EQ(view.Find("t")->num_rows(), 1u);
+  EXPECT_EQ(view.TableVersion("t"), 1u);
+  ReadView fresh = db.OpenReadView();
+  EXPECT_EQ(fresh.watermark(), 3u);
+  EXPECT_EQ(fresh.Find("t")->num_rows(), 3u);
+}
+
+TEST(ReadViewTest, StalenessStampSurvivesDeltaLogTruncation) {
+  // The old delta-log staleness probe could be fooled by a truncation
+  // sweep dropping exactly the records that proved a sketch stale; the
+  // snapshot version stamp a ReadView serves cannot.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.Insert("t", {Row(1, 1)}).ok());  // v1
+  ASSERT_TRUE(db.Insert("t", {Row(2, 2)}).ok());  // v2
+  db.TruncateDeltaLogs(2);
+  EXPECT_FALSE(db.HasPendingDelta("t", 1));  // vacuous: records are gone
+  ReadView view = db.OpenReadView();
+  EXPECT_GT(view.TableVersion("t"), 1u);  // ...but the stamp still says stale
+  EXPECT_EQ(view.TableVersion("t"), 2u);
+}
+
+TEST(ReadViewTest, BoundaryVersionsAroundStagedUnpublishedTail) {
+  // A staged-but-unpublished statement is invisible: the view opens at the
+  // watermark below it and its rows/stamps are absent until publication.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(db.Insert("t", {Row(1, 1)}).ok());  // v1
+  uint64_t v2 = db.AllocateVersion();
+  {
+    auto session = db.WriteSession("t");
+    ASSERT_TRUE(db.StageInsert("t", {Row(2, 2)}, v2).ok());
+  }
+  ReadView before = db.OpenReadView();
+  EXPECT_EQ(before.watermark(), 1u);
+  EXPECT_EQ(before.Find("t")->num_rows(), 1u);
+  EXPECT_EQ(before.TableVersion("t"), 1u);
+  {
+    auto session = db.WriteSession("t");
+    db.PublishTable("t");
+  }
+  db.RetireVersion(v2);
+  ReadView after = db.OpenReadView();
+  EXPECT_EQ(after.watermark(), 2u);
+  EXPECT_EQ(after.Find("t")->num_rows(), 2u);
+  EXPECT_EQ(after.TableVersion("t"), 2u);
+}
+
+// ---- Segmented wait-free delta log -----------------------------------------
+
+TEST(DeltaLogTest, WindowScansAcrossSegmentBoundaries) {
+  // Three statements of 600 records each span multiple fixed-capacity
+  // segments; window scans and counts must be exact at every boundary.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 600; ++i) rows.push_back(Row(i, i));
+  ASSERT_TRUE(db.Insert("t", rows).ok());  // v1
+  ASSERT_TRUE(db.Insert("t", rows).ok());  // v2
+  ASSERT_TRUE(db.Insert("t", rows).ok());  // v3
+  const DeltaLog& log = db.GetTable("t")->delta_log();
+  ASSERT_EQ(log.size(), 1800u);
+  EXPECT_EQ(log.At(0).version, 1u);
+  EXPECT_EQ(log.At(1799).version, 3u);
+  EXPECT_EQ(db.ScanDelta("t", 0, 3).size(), 1800u);
+  EXPECT_EQ(db.ScanDelta("t", 1, 2).size(), 600u);
+  EXPECT_EQ(db.PendingDeltaCount("t", 2), 600u);
+  EXPECT_EQ(db.PendingDeltaCount("t", 3), 0u);
+}
+
+TEST(DeltaLogTest, TruncationAtSegmentAndVersionBoundaries) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 700; ++i) rows.push_back(Row(i, i));
+  ASSERT_TRUE(db.Insert("t", rows).ok());  // v1: records 0..699
+  ASSERT_TRUE(db.Insert("t", rows).ok());  // v2: records 700..1399
+  ASSERT_TRUE(db.Insert("t", {Row(9, 9)}).ok());  // v3
+  const DeltaLog& log = db.GetTable("t")->delta_log();
+  // Truncating below the oldest version is a no-op.
+  db.TruncateDeltaLogs(0);
+  EXPECT_EQ(log.size(), 1401u);
+  // Drop v1: the cut lands mid-segment (700 is not a segment multiple).
+  db.TruncateDeltaLogs(1);
+  EXPECT_EQ(log.size(), 701u);
+  EXPECT_EQ(log.At(0).version, 2u);
+  EXPECT_EQ(db.ScanDelta("t", 0, 3).size(), 701u);
+  EXPECT_EQ(db.ScanDelta("t", 2, 3).size(), 1u);
+  EXPECT_TRUE(log.HasRecordAfter(2));
+  // Drop everything; the wait-free probe goes quiet.
+  db.TruncateDeltaLogs(3);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_FALSE(log.HasRecordAfter(0));
+  EXPECT_EQ(db.ScanDelta("t", 0, 3).size(), 0u);
+  // The log keeps working after a full truncation.
+  ASSERT_TRUE(db.Insert("t", {Row(4, 4)}).ok());  // v4
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.At(0).version, 4u);
+}
+
+// ---- Concurrent publication vs. ReadView opening ---------------------------
+
+TEST(ReadViewTest, ConcurrentPublishesYieldConsistentViews) {
+  // One writer inserts single rows alternating between two tables while
+  // readers keep opening views: every view must satisfy the serialized
+  // invariant rows(a) + rows(b) == watermark (each statement adds exactly
+  // one row), per-table stamps never exceed the watermark, and snapshot
+  // epochs/watermarks observed by one reader never go backwards. A
+  // truncator races the delta logs underneath the scans.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", TwoColSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("b", TwoColSchema()).ok());
+  constexpr size_t kStatements = 400;
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (size_t k = 0; k < kStatements; ++k) {
+      const char* table = (k % 2 == 0) ? "a" : "b";
+      ASSERT_TRUE(db.Insert(table, {Row(static_cast<int64_t>(k), 1)}).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::thread truncator([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      db.TruncateDeltaLogs(db.StableVersion() / 2);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_watermark = 0;
+      uint64_t last_epoch_a = 0;
+      bool running = true;
+      while (running) {
+        running = !done.load(std::memory_order_acquire);
+        ReadView view = db.OpenReadView();
+        uint64_t w = view.watermark();
+        ASSERT_GE(w, last_watermark);  // watermarks only move forward
+        last_watermark = w;
+        const TableSnapshot* a = view.Find("a");
+        const TableSnapshot* b = view.Find("b");
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        // The pinned set IS the serialized database at watermark w.
+        ASSERT_EQ(a->num_rows() + b->num_rows(), w);
+        ASSERT_LE(a->version(), w);
+        ASSERT_LE(b->version(), w);
+        ASSERT_GE(a->epoch(), last_epoch_a);  // monotone publication epochs
+        last_epoch_a = a->epoch();
+        // Wait-free window scans race the writer and the truncator; the
+        // returned records must stay within the window with non-decreasing
+        // versions regardless of what was truncated.
+        TableDelta delta = db.ScanDelta("a", w / 2, w);
+        uint64_t prev = 0;
+        for (const DeltaRecord& rec : delta.records) {
+          ASSERT_GT(rec.version, w / 2);
+          ASSERT_LE(rec.version, w);
+          ASSERT_GE(rec.version, prev);
+          prev = rec.version;
+        }
+      }
+    });
+  }
+  writer.join();
+  truncator.join();
+  for (std::thread& t : readers) t.join();
+
+  ReadView final_view = db.OpenReadView();
+  EXPECT_EQ(final_view.watermark(), kStatements);
+  EXPECT_EQ(final_view.Find("a")->num_rows() + final_view.Find("b")->num_rows(),
+            kStatements);
 }
 
 }  // namespace

@@ -180,27 +180,35 @@ TEST(HashIndexTest, ProbeFindsAllMatches) {
   std::vector<Tuple> rows;
   for (int64_t i = 0; i < 10000; ++i) rows.push_back(Row(i % 100, i));
   ASSERT_TRUE(db.BulkLoad("t", rows).ok());
-  const Table* t = db.GetTable("t");
+  // Indexes live on the immutable published snapshot (built lazily per
+  // snapshot, so they can never point into rows the snapshot lacks).
+  auto t = db.GetTable("t")->Snapshot();
   EXPECT_FALSE(t->HasIndex(0));
   const auto* locs = t->IndexProbe(0, Value::Int(42));
   EXPECT_TRUE(t->HasIndex(0));
   ASSERT_NE(locs, nullptr);
   EXPECT_EQ(locs->size(), 100u);
   for (const auto& loc : *locs) {
-    EXPECT_EQ(t->chunks()[loc.chunk].At(loc.row, 0), Value::Int(42));
+    EXPECT_EQ(t->chunks()[loc.chunk]->At(loc.row, 0), Value::Int(42));
   }
   EXPECT_EQ(t->IndexProbe(0, Value::Int(12345)), nullptr);
 }
 
-TEST(HashIndexTest, IndexMaintainedOnInsert) {
+TEST(HashIndexTest, FreshSnapshotIndexSeesInsertedRows) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
   ASSERT_TRUE(db.BulkLoad("t", {Row(1, 1)}).ok());
-  const Table* t = db.GetTable("t");
-  ASSERT_NE(t->IndexProbe(0, Value::Int(1)), nullptr);  // build index
+  auto before = db.GetTable("t")->Snapshot();
+  ASSERT_NE(before->IndexProbe(0, Value::Int(1)), nullptr);  // build index
   ASSERT_TRUE(db.Insert("t", {Row(1, 2), Row(7, 3)}).ok());
-  EXPECT_EQ(t->IndexProbe(0, Value::Int(1))->size(), 2u);
-  EXPECT_EQ(t->IndexProbe(0, Value::Int(7))->size(), 1u);
+  // The old pinned snapshot (and its index) is immutable — it still sees
+  // exactly the pre-insert rows; the freshly published snapshot's lazily
+  // built index covers the new ones.
+  EXPECT_EQ(before->IndexProbe(0, Value::Int(1))->size(), 1u);
+  EXPECT_EQ(before->IndexProbe(0, Value::Int(7)), nullptr);
+  auto after = db.GetTable("t")->Snapshot();
+  EXPECT_EQ(after->IndexProbe(0, Value::Int(1))->size(), 2u);
+  EXPECT_EQ(after->IndexProbe(0, Value::Int(7))->size(), 1u);
 }
 
 TEST(HashIndexTest, IndexDroppedAndRebuiltAfterDelete) {
@@ -209,12 +217,15 @@ TEST(HashIndexTest, IndexDroppedAndRebuiltAfterDelete) {
   std::vector<Tuple> rows;
   for (int64_t i = 0; i < 100; ++i) rows.push_back(Row(i % 10, i));
   ASSERT_TRUE(db.BulkLoad("t", rows).ok());
-  const Table* t = db.GetTable("t");
-  ASSERT_EQ(t->IndexProbe(0, Value::Int(3))->size(), 10u);
+  ASSERT_EQ(db.GetTable("t")->Snapshot()->IndexProbe(0, Value::Int(3))->size(),
+            10u);
   ASSERT_TRUE(db.Delete("t", [](const Tuple& row) {
                   return row[0] == Value::Int(3);
                 }).ok());
-  EXPECT_FALSE(t->HasIndex(0));  // invalidated
+  // The delete published a fresh snapshot with no index yet; its lazily
+  // rebuilt index reflects the post-delete rows.
+  auto t = db.GetTable("t")->Snapshot();
+  EXPECT_FALSE(t->HasIndex(0));
   EXPECT_EQ(t->IndexProbe(0, Value::Int(3)), nullptr);  // rebuilt, empty
   EXPECT_EQ(t->IndexProbe(0, Value::Int(4))->size(), 10u);
 }
@@ -225,8 +236,8 @@ TEST(HashIndexTest, NumericKeyEquivalenceIntDouble) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
   ASSERT_TRUE(db.BulkLoad("t", {Row(2, 1)}).ok());
-  const Table* t = db.GetTable("t");
-  ASSERT_NE(t->IndexProbe(0, Value::Double(2.0)), nullptr);
+  ASSERT_NE(db.GetTable("t")->Snapshot()->IndexProbe(0, Value::Double(2.0)),
+            nullptr);
 }
 
 }  // namespace
