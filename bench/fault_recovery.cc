@@ -1,0 +1,190 @@
+// bench_fault_recovery — the cost of graceful degradation and the time to
+// recover from it (the PR 6 tentpole claim, measured).
+//
+// One sketched aggregate query over a synthetic table, driven through
+// three phases:
+//
+//   fresh     — healthy sketch: queries served lock-free from the
+//               published snapshot (the accelerated baseline);
+//   degraded  — the maintain.round and capture failpoints are armed so
+//               the entry descends the whole health ladder into
+//               quarantine; every query transparently falls back to a
+//               plain scan over its pinned view;
+//   recovered — the faults clear, RepairQuarantined() recaptures the
+//               entry from base tables, queries re-accelerate — all in
+//               the same process, no restart.
+//
+// Reported per phase: query throughput (QPS), plus the explicit repair
+// latency and the fault counters. Hard gate (exit non-zero): every
+// degraded and recovered query result must be bit-identical to the
+// fault-free reference — degradation may cost speed, never answers.
+//
+// Metrics land in BENCH_PR6.json (override with IMP_BENCH_JSON).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "exec/executor.h"
+#include "workload/driver.h"
+
+namespace imp {
+namespace {
+
+constexpr size_t kGroups = 500;
+constexpr const char* kTable = "edb1";
+
+std::string BenchQuery(size_t rows) {
+  int64_t rows_per_group = static_cast<int64_t>(rows / kGroups) + 1;
+  return "SELECT a, sum(b) AS s FROM edb1 GROUP BY a HAVING sum(b) > " +
+         std::to_string(rows_per_group * 400);
+}
+
+Relation MustQuery(ImpSystem* system, const std::string& sql) {
+  auto result = system->Query(sql);
+  IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+/// Fault-free reference over the database's current published state.
+Relation Reference(const Database& db, const std::string& sql) {
+  PlanPtr plan = [&] {
+    Binder binder(&db);
+    auto bound = binder.BindQuery(sql);
+    IMP_CHECK_MSG(bound.ok(), bound.status().ToString().c_str());
+    return std::move(bound).value();
+  }();
+  Executor exec(&db);
+  auto result = exec.Execute(plan);
+  IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+/// Median QPS of `queries` back-to-back queries; every result is gated
+/// against `expected` (bit-identical or abort).
+double MeasureQps(ImpSystem* system, const std::string& sql, size_t queries,
+                  const Relation& expected, const char* phase) {
+  double seconds = bench::MedianSeconds([&] {
+    for (size_t q = 0; q < queries; ++q) {
+      Relation got = MustQuery(system, sql);
+      if (!got.SameBag(expected)) {
+        std::fprintf(stderr,
+                     "FAULT-RECOVERY GATE FAILED: %s-phase query result "
+                     "diverged from the fault-free reference\n",
+                     phase);
+        std::exit(1);
+      }
+    }
+  });
+  return static_cast<double>(queries) / seconds;
+}
+
+}  // namespace
+}  // namespace imp
+
+int main() {
+  using namespace imp;
+
+  bench::PrintFigureHeader(
+      "fault_recovery",
+      "Degraded-mode query cost and recovery time under injected faults");
+
+  FailpointRegistry::Instance().Reset();
+
+  Database db;
+  SyntheticSpec spec;
+  spec.name = kTable;
+  spec.num_rows = bench::ScaledRows(50000);
+  spec.num_groups = kGroups;
+  IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+
+  ImpConfig config;
+  config.mode = ExecutionMode::kIncremental;
+  config.strategy = MaintenanceStrategy::kLazy;
+  config.maintenance_backoff_ms = 0;  // drive the health ladder per round
+  config.recapture_after_failures = 2;
+  config.quarantine_after_failures = 3;
+  ImpSystem system(&db, config);
+  IMP_CHECK(system
+                .RegisterPartition(RangePartition::EquiWidthInt(
+                    kTable, "a", 1, 0, kGroups - 1, 100))
+                .ok());
+
+  const std::string sql = BenchQuery(spec.num_rows);
+  const size_t queries = std::max<size_t>(20, bench::ScaledRows(50));
+
+  // ---- Phase 1: fresh (accelerated baseline) -------------------------------
+  MustQuery(&system, sql);  // capture
+  IMP_CHECK(system.stats().sketch_captures == 1);
+  Relation expected = Reference(db, sql);
+  double fresh_qps = MeasureQps(&system, sql, queries, expected, "fresh");
+
+  // ---- Phase 2: degraded (fault -> quarantine -> plain scans) --------------
+  // A pending delta makes the entry stale; the armed round + capture
+  // failpoints then fail every repair attempt until quarantine.
+  {
+    auto gen = SyntheticInsertGen(kTable, 1, kGroups,
+                                  static_cast<int64_t>(spec.num_rows));
+    Rng rng(11);
+    IMP_CHECK(system.UpdateBound(gen(rng)).ok());
+  }
+  expected = Reference(db, sql);
+  IMP_CHECK(FailpointRegistry::Instance()
+                .ArmFromSpec("maintain.round=always;capture=always")
+                .ok());
+  for (size_t i = 0; i < config.quarantine_after_failures; ++i) {
+    (void)system.MaintainAll();  // each failing round descends the ladder
+  }
+  if (system.Health().sketches_quarantined != 1) {
+    std::fprintf(stderr,
+                 "FAULT-RECOVERY GATE FAILED: entry did not quarantine\n");
+    return 1;
+  }
+  double degraded_qps =
+      MeasureQps(&system, sql, queries, expected, "degraded");
+  size_t degraded_queries = system.stats().degraded_queries;
+
+  // ---- Phase 3: recovery (faults clear, explicit repair) -------------------
+  FailpointRegistry::Instance().DisarmAll();
+  double repair_seconds = bench::TimeSeconds([&] {
+    Status repaired = system.RepairQuarantined();
+    IMP_CHECK_MSG(repaired.ok(), repaired.ToString().c_str());
+  });
+  if (system.Health().sketches_fresh != 1) {
+    std::fprintf(stderr, "FAULT-RECOVERY GATE FAILED: repair did not "
+                         "restore the entry\n");
+    return 1;
+  }
+  double recovered_qps =
+      MeasureQps(&system, sql, queries, expected, "recovered");
+
+  const size_t faults = system.Health().faults_injected;
+
+  bench::SeriesTable table("phase", {"qps", "vs_fresh"});
+  table.AddRow("fresh", {fresh_qps, 1.0});
+  table.AddRow("degraded", {degraded_qps, degraded_qps / fresh_qps});
+  table.AddRow("recovered", {recovered_qps, recovered_qps / fresh_qps});
+  table.Print();
+  std::printf("\nrepair latency: %s   faults injected: %zu   "
+              "degraded queries: %zu\n",
+              bench::Ms(repair_seconds).c_str(), faults, degraded_queries);
+  std::printf("correctness gate: every degraded/recovered result "
+              "bit-identical to the reference -- PASSED\n");
+
+  bench::JsonReport json("fault_recovery", "BENCH_PR6.json");
+  json.Add("phases", "fresh_qps", fresh_qps);
+  json.Add("phases", "degraded_qps", degraded_qps);
+  json.Add("phases", "recovered_qps", recovered_qps);
+  json.Add("phases", "degraded_over_fresh", degraded_qps / fresh_qps);
+  json.Add("phases", "recovered_over_fresh", recovered_qps / fresh_qps);
+  json.Add("recovery", "repair_ms", repair_seconds * 1e3);
+  json.Add("recovery", "faults_injected", static_cast<double>(faults));
+  json.Add("recovery", "degraded_queries",
+           static_cast<double>(degraded_queries));
+  json.Write();
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+namespace imp {
+
+void Failpoint::Arm(Mode mode, uint64_t n, double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = mode;
+  n_ = n == 0 ? 1 : n;
+  p_ = p;
+  rng_.seed(seed);
+  evaluations_ = 0;
+  hits_ = 0;
+  fired_.store(0, std::memory_order_relaxed);
+  armed_.store(mode != Mode::kOff, std::memory_order_release);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kOff;
+  armed_.store(false, std::memory_order_release);
+}
+
+bool Failpoint::EvalSlow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kOff) return false;  // disarmed while we raced here
+  ++evaluations_;
+  bool fire = false;
+  switch (mode_) {
+    case Mode::kOff:
+      break;
+    case Mode::kOnce:
+      fire = hits_ == 0;
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kTimes:
+      fire = hits_ < n_;
+      break;
+    case Mode::kNth:
+      fire = evaluations_ % n_ == 0;
+      break;
+    case Mode::kProb:
+      fire = std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p_;
+      break;
+  }
+  if (fire) {
+    ++hits_;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    // One-shot / fire-K-times triggers disarm themselves once exhausted so
+    // the fast path goes back to a single relaxed load.
+    if ((mode_ == Mode::kOnce && hits_ >= 1) ||
+        (mode_ == Mode::kTimes && hits_ >= n_)) {
+      mode_ = Mode::kOff;
+      armed_.store(false, std::memory_order_release);
+    }
+  }
+  return fire;
+}
+
+Status Failpoint::ArmSpec(std::string_view trigger) {
+  auto parse_u64 = [](std::string_view s, uint64_t* out) {
+    if (s.empty()) return false;
+    uint64_t v = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+  };
+  if (trigger == "off") {
+    Disarm();
+    return Status::OK();
+  }
+  if (trigger == "once") {
+    Arm(Mode::kOnce);
+    return Status::OK();
+  }
+  if (trigger == "always") {
+    Arm(Mode::kAlways);
+    return Status::OK();
+  }
+  auto colon = trigger.find(':');
+  std::string_view head = trigger.substr(0, colon);
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view() : trigger.substr(colon + 1);
+  if (head == "times" || head == "nth") {
+    uint64_t n = 0;
+    if (!parse_u64(rest, &n) || n == 0) {
+      return Status::InvalidArgument("failpoint " + name_ + ": bad trigger '" +
+                                     std::string(trigger) + "'");
+    }
+    Arm(head == "times" ? Mode::kTimes : Mode::kNth, n);
+    return Status::OK();
+  }
+  if (head == "prob") {
+    // prob:P or prob:P:SEED
+    auto colon2 = rest.find(':');
+    std::string_view p_str = rest.substr(0, colon2);
+    uint64_t seed = 42;
+    if (colon2 != std::string_view::npos &&
+        !parse_u64(rest.substr(colon2 + 1), &seed)) {
+      return Status::InvalidArgument("failpoint " + name_ + ": bad seed in '" +
+                                     std::string(trigger) + "'");
+    }
+    char* end = nullptr;
+    std::string p_copy(p_str);
+    double p = std::strtod(p_copy.c_str(), &end);
+    if (end == p_copy.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("failpoint " + name_ +
+                                     ": bad probability in '" +
+                                     std::string(trigger) + "'");
+    }
+    Arm(Mode::kProb, 1, p, seed);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("failpoint " + name_ + ": unknown trigger '" +
+                                 std::string(trigger) + "'");
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* env = std::getenv("IMP_FAILPOINTS")) {
+      // Environment activation happens exactly once, before any site can
+      // evaluate; a malformed spec aborts loudly instead of silently
+      // running the test/bench without its faults.
+      Status st = r->ArmFromSpec(env);
+      IMP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Failpoint& FailpointRegistry::GetOrCreate(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it != points_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_
+             .emplace(std::string(name),
+                      std::make_unique<Failpoint>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Status FailpointRegistry::ArmFromSpec(std::string_view spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    std::string_view clause = spec.substr(
+        pos, semi == std::string_view::npos ? std::string_view::npos
+                                            : semi - pos);
+    pos = semi == std::string_view::npos ? spec.size() : semi + 1;
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint clause '" +
+                                     std::string(clause) + "'");
+    }
+    IMP_RETURN_NOT_OK(
+        GetOrCreate(clause.substr(0, eq)).ArmSpec(clause.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto& [_, point] : points_) point->Disarm();
+}
+
+void FailpointRegistry::Reset() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto& [_, point] : points_) point->Arm(Failpoint::Mode::kOff);
+}
+
+size_t FailpointRegistry::TotalFired() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [_, point] : points_) total += point->fire_count();
+  return total;
+}
+
+std::vector<std::pair<std::string, size_t>> FailpointRegistry::Counters()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::pair<std::string, size_t>> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.emplace_back(name, point->fire_count());
+  }
+  return out;
+}
+
+}  // namespace imp

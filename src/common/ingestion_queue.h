@@ -18,6 +18,12 @@
 //    any eager maintenance it triggered — and the mutex hand-off makes all
 //    of the worker's writes visible to the waiter.
 //
+// Failure posture: a producer must never be parked forever on a queue
+// whose consumer died. Close() wakes every blocked producer (they observe
+// kClosed), and PushWithUntil bounds the wait — the middleware maps a
+// full-queue timeout or an outright rejection to a Status the caller can
+// act on instead of an unbounded stall.
+//
 // The consumer must call TaskDone() exactly once per popped item, after
 // all its side effects.
 
@@ -25,6 +31,7 @@
 #define IMP_COMMON_INGESTION_QUEUE_H_
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -33,6 +40,13 @@
 #include <utility>
 
 namespace imp {
+
+/// Producer-side verdict of a push attempt.
+enum class QueuePushOutcome : uint8_t {
+  kOk,      ///< item enqueued (the factory ran)
+  kClosed,  ///< queue closed — the consumer is gone or shutting down
+  kFull,    ///< capacity reached and the wait budget expired
+};
 
 template <typename T>
 class IngestionQueue {
@@ -44,19 +58,36 @@ class IngestionQueue {
   IngestionQueue& operator=(const IngestionQueue&) = delete;
 
   /// Enqueue the item produced by `make()`, which runs under the queue
-  /// lock once space is available. Blocks while full; returns false (and
-  /// never runs `make`) when the queue is closed.
+  /// lock once space is available — and ONLY on success, so side effects
+  /// paired with queue position (version allocation) never leak on a
+  /// rejected push. The wait budget:
+  ///   * nullopt — block until space or Close() (the kBlock policy);
+  ///   * 0ms     — never wait: report kFull immediately (kReject);
+  ///   * t > 0   — block up to t, then report kFull (kBlock + timeout).
   template <typename MakeItem>
-  bool PushWith(MakeItem&& make) {
+  QueuePushOutcome PushWithUntil(
+      MakeItem&& make, std::optional<std::chrono::milliseconds> wait_budget) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    auto ready = [&] { return closed_ || items_.size() < capacity_; };
+    if (!wait_budget.has_value()) {
+      not_full_.wait(lock, ready);
+    } else if (!not_full_.wait_for(lock, *wait_budget, ready)) {
+      return QueuePushOutcome::kFull;
+    }
+    if (closed_) return QueuePushOutcome::kClosed;
     items_.push_back(make());
     ++unfinished_;
     max_depth_ = std::max(max_depth_, items_.size());
     not_empty_.notify_one();
-    return true;
+    return QueuePushOutcome::kOk;
+  }
+
+  /// Blocking enqueue (no wait budget). Returns false (and never runs
+  /// `make`) when the queue is closed.
+  template <typename MakeItem>
+  bool PushWith(MakeItem&& make) {
+    return PushWithUntil(std::forward<MakeItem>(make), std::nullopt) ==
+           QueuePushOutcome::kOk;
   }
 
   /// Enqueue a ready-made item (blocks while full; false when closed).
@@ -100,12 +131,20 @@ class IngestionQueue {
     idle_.wait(lock, [&] { return unfinished_ == 0; });
   }
 
-  /// Reject future pushes and wake everyone; queued items still drain.
+  /// Reject future pushes and wake everyone — including producers parked
+  /// on a full queue, who observe kClosed instead of waiting on a consumer
+  /// that will never drain again. Queued items still drain.
   void Close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
     not_full_.notify_all();
     not_empty_.notify_all();
+  }
+
+  /// True once Close() was called (worker death / shutdown signal).
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
   size_t size() const {

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNeedsRecapture:
       return "NeedsRecapture";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

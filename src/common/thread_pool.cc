@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 #include <memory>
+#include <string>
 
 namespace imp {
 
@@ -24,7 +26,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    // Inline mode mirrors the worker-thread contract: an escaping
+    // exception is counted, not propagated — callers of Submit never
+    // handle exceptions, and the serial configuration must not be the one
+    // configuration where a poisoned task unwinds into the middleware.
+    try {
+      task();
+    } catch (...) {
+      escaped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   {
@@ -34,14 +44,49 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<void(size_t)>& fn) {
+  // Wrap every fn invocation so an escaped exception becomes the call's
+  // Status instead of std::terminate on a worker thread (a maintenance
+  // round's fault is the round's problem, never the process's). The first
+  // exception wins; remaining items still run.
+  struct ExceptionSlot {
+    std::mutex mu;
+    bool caught = false;
+    std::string what;
+  };
+  auto capture = [](ExceptionSlot* slot) {
+    std::string what = "unknown exception";
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (!slot->caught) {
+      slot->caught = true;
+      slot->what = std::move(what);
+    }
+  };
+
+  if (n == 0) return Status::OK();
   // A single item gains nothing from a cross-thread handoff (the caller
   // would just block waiting); this keeps one-entry maintenance rounds —
   // every lazily-repaired query — off the queue entirely.
   if (workers_.empty() || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    ExceptionSlot slot;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        capture(&slot);
+      }
+    }
+    if (slot.caught) {
+      return Status::Internal("task threw: " + slot.what);
+    }
+    return Status::OK();
   }
   // One task per worker pulling indices from a shared counter keeps the
   // queue short and balances skewed per-item costs. Completion is tracked
@@ -59,11 +104,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::mutex mu;
     std::condition_variable done;
     size_t completed = 0;  ///< finished fn invocations (target: n)
+    ExceptionSlot exception;
   };
   auto state = std::make_shared<ForState>();
-  auto run_share = [state, n, &fn] {
+  auto run_share = [state, n, &fn, &capture] {
     for (size_t i = state->next++; i < n; i = state->next++) {
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        capture(&state->exception);
+      }
       std::lock_guard<std::mutex> lock(state->mu);
       if (++state->completed == n) state->done.notify_all();
     }
@@ -73,6 +123,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   run_share();
   std::unique_lock<std::mutex> lock(state->mu);
   state->done.wait(lock, [&] { return state->completed == n; });
+  if (state->exception.caught) {
+    return Status::Internal("task threw: " + state->exception.what);
+  }
+  return Status::OK();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -85,7 +139,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Last line of defense: an exception leaving `task` on a worker thread
+    // would std::terminate the whole process. ParallelFor's shares catch
+    // their own exceptions (mapped to the call's Status); this catches
+    // raw fire-and-forget Submit tasks.
+    try {
+      task();
+    } catch (...) {
+      escaped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

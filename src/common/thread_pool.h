@@ -7,18 +7,26 @@
 //  * `num_threads <= 1` spawns no workers at all: Submit() runs the task
 //    inline, which keeps the serial configuration free of any threading
 //    overhead and makes it trivially deterministic.
-//  * Tasks must not throw; errors are propagated through captured state
-//    (the Status-per-item pattern used by ImpSystem::MaintainAll).
+//  * Tasks SHOULD report errors through captured state (the
+//    Status-per-item pattern used by ImpSystem::MaintainAll) — but an
+//    exception that does escape a task is captured, not fatal: a worker
+//    thread must never let it reach std::terminate and take the whole
+//    process down with it. ParallelFor surfaces the first escaped
+//    exception as the call's Status; fire-and-forget Submit tasks count
+//    theirs in escaped_exceptions().
 
 #ifndef IMP_COMMON_THREAD_POOL_H_
 #define IMP_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace imp {
 
@@ -34,17 +42,28 @@ class ThreadPool {
   /// Enqueue one task (runs inline when the pool has no workers).
   /// Fire-and-forget: completion is the submitter's business — ParallelFor
   /// tracks it per call, so concurrent rounds never wait on each other.
+  /// An exception escaping the task is swallowed and counted (see
+  /// escaped_exceptions()); it cannot fail the submitter retroactively.
   void Submit(std::function<void()> task);
 
   /// Run fn(0) .. fn(n-1); items are claimed dynamically by the workers AND
   /// the calling thread. Blocks until all invocations are done. Safe to
   /// call with n == 0, and safe for CONCURRENT callers: completion is
   /// tracked per call, so overlapping maintenance rounds sharing this pool
-  /// never block on each other's items.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// never block on each other's items. Returns OK when every invocation
+  /// returned normally; an exception escaping any fn(i) is captured and
+  /// the first one is returned as Status::Internal (remaining items still
+  /// run — one poisoned entry must not starve its round).
+  Status ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Number of worker threads (0 = inline execution).
   size_t num_workers() const { return workers_.size(); }
+
+  /// Exceptions that escaped fire-and-forget Submit() tasks (ParallelFor
+  /// exceptions are returned to the caller instead). Telemetry only.
+  size_t escaped_exceptions() const {
+    return escaped_exceptions_.load(std::memory_order_relaxed);
+  }
 
   /// `requested` resolved against the machine: 0 -> hardware concurrency
   /// (at least 1), anything else is returned unchanged.
@@ -58,6 +77,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable task_ready_;
   bool stop_ = false;
+  std::atomic<size_t> escaped_exceptions_{0};
 };
 
 }  // namespace imp

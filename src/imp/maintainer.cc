@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "common/failpoint.h"
+
 #include "algebra/chain.h"
 #include "imp/inc_aggregate.h"
 #include "imp/inc_join.h"
@@ -142,6 +144,9 @@ void Maintainer::ComputePushdowns() {
 }
 
 Result<ProvenanceSketch> Maintainer::Initialize(const ReadView* view) {
+  // A (re)build of incremental state from base tables is a capture: it
+  // shares the capture failpoint. Fires before any state is touched.
+  IMP_FAILPOINT(kFpCapture);
   DeltaContext empty;
   empty.view = view;
   IMP_ASSIGN_OR_RETURN(AnnotatedRelation result, root_->Build(empty));
@@ -166,6 +171,12 @@ Result<SketchDelta> Maintainer::Maintain(const std::vector<TableDelta>& deltas,
 
 Result<SketchDelta> Maintainer::MaintainAnnotated(const DeltaContext& ctx,
                                                   uint64_t new_version) {
+  // Every maintenance round (backend-driven, annotated, fast-forward)
+  // funnels through here, so one failpoint covers them all. It fires
+  // before Process() touches any operator state: the sketch still claims
+  // its old valid_version and a later round re-scans the same window —
+  // a failed round is always cleanly retryable.
+  IMP_FAILPOINT(kFpMaintainRound);
   // The result batch may borrow rows from `ctx` (zero-copy pipeline):
   // `ctx` and the shared deltas behind it stay alive until the merge
   // operator below has consumed the batch.

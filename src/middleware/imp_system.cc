@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <optional>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "middleware/maintenance_batch.h"
 #include "sketch/reuse.h"
@@ -51,7 +53,14 @@ Result<std::vector<Tuple>> ComputeUpdatedRows(
 }  // namespace
 
 ImpSystem::ImpSystem(Database* db, ImpConfig config)
-    : db_(db), config_(config), binder_(db) {
+    : db_(db), config_(std::move(config)), binder_(db) {
+  faults_baseline_ = FailpointRegistry::Instance().TotalFired();
+  if (!config_.failpoints.empty()) {
+    // Same grammar as IMP_FAILPOINTS; a malformed spec is a programming
+    // error in the test/bench that built the config.
+    Status armed = FailpointRegistry::Instance().ArmFromSpec(config_.failpoints);
+    IMP_CHECK_MSG(armed.ok(), "bad ImpConfig::failpoints spec");
+  }
   if (config_.async_ingestion) {
     ingest_queue_ = std::make_unique<IngestionQueue<IngestTask>>(
         config_.ingest_queue_capacity);
@@ -60,6 +69,14 @@ ImpSystem::ImpSystem(Database* db, ImpConfig config)
 }
 
 ImpSystem::~ImpSystem() { StopIngestWorker(); }
+
+uint64_t ImpSystem::NowMs() const {
+  if (config_.clock_ms) return config_.clock_ms();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 void ImpSystem::StopIngestWorker() {
   if (!ingest_queue_) return;
@@ -202,11 +219,60 @@ Status ImpSystem::RecaptureEntry(SketchEntry* entry, const ReadView& view) {
   // the repartition releases the front-end lock must see the recaptured
   // snapshot, never the old fragment ids against the new catalog.
   entry->PublishSnapshot();
+  // A successful rebuild from base tables clears any accumulated failure
+  // state — recapture is also how a quarantined entry returns to service.
+  entry->RecordSuccess();
   {
     std::lock_guard<std::mutex> stats(stats_mu_);
     ++stats_.sketch_captures;
   }
   return Status::OK();
+}
+
+Status ImpSystem::RepairQuarantined() {
+  // Same stop-the-world posture as RepartitionTable: recapture writes the
+  // blob store (EraseStateBlob), which only the exclusive front-end lock
+  // may do while shared-side readers use GetStateBlob unguarded.
+  std::unique_lock<std::shared_mutex> frontend(frontend_mu_);
+  ReadView view = db_->OpenReadView();
+  Status first_error = Status::OK();
+  for (SketchEntry* entry : sketches_.AllEntries()) {
+    if (entry->health != SketchHealth::kQuarantined) continue;
+    Status recaptured = RecaptureEntry(entry, view);
+    if (!recaptured.ok() && first_error.ok()) first_error = recaptured;
+    // A still-failing entry stays quarantined (and keeps degrading its
+    // queries to plain scans) until a later repair succeeds.
+  }
+  return first_error;
+}
+
+SystemHealth ImpSystem::Health() {
+  SystemHealth health;
+  health.ingest_worker_alive =
+      !config_.async_ingestion ||
+      !ingest_worker_dead_.load(std::memory_order_acquire);
+  health.ingest_queue_depth = ingest_queue_ ? ingest_queue_->size() : 0;
+  {
+    std::lock_guard<std::mutex> lock(dead_letter_mu_);
+    health.dead_letter_size = dead_letters_.size();
+  }
+  SketchManager::HealthTally tally = sketches_.TallyHealth();
+  health.sketches_fresh = tally.fresh;
+  health.sketches_stale = tally.stale;
+  health.sketches_quarantined = tally.quarantined;
+  health.faults_injected =
+      FailpointRegistry::Instance().TotalFired() - faults_baseline_;
+  {
+    std::lock_guard<std::mutex> lock(ingest_error_mu_);
+    if (!ingest_error_.ok()) health.last_ingest_error = ingest_error_.ToString();
+  }
+  // Refresh the snapshot-style stats fields from the same readings.
+  {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    stats_.faults_injected = health.faults_injected;
+    stats_.dead_letter_size = health.dead_letter_size;
+  }
+  return health;
 }
 
 Status ImpSystem::RepartitionTable(const std::string& table,
@@ -378,7 +444,30 @@ Result<Relation> ImpSystem::AnswerWithEntry(SketchManager::Shard& shard,
   // immutable, so nothing can drift between them.
   std::unique_lock<std::shared_mutex> wl(shard.mu);
   ReadView view = db_->OpenReadView();
-  IMP_RETURN_NOT_OK(MaintainBatchLocked({entry}, view));
+  // A quarantined entry is not repaired on the query path; for the others
+  // the repair's error (if any) lands in the entry's health state — the
+  // verdict that matters HERE is only whether the entry ended up current.
+  if (entry->health != SketchHealth::kQuarantined) {
+    Status repaired = MaintainBatchLocked({entry}, view);
+    (void)repaired;  // outcome is read off the entry's health/version below
+  }
+  if (entry->health == SketchHealth::kQuarantined ||
+      EntryIsStaleAt(*entry, entry->valid_version(), view)) {
+    // Degrade, never fail: the sketch is a pure accelerator, so a query
+    // whose sketch is quarantined, backing off, or freshly failed runs as
+    // a plain scan over the SAME pinned view — bit-identical to the
+    // fault-free answer, merely unaccelerated. Repair continues in the
+    // background rounds; once the fault clears, queries re-accelerate
+    // without any restart.
+    wl.unlock();
+    auto start = std::chrono::steady_clock::now();
+    Executor exec(db_, &view);
+    Result<Relation> result = exec.Execute(plan);
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    stats_.query_seconds += SecondsSince(start);
+    ++stats_.degraded_queries;
+    return result;
+  }
   std::shared_ptr<const SketchSnapshot> snapshot = entry->Snapshot();
   wl.unlock();
   auto start = std::chrono::steady_clock::now();
@@ -437,9 +526,15 @@ Result<Relation> ImpSystem::QueryPlan(const PlanPtr& plan) {
       if (!created.ok()) {
         // No safe partition: fall back to plain execution (the paper's
         // "counterexample" queries that do not profit from PBDS), and
-        // remember the verdict until the catalog changes.
+        // remember the verdict until the catalog changes. Any OTHER
+        // capture failure (e.g. the `capture` failpoint) degrades this
+        // query to a plain scan WITHOUT caching the verdict — the next
+        // query retries the capture, so a transient fault heals itself.
         if (created.status().code() == StatusCode::kNotFound) {
           shard.unsketchable.insert(key);
+        } else {
+          std::lock_guard<std::mutex> stats(stats_mu_);
+          ++stats_.degraded_queries;
         }
         wl.unlock();
         return ExecutePlain(plan);
@@ -484,7 +579,9 @@ Result<uint64_t> ImpSystem::ApplySyncBound(const BoundUpdate& update) {
               ? db_->StageInsert(update.table, modified, insert_version)
               : deleted;
       // One publication covers both halves; retire in allocation order.
-      db_->PublishTable(update.table);
+      // Retrying (ultimately forced) publication: staged halves must be
+      // visible before their versions retire (storage/database.h).
+      db_->PublishTableRetrying(update.table, Database::kSyncPublishRetries);
       db_->RetireVersion(delete_version);
       db_->RetireVersion(insert_version);
       IMP_RETURN_NOT_OK(deleted);
@@ -497,24 +594,52 @@ Result<uint64_t> ImpSystem::ApplySyncBound(const BoundUpdate& update) {
 
 Result<uint64_t> ImpSystem::EnqueueUpdate(const BoundUpdate& update) {
   auto start = std::chrono::steady_clock::now();
+  // Fail fast on a dead worker — before allocating anything. (The closed
+  // queue below catches the race where the worker dies mid-call.)
+  if (ingest_worker_dead_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(ingest_error_mu_);
+    return Status::Unavailable("ingestion worker dead: " +
+                               ingest_error_.ToString());
+  }
   // Copy the statement payload BEFORE entering the queue's critical
   // section — a large row batch must not serialize other producers.
   IngestTask task;
   task.update = update;
   uint64_t ticket = 0;
+  // Full-queue policy: kReject never waits, kBlock waits up to the
+  // configured timeout (0 = indefinitely; Close() still wakes it).
+  std::optional<std::chrono::milliseconds> wait_budget;
+  if (config_.queue_full_policy == QueueFullPolicy::kReject) {
+    wait_budget = std::chrono::milliseconds(0);
+  } else if (config_.ingest_push_timeout_ms > 0) {
+    wait_budget = std::chrono::milliseconds(config_.ingest_push_timeout_ms);
+  }
   // Only version allocation runs inside the push critical section, so
   // ticket order == queue order even with racing producers; the worker
   // then applies statements in ticket order, keeping every delta log's
-  // version column non-decreasing.
-  bool pushed = ingest_queue_->PushWith([&]() -> IngestTask {
-    if (task.update.kind == BoundUpdate::Kind::kUpdate) {
-      task.delete_version = db_->AllocateVersion();
-    }
-    task.version = db_->AllocateVersion();
-    ticket = task.version;
-    return std::move(task);
-  });
-  if (!pushed) return Status::Internal("ingestion queue closed");
+  // version column non-decreasing. The factory runs ONLY on success, so
+  // a rejected push never leaks an allocated version (which would stall
+  // the watermark behind a statement nobody will ever apply).
+  QueuePushOutcome outcome = ingest_queue_->PushWithUntil(
+      [&]() -> IngestTask {
+        if (task.update.kind == BoundUpdate::Kind::kUpdate) {
+          task.delete_version = db_->AllocateVersion();
+        }
+        task.version = db_->AllocateVersion();
+        ticket = task.version;
+        return std::move(task);
+      },
+      wait_budget);
+  if (outcome == QueuePushOutcome::kClosed) {
+    std::lock_guard<std::mutex> lock(ingest_error_mu_);
+    return Status::Unavailable(ingest_error_.ok()
+                                   ? "ingestion queue closed"
+                                   : "ingestion worker dead: " +
+                                         ingest_error_.ToString());
+  }
+  if (outcome == QueuePushOutcome::kFull) {
+    return Status::Unavailable("ingestion queue full");
+  }
   {
     std::lock_guard<std::mutex> lock(update_stats_mu_);
     ++stats_.updates;
@@ -550,7 +675,11 @@ Result<uint64_t> ImpSystem::Update(const std::string& sql) {
 }
 
 Status ImpSystem::StageIngestTask(const IngestTask& task,
-                                  std::vector<std::string>* touched) {
+                                  std::vector<std::string>* touched,
+                                  bool* staged_any) {
+  // Fires before anything is staged or recorded: a fired apply is always
+  // safe to retry (*staged_any stays false).
+  IMP_FAILPOINT(kFpIngestApply);
   const BoundUpdate& update = task.update;
   if (!db_->HasTable(update.table)) {
     // The versions are still retired at the end of the batch cycle so the
@@ -564,8 +693,10 @@ Status ImpSystem::StageIngestTask(const IngestTask& task,
   auto session = db_->WriteSession(update.table);
   switch (update.kind) {
     case BoundUpdate::Kind::kInsert:
+      *staged_any = true;
       return db_->StageInsert(update.table, update.rows, task.version);
     case BoundUpdate::Kind::kDelete:
+      *staged_any = true;
       return db_->StageDelete(update.table, WherePredicate(update),
                               task.version)
           .status();
@@ -576,6 +707,7 @@ Status ImpSystem::StageIngestTask(const IngestTask& task,
       // path's view of the table.
       IMP_ASSIGN_OR_RETURN(std::vector<Tuple> modified,
                            ComputeUpdatedRows(*db_, update, pred));
+      *staged_any = true;
       IMP_RETURN_NOT_OK(
           db_->StageDelete(update.table, pred, task.delete_version).status());
       return db_->StageInsert(update.table, modified, task.version);
@@ -584,80 +716,181 @@ Status ImpSystem::StageIngestTask(const IngestTask& task,
   return Status::Internal("unhandled update kind");
 }
 
+void ImpSystem::DeadLetterStatement(const IngestTask& task,
+                                    const std::string& error) {
+  {
+    std::lock_guard<std::mutex> lock(dead_letter_mu_);
+    dead_letters_.push_back(
+        DeadLetter{task.update, task.version, task.delete_version, error});
+    while (dead_letters_.size() > config_.dead_letter_capacity) {
+      dead_letters_.pop_front();
+    }
+  }
+  std::lock_guard<std::mutex> lock(update_stats_mu_);
+  ++stats_.ingest_dead_letters;
+}
+
+std::vector<DeadLetter> ImpSystem::DeadLetters() const {
+  std::lock_guard<std::mutex> lock(dead_letter_mu_);
+  return std::vector<DeadLetter>(dead_letters_.begin(), dead_letters_.end());
+}
+
+void ImpSystem::TerminalIngestFailure(const Status& error) {
+  {
+    std::lock_guard<std::mutex> lock(ingest_error_mu_);
+    if (ingest_error_.ok()) ingest_error_ = error;
+  }
+  ingest_worker_dead_.store(true, std::memory_order_release);
+  // Closing the queue wakes producers parked on a full queue (they see
+  // kClosed -> kUnavailable) and caps what the death drain must consume.
+  ingest_queue_->Close();
+}
+
+void ImpSystem::DrainToDeadLetters(const std::vector<IngestTask>& batch,
+                                   const Status& error) {
+  // Nothing of these statements was staged, so retiring their versions is
+  // safe (no unpublished data hides behind the advancing watermark) and
+  // necessary (a stalled watermark would freeze every future ReadView).
+  auto bury = [&](const IngestTask& task) {
+    DeadLetterStatement(task, error.ToString());
+    if (task.delete_version != 0) db_->RetireVersion(task.delete_version);
+    db_->RetireVersion(task.version);
+    ingest_queue_->TaskDone();
+  };
+  for (const IngestTask& task : batch) bury(task);
+  // The queue is closed (no new pushes); drain what raced in before the
+  // close so WaitForIngest's idle barrier is reachable.
+  while (std::optional<IngestTask> task = ingest_queue_->TryPop()) {
+    bury(*task);
+  }
+}
+
+void ImpSystem::ApplyIngestBatch(const std::vector<IngestTask>& batch) {
+  std::vector<Status> statuses;
+  std::vector<std::string> touched;
+  auto start = std::chrono::steady_clock::now();
+  // Stage every statement in ticket order; publication is deferred to
+  // the end of the cycle, so each touched table gets ONE delta
+  // publication + ONE snapshot swap per batch instead of per statement.
+  // A transiently failing apply is retried while nothing of it was
+  // staged yet; a poisoned statement (retries exhausted, partial stage,
+  // or a deterministic error) is dead-lettered — never wedging the
+  // watermark or the statements queued behind it.
+  for (const IngestTask& task : batch) {
+    bool staged_any = false;
+    Status st;
+    try {
+      st = StageIngestTask(task, &touched, &staged_any);
+      size_t retries = 0;
+      while (!st.ok() && !staged_any &&
+             st.code() != StatusCode::kNotFound &&
+             st.code() != StatusCode::kInvalidArgument &&
+             retries < config_.ingest_retry_limit) {
+        ++retries;
+        {
+          std::lock_guard<std::mutex> lock(update_stats_mu_);
+          ++stats_.ingest_retries;
+        }
+        st = StageIngestTask(task, &touched, &staged_any);
+      }
+    } catch (const std::exception& e) {
+      st = Status::Internal(std::string("apply threw: ") + e.what());
+    } catch (...) {
+      st = Status::Internal("apply threw: unknown exception");
+    }
+    if (!st.ok()) DeadLetterStatement(task, st.ToString());
+    statuses.push_back(st);
+  }
+  // Publish per touched table, retiring that table's versions right
+  // after its publication (a version may only retire once its table
+  // snapshot is visible — and retiring table by table keeps the stable
+  // watermark advancing even if the NEXT table's stripe is briefly held
+  // by a repartition freeze, which view-opening readers may be spinning
+  // on the watermark for). The version clock reorders out-of-order
+  // retires internally. Publication retries the snapshot.publish
+  // failpoint and is ultimately FORCED (storage/database.h): the one
+  // fault that may never win is a skipped publication under a retired
+  // version.
+  for (const std::string& table : touched) {
+    auto session = db_->WriteSession(table);
+    Status pub = db_->PublishTableRetrying(table, config_.publish_retry_limit);
+    session.unlock();
+    if (!pub.ok()) {
+      std::lock_guard<std::mutex> lock(update_stats_mu_);
+      ++stats_.publish_retries;
+    }
+    for (const IngestTask& task : batch) {
+      if (task.update.table != table) continue;
+      if (task.delete_version != 0) db_->RetireVersion(task.delete_version);
+      db_->RetireVersion(task.version);
+    }
+  }
+  // Failed statements (missing table, dead-lettered before touching their
+  // table) still consume their versions — the watermark never stalls
+  // behind a no-op. Safe precisely because these statements staged
+  // nothing into an untouched table.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (statuses[i].ok()) continue;
+    const IngestTask& task = batch[i];
+    if (std::find(touched.begin(), touched.end(), task.update.table) !=
+        touched.end()) {
+      continue;  // staged tables retired their versions above
+    }
+    if (task.delete_version != 0) db_->RetireVersion(task.delete_version);
+    db_->RetireVersion(task.version);
+  }
+  {
+    // Same mutex as the producer-side fields: a front end may poll
+    // stats() for ingestion progress while the worker runs.
+    std::lock_guard<std::mutex> lock(update_stats_mu_);
+    stats_.ingest_apply_seconds += SecondsSince(start);
+    stats_.ingest_applied += batch.size();
+    ++stats_.ingest_batches;
+    stats_.ingest_batch_max = std::max(stats_.ingest_batch_max, batch.size());
+  }
+  for (const Status& applied : statuses) {
+    if (applied.ok()) continue;
+    std::lock_guard<std::mutex> lock(ingest_error_mu_);
+    if (ingest_error_.ok()) ingest_error_ = applied;
+  }
+  // Eager maintenance runs on the worker, after the batch is published —
+  // one NoteUpdate per applied statement, the same statement count as
+  // the synchronous path (with batch_limit == 1 also the same epochs).
+  for (const Status& applied : statuses) {
+    if (applied.ok()) NoteUpdate();
+  }
+  for (size_t i = 0; i < batch.size(); ++i) ingest_queue_->TaskDone();
+}
+
 void ImpSystem::IngestWorkerLoop() {
   const size_t batch_limit = std::max<size_t>(1, config_.ingest_apply_batch);
   std::vector<IngestTask> batch;
-  std::vector<Status> statuses;
-  std::vector<std::string> touched;
   while (std::optional<IngestTask> first = ingest_queue_->Pop()) {
     // Drain up to batch_limit queued statements into one apply cycle; the
     // first pop blocks (idle worker), the rest are opportunistic.
     batch.clear();
-    statuses.clear();
-    touched.clear();
     batch.push_back(std::move(*first));
     while (batch.size() < batch_limit) {
       std::optional<IngestTask> next = ingest_queue_->TryPop();
       if (!next) break;
       batch.push_back(std::move(*next));
     }
-    auto start = std::chrono::steady_clock::now();
-    // Stage every statement in ticket order; publication is deferred to
-    // the end of the cycle, so each touched table gets ONE delta
-    // publication + ONE snapshot swap per batch instead of per statement.
-    for (const IngestTask& task : batch) {
-      statuses.push_back(StageIngestTask(task, &touched));
+    // Worker-death injection: fires BEFORE anything of the batch is
+    // staged, so the fail-stop below retires cleanly-unapplied versions
+    // only. Producers observe kUnavailable from then on; queries keep
+    // serving the last stable watermark; WaitForIngest returns the error
+    // instead of deadlocking.
+    if (IMP_FAILPOINT_HIT(kFpIngestWorkerCrash)) {
+      Status death =
+          Status::Unavailable("failpoint fired: ingest.worker_crash");
+      TerminalIngestFailure(death);
+      DrainToDeadLetters(batch, death);
+      return;
     }
-    // Publish per touched table, retiring that table's versions right
-    // after its publication (a version may only retire once its table
-    // snapshot is visible — and retiring table by table keeps the stable
-    // watermark advancing even if the NEXT table's stripe is briefly held
-    // by a repartition freeze, which view-opening readers may be spinning
-    // on the watermark for). The version clock reorders out-of-order
-    // retires internally.
-    for (const std::string& table : touched) {
-      auto session = db_->WriteSession(table);
-      db_->PublishTable(table);
-      session.unlock();
-      for (const IngestTask& task : batch) {
-        if (task.update.table != table) continue;
-        if (task.delete_version != 0) db_->RetireVersion(task.delete_version);
-        db_->RetireVersion(task.version);
-      }
-    }
-    // Failed statements (missing table, unhandled kind) still consume
-    // their versions — the watermark never stalls behind a no-op.
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (statuses[i].ok()) continue;
-      const IngestTask& task = batch[i];
-      if (std::find(touched.begin(), touched.end(), task.update.table) !=
-          touched.end()) {
-        continue;  // staged tables retired their versions above
-      }
-      if (task.delete_version != 0) db_->RetireVersion(task.delete_version);
-      db_->RetireVersion(task.version);
-    }
-    {
-      // Same mutex as the producer-side fields: a front end may poll
-      // stats() for ingestion progress while the worker runs.
-      std::lock_guard<std::mutex> lock(update_stats_mu_);
-      stats_.ingest_apply_seconds += SecondsSince(start);
-      stats_.ingest_applied += batch.size();
-      ++stats_.ingest_batches;
-      stats_.ingest_batch_max = std::max(stats_.ingest_batch_max, batch.size());
-    }
-    for (const Status& applied : statuses) {
-      if (applied.ok()) continue;
-      std::lock_guard<std::mutex> lock(ingest_error_mu_);
-      if (ingest_error_.ok()) ingest_error_ = applied;
-    }
-    // Eager maintenance runs on the worker, after the batch is published —
-    // one NoteUpdate per applied statement, the same statement count as
-    // the synchronous path (with batch_limit == 1 also the same epochs).
-    for (const Status& applied : statuses) {
-      if (applied.ok()) NoteUpdate();
-    }
-    for (size_t i = 0; i < batch.size(); ++i) ingest_queue_->TaskDone();
+    // ApplyIngestBatch never throws (per-statement exceptions become that
+    // statement's dead-letter), so reaching here means the cycle fully
+    // accounted for its versions and TaskDone()s.
+    ApplyIngestBatch(batch);
   }
 }
 
@@ -739,6 +972,53 @@ ThreadPool& ImpSystem::MaintenancePool() {
   return *maintenance_pool_;
 }
 
+void ImpSystem::RecordRoundFailureLocked(SketchEntry* entry,
+                                         const Status& error, uint64_t now,
+                                         const ReadView& view) {
+  size_t failures = entry->RecordFailure(error.ToString());
+  // Bounded exponential backoff on the injectable clock: min(cap,
+  // base << (failures - 1)). Maintenance never sleeps on it — the entry
+  // is simply deferred until the deadline passes on a later round.
+  uint64_t shift = failures > 0 ? failures - 1 : 0;
+  if (shift > 20) shift = 20;  // << would overflow past this; cap anyway
+  uint64_t backoff = config_.maintenance_backoff_ms << shift;
+  if (backoff > config_.maintenance_backoff_cap_ms) {
+    backoff = config_.maintenance_backoff_cap_ms;
+  }
+  entry->retry_after_ms = now + backoff;
+  // Escalation: incremental repair keeps failing — throw the operator
+  // state away and rebuild from base tables (the FM fallback), through
+  // the round's pinned view. Success returns the entry to service on the
+  // spot; failure continues toward quarantine.
+  if (config_.mode == ExecutionMode::kIncremental &&
+      failures >= config_.recapture_after_failures &&
+      failures < config_.quarantine_after_failures) {
+    entry->maintainer = std::make_unique<Maintainer>(db_, &catalog_,
+                                                     entry->plan,
+                                                     config_.maintainer);
+    entry->state_evicted = false;
+    // No EraseStateBlob here: this path runs under the SHARED front-end
+    // lock, and the blob map is only written under the exclusive side
+    // (concurrent GetStateBlob readers). The superseded blob is simply
+    // overwritten by the next eviction.
+    Result<ProvenanceSketch> rebuilt = entry->maintainer->Initialize(&view);
+    if (rebuilt.ok()) {
+      entry->sketch = std::move(rebuilt).value();
+      entry->PublishSnapshot();
+      entry->RecordSuccess();
+      std::lock_guard<std::mutex> stats(stats_mu_);
+      ++stats_.sketch_captures;
+      return;
+    }
+    entry->last_error = rebuilt.status().ToString();
+  }
+  if (failures >= config_.quarantine_after_failures) {
+    entry->health = SketchHealth::kQuarantined;
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    ++stats_.sketches_quarantined;
+  }
+}
+
 Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
                                       const ReadView& view) {
   // The round's epoch cut is the pinned view's watermark: every statement
@@ -765,13 +1045,25 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
   std::vector<Item> items;
   items.reserve(entries.size());
   size_t stale_count = 0;
+  size_t retried_entries = 0;
+  const uint64_t now = NowMs();
   // Best effort across entries: one sketch whose evicted state fails to
   // restore must not keep every healthy sketch stale; its error is still
   // reported after the round.
   Status planning_error = Status::OK();
   for (SketchEntry* entry : entries) {
+    // Quarantined entries sit the round out entirely (they repair through
+    // RepairQuarantined / RepartitionTable); a stale entry inside its
+    // backoff window is deferred until the deadline passes — its earlier
+    // failure was already reported, so the deferral itself is silent.
+    if (entry->health == SketchHealth::kQuarantined) continue;
+    if (entry->health == SketchHealth::kStale && entry->retry_after_ms > now) {
+      continue;
+    }
+    if (entry->consecutive_failures > 0) ++retried_entries;
     Status restored = EnsureMaintainer(entry);
     if (!restored.ok()) {
+      RecordRoundFailureLocked(entry, restored, now, view);
       if (planning_error.ok()) planning_error = restored;
       continue;
     }
@@ -817,36 +1109,65 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
   // pins see the repaired one.
   std::vector<Status> statuses(items.size());
   std::vector<uint8_t> maintained(items.size(), 0);
-  MaintenancePool().ParallelFor(items.size(), [&](size_t i) {
+  Status pool_error =
+      MaintenancePool().ParallelFor(items.size(), [&](size_t i) {
     SketchEntry* entry = items[i].entry;
-    if (!items[i].stale) {
-      // Version bumps from updates to unrelated tables only fast-forward.
-      entry->sketch.valid_version = cut;
-      if (entry->maintainer) {
-        statuses[i] = entry->maintainer->Maintain({}, cut).status();
+    // Per-item exception wall: an escaped exception becomes THIS item's
+    // status (health machine + backoff), not the whole round's — and
+    // never reaches the pool's worker thread.
+    try {
+      if (!items[i].stale) {
+        // Version bumps from updates to unrelated tables only fast-forward.
+        if (entry->maintainer) {
+          statuses[i] = entry->maintainer->Maintain({}, cut).status();
+        }
+        if (statuses[i].ok()) {
+          entry->sketch.valid_version = cut;
+          entry->PublishSnapshot();
+        }
+        return;
       }
-      if (statuses[i].ok()) entry->PublishSnapshot();
-      return;
-    }
-    if (config_.retain_sketch_history) entry->history.push_back(entry->sketch);
-    if (incremental) {
-      Result<SketchDelta> result =
-          shared ? entry->maintainer->MaintainAnnotated(
-                       batch.ContextFor(*entry->maintainer), cut)
-                 : entry->maintainer->MaintainFromBackend(cut, &view);
-      statuses[i] = result.status();
-      if (result.ok()) entry->sketch = entry->maintainer->sketch();
-    } else {
-      // Full maintenance: re-run the capture query (Sec. 1) over the
-      // round's pinned view, anchoring at the frozen cut.
-      CaptureEngine capture(db_, &catalog_);
-      Result<ProvenanceSketch> result = capture.Capture(entry->plan, &view);
-      statuses[i] = result.status();
-      if (result.ok()) entry->sketch = std::move(result).value();
+      if (config_.retain_sketch_history) {
+        entry->history.push_back(entry->sketch);
+      }
+      if (incremental) {
+        Result<SketchDelta> result =
+            shared ? entry->maintainer->MaintainAnnotated(
+                         batch.ContextFor(*entry->maintainer), cut)
+                   : entry->maintainer->MaintainFromBackend(cut, &view);
+        statuses[i] = result.status();
+        if (result.ok()) entry->sketch = entry->maintainer->sketch();
+      } else {
+        // Full maintenance: re-run the capture query (Sec. 1) over the
+        // round's pinned view, anchoring at the frozen cut.
+        CaptureEngine capture(db_, &catalog_);
+        Result<ProvenanceSketch> result = capture.Capture(entry->plan, &view);
+        statuses[i] = result.status();
+        if (result.ok()) entry->sketch = std::move(result).value();
+      }
+    } catch (const std::exception& e) {
+      statuses[i] =
+          Status::Internal(std::string("maintenance threw: ") + e.what());
+    } catch (...) {
+      statuses[i] = Status::Internal("maintenance threw: unknown exception");
     }
     if (statuses[i].ok()) entry->PublishSnapshot();
     maintained[i] = statuses[i].ok() ? 1 : 0;
   });
+  // The per-item walls above make an escaped exception from the pool
+  // itself unreachable; fold it into the round's error just in case.
+  if (!pool_error.ok() && planning_error.ok()) planning_error = pool_error;
+
+  // Health transitions, serial under the shard write lock: success resets
+  // an entry to kFresh (fault-clear recovery needs nothing but a passing
+  // round); failure records backoff / escalation / quarantine.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (statuses[i].ok()) {
+      items[i].entry->RecordSuccess();
+    } else {
+      RecordRoundFailureLocked(items[i].entry, statuses[i], now, view);
+    }
+  }
 
   {
     std::lock_guard<std::mutex> stats(stats_mu_);
@@ -854,6 +1175,7 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
     // per-entry durations — with workers the latter exceeds elapsed time.
     stats_.maintain_seconds += SecondsSince(round_start);
     ++stats_.batch_rounds;
+    stats_.maintenance_retries += retried_entries;
     for (size_t i = 0; i < items.size(); ++i) {
       if (maintained[i]) ++stats_.maintenances;
       if (items[i].entry->maintainer != nullptr) {

@@ -72,11 +72,14 @@
 #define IMP_MIDDLEWARE_IMP_SYSTEM_H_
 
 #include <atomic>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/ingestion_queue.h"
 #include "common/thread_pool.h"
@@ -88,6 +91,12 @@ namespace imp {
 
 enum class ExecutionMode : uint8_t { kNoSketch, kFullMaintenance, kIncremental };
 enum class MaintenanceStrategy : uint8_t { kLazy, kEager };
+
+/// Producer behaviour when the bounded ingestion queue is full.
+enum class QueueFullPolicy : uint8_t {
+  kBlock,   ///< wait for space (bounded by ingest_push_timeout_ms if > 0)
+  kReject,  ///< fail fast with kUnavailable — never park the producer
+};
 
 /// System configuration.
 struct ImpConfig {
@@ -131,6 +140,50 @@ struct ImpConfig {
   /// the minimum valid_version across all sketch shards (no sketch will
   /// ever re-scan below it), bounding log growth on long-lived systems.
   bool truncate_delta_log = true;
+
+  // --- Fault handling & graceful degradation ------------------------------
+  // The failure posture throughout: sketches are a pure accelerator, so a
+  // faulty sketch degrades the query to a plain scan (bit-identical
+  // answer), never to an error or a wrong result; only the write path may
+  // surface kUnavailable (dead worker / full queue under kReject).
+
+  /// Failpoint spec armed at construction, same grammar as the
+  /// IMP_FAILPOINTS environment variable (common/failpoint.h):
+  /// "point=trigger;point=trigger". Empty = arm nothing.
+  std::string failpoints;
+  /// Injectable monotonic clock (milliseconds) driving maintenance retry
+  /// backoff deadlines. Unset = steady_clock. Maintenance NEVER sleeps on
+  /// this clock — a backing-off entry is simply skipped until its
+  /// deadline passes, so tests advance a fake clock instead of waiting.
+  std::function<uint64_t()> clock_ms;
+  /// Exponential backoff for failed maintenance of one sketch: the k-th
+  /// consecutive failure defers the next retry by
+  /// min(cap, base << (k - 1)) milliseconds. base 0 = retry immediately.
+  uint64_t maintenance_backoff_ms = 10;
+  uint64_t maintenance_backoff_cap_ms = 5000;
+  /// After this many consecutive failures, escalate from incremental
+  /// repair to a full FM-style recapture of the entry from base tables.
+  size_t recapture_after_failures = 3;
+  /// After this many consecutive failures, quarantine the entry: excluded
+  /// from maintenance, from log pinning and from lazy repair (queries
+  /// degrade to plain scans) until RepairQuarantined()/RepartitionTable.
+  size_t quarantine_after_failures = 5;
+  /// Full-queue behaviour of async Update(): block (default) or reject.
+  QueueFullPolicy queue_full_policy = QueueFullPolicy::kBlock;
+  /// kBlock only: maximum milliseconds a producer may wait for queue
+  /// space before kUnavailable. 0 = wait indefinitely (Close() still
+  /// wakes it if the worker dies).
+  uint64_t ingest_push_timeout_ms = 0;
+  /// Immediate retries of a transiently failing statement apply, taken
+  /// only while NOTHING of the statement was staged yet (a partially
+  /// staged apply is not idempotent — it dead-letters instead).
+  size_t ingest_retry_limit = 3;
+  /// Extra publication attempts the worker grants per touched table
+  /// before the publication is forced through (storage/database.h).
+  size_t publish_retry_limit = 8;
+  /// Poisoned statements kept for diagnosis; beyond this the oldest
+  /// dead letter is dropped (the count keeps climbing in stats).
+  size_t dead_letter_capacity = 64;
 };
 
 /// Wall-clock accounting split by pipeline stage.
@@ -167,6 +220,19 @@ struct ImpSystemStats {
                                    ///< touched table once per cycle)
   size_t ingest_batch_max = 0;     ///< largest statements-per-cycle drained
   double ingest_apply_seconds = 0; ///< worker time applying statements
+  // Fault-handling counters (Health() refreshes the snapshot-style ones).
+  size_t faults_injected = 0;       ///< failpoint fires since construction
+  size_t maintenance_retries = 0;   ///< rounds re-attempting a previously
+                                    ///< failed entry (post-backoff)
+  size_t sketches_quarantined = 0;  ///< entries that ENTERED quarantine
+                                    ///< (cumulative, not current count)
+  size_t degraded_queries = 0;      ///< queries answered by plain scan
+                                    ///< because their sketch was unhealthy
+  size_t dead_letter_size = 0;      ///< poisoned statements currently held
+  size_t ingest_retries = 0;        ///< statement apply retries taken
+  size_t ingest_dead_letters = 0;   ///< statements dead-lettered (lifetime)
+  size_t publish_retries = 0;       ///< worker publish cycles that needed
+                                    ///< retry or force
   double capture_seconds = 0;
   double maintain_seconds = 0;
   double query_seconds = 0;      ///< instrumented/plain query execution
@@ -177,6 +243,34 @@ struct ImpSystemStats {
            update_seconds + ingest_apply_seconds;
   }
   void Reset() { *this = ImpSystemStats{}; }
+};
+
+/// Point-in-time health snapshot of the pipeline (Health()). Safe to take
+/// concurrently with queries, updates and maintenance — each field is
+/// internally consistent; the set as a whole is advisory, not a fence.
+struct SystemHealth {
+  /// False once the async worker fail-stopped (crash failpoint or an
+  /// escaped exception); always true in synchronous mode. A dead worker
+  /// closes the queue: Update() returns kUnavailable, the READ path keeps
+  /// serving the last stable watermark.
+  bool ingest_worker_alive = true;
+  size_t ingest_queue_depth = 0;
+  size_t dead_letter_size = 0;
+  size_t sketches_fresh = 0;
+  size_t sketches_stale = 0;
+  size_t sketches_quarantined = 0;
+  size_t faults_injected = 0;        ///< failpoint fires since construction
+  std::string last_ingest_error;     ///< first deferred error ("" = none)
+};
+
+/// One statement the ingestion worker gave up on (poisoned): kept out of
+/// the pipeline so the watermark and the statements behind it keep
+/// flowing, retained here for diagnosis / manual replay.
+struct DeadLetter {
+  BoundUpdate update;
+  uint64_t version = 0;
+  uint64_t delete_version = 0;  ///< kUpdate only
+  std::string error;
 };
 
 /// Thread-safety contract: Update()/UpdateBound() may be called from many
@@ -227,7 +321,23 @@ class ImpSystem {
 
   /// Force maintenance of every stale sketch (flushes eager buffering).
   /// Proceeds shard by shard — readers of other shards are never blocked.
+  /// Reports the first entry-level failure (quarantined and backing-off
+  /// entries are skipped silently — their failures were already
+  /// reported by the round that recorded them).
   Status MaintainAll();
+
+  /// Point-in-time pipeline health; also refreshes the snapshot-style
+  /// stats fields (faults_injected, dead_letter_size).
+  SystemHealth Health();
+
+  /// Recapture every quarantined sketch from base tables and return it to
+  /// service (the explicit repair step quarantine waits for). Stop-the-
+  /// world like RepartitionTable. Returns the first recapture error;
+  /// entries that still fail stay quarantined.
+  Status RepairQuarantined();
+
+  /// Snapshot of the dead-letter store (poisoned async statements).
+  std::vector<DeadLetter> DeadLetters() const;
 
   /// Persist every sketch's incremental operator state into the backend's
   /// blob store and release the in-memory state (Sec. 2: eviction under
@@ -290,6 +400,15 @@ class ImpSystem {
   /// snapshot is republished before the round returns.
   Status MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
                              const ReadView& view);
+  /// Health bookkeeping for one failed maintenance of `entry` (caller
+  /// holds the entry's shard WRITE lock): records the failure, derives
+  /// the exponential-backoff deadline from `now`, escalates to an
+  /// FM-style recapture from base tables after
+  /// config.recapture_after_failures (reading through the round's pinned
+  /// `view`; success returns the entry to service on the spot), and
+  /// quarantines after config.quarantine_after_failures.
+  void RecordRoundFailureLocked(SketchEntry* entry, const Status& error,
+                                uint64_t now, const ReadView& view);
   /// MaintainAll body: per-shard write-locked rounds + truncation sweep.
   /// Caller holds the front-end lock (either side) and no shard lock.
   Status MaintainAllShards();
@@ -310,15 +429,38 @@ class ImpSystem {
   /// Allocate version(s) + enqueue; returns the ticket (async mode).
   Result<uint64_t> EnqueueUpdate(const BoundUpdate& update);
   /// Worker body: drain up to config.ingest_apply_batch statements per
-  /// cycle, stage each under its table's write stripe, publish every
-  /// touched table once, retire the versions in ticket order.
+  /// cycle, stage each under its table's write stripe (with bounded
+  /// retries / dead-lettering), publish every touched table once, retire
+  /// the versions in ticket order. Exits early only on a terminal fault
+  /// (crash failpoint), after fail-stopping and draining the queue.
   void IngestWorkerLoop();
+  /// One apply cycle over `batch` (see IngestWorkerLoop). Never throws:
+  /// per-statement exceptions are converted to that statement's Status.
+  void ApplyIngestBatch(const std::vector<IngestTask>& batch);
   /// Stage (apply without publishing) one statement under its table's
   /// write stripe; records the touched table in `touched` (first-touch
-  /// order) for the batch-end publication.
+  /// order) for the batch-end publication. Carries the `ingest.apply`
+  /// failpoint. `*staged_any` is set the moment the statement mutates
+  /// anything — a failure with it still false is safe to retry (nothing
+  /// to undo); with it true the statement must dead-letter (a partial
+  /// kUpdate re-applied would double its delete half).
   Status StageIngestTask(const IngestTask& task,
-                         std::vector<std::string>* touched);
+                         std::vector<std::string>* touched, bool* staged_any);
+  /// Record a poisoned statement in the dead-letter store (bounded by
+  /// config.dead_letter_capacity; lifetime count in stats).
+  void DeadLetterStatement(const IngestTask& task, const std::string& error);
+  /// Fail-stop the write path: record `error`, mark the worker dead and
+  /// close the queue (waking parked producers). Read path unaffected.
+  void TerminalIngestFailure(const Status& error);
+  /// Dead-letter + retire + TaskDone `batch` and everything still queued
+  /// (the dead worker's drain — WaitForIngest and producers never hang).
+  /// Only reached before anything of the batch was staged, so retiring
+  /// the versions is safe (nothing unpublished exists).
+  void DrainToDeadLetters(const std::vector<IngestTask>& batch,
+                          const Status& error);
   void StopIngestWorker();
+  /// Milliseconds on the backoff clock (config.clock_ms or steady_clock).
+  uint64_t NowMs() const;
   /// Worker pool for maintenance rounds, created on first use and reused
   /// across rounds (spawning/joining threads per round would dominate
   /// small rounds, especially under eager maintenance). Concurrent rounds
@@ -357,6 +499,15 @@ class ImpSystem {
   Status ingest_error_;  ///< first deferred async apply error
   std::unique_ptr<IngestionQueue<IngestTask>> ingest_queue_;
   std::thread ingest_worker_;
+  /// Set by TerminalIngestFailure; Update() then fails fast with
+  /// kUnavailable instead of enqueueing onto a queue nobody drains.
+  std::atomic<bool> ingest_worker_dead_{false};
+  /// Dead-letter store (leaf lock, like the stats mutexes).
+  mutable std::mutex dead_letter_mu_;
+  std::deque<DeadLetter> dead_letters_;
+  /// Registry-wide fire count at construction: stats_.faults_injected
+  /// reports fires SINCE this system was built, not process lifetime.
+  size_t faults_baseline_ = 0;
 };
 
 }  // namespace imp

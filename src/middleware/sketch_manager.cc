@@ -95,7 +95,10 @@ uint64_t SketchManager::MinValidVersion() const {
     for (const auto& [_, bucket] : shard->buckets) {
       for (const auto& entry : bucket) {
         // The working copy is stable under the shard's shared lock (its
-        // writers hold the exclusive side).
+        // writers hold the exclusive side). Quarantined entries repair by
+        // recapture, not log replay — they must not pin the log (see
+        // header).
+        if (entry->health == SketchHealth::kQuarantined) continue;
         if (entry->sketch.valid_version < min_valid) {
           min_valid = entry->sketch.valid_version;
         }
@@ -103,6 +106,29 @@ uint64_t SketchManager::MinValidVersion() const {
     }
   }
   return min_valid;
+}
+
+SketchManager::HealthTally SketchManager::TallyHealth() const {
+  HealthTally tally;
+  for (Shard* shard : Shards()) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const auto& [_, bucket] : shard->buckets) {
+      for (const auto& entry : bucket) {
+        switch (entry->health) {
+          case SketchHealth::kFresh:
+            ++tally.fresh;
+            break;
+          case SketchHealth::kStale:
+            ++tally.stale;
+            break;
+          case SketchHealth::kQuarantined:
+            ++tally.quarantined;
+            break;
+        }
+      }
+    }
+  }
+  return tally;
 }
 
 size_t SketchManager::MemoryBytes() const {

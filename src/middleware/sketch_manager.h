@@ -41,6 +41,18 @@
 
 namespace imp {
 
+/// Health of one managed sketch — the degradation ladder a faulty entry
+/// descends (and climbs back up) without ever affecting query answers:
+/// sketches only ever PRUNE work, so an unhealthy sketch degrades the
+/// query to a plain scan, never to a wrong result.
+enum class SketchHealth : uint8_t {
+  kFresh,        ///< maintaining normally
+  kStale,        ///< round(s) failed; retried under backoff, may escalate
+                 ///< to a recapture from base tables
+  kQuarantined,  ///< repeated failures; excluded from maintenance AND from
+                 ///< query use until an explicit repair
+};
+
 /// One managed sketch. In incremental mode the Maintainer owns the sketch
 /// and operator state; in full-maintenance mode only the sketch versions
 /// are kept and staleness triggers recapture. Sketches are treated as
@@ -64,6 +76,35 @@ struct SketchEntry {
   bool state_evicted = false;   ///< maintainer state lives in the backend
   ProvenanceSketch sketch;      ///< working copy (mirrors maintainer's)
   std::vector<ProvenanceSketch> history;  ///< retained past versions
+
+  // --- Health state machine (written under the shard WRITE lock) ----------
+  // kFresh --failure--> kStale --(recapture_after_failures)--> recapture
+  // attempt --(quarantine_after_failures)--> kQuarantined. Any maintenance
+  // success resets to kFresh. While kStale, retries wait out an
+  // exponential-backoff deadline on the middleware's injectable clock.
+  SketchHealth health = SketchHealth::kFresh;
+  size_t consecutive_failures = 0;  ///< since the last successful round
+  uint64_t retry_after_ms = 0;      ///< clock deadline for the next retry
+  std::string last_error;           ///< most recent failure (diagnostics)
+  size_t total_failures = 0;        ///< lifetime failure count (telemetry)
+
+  /// Record a failed maintenance round; the caller derives backoff and
+  /// escalation from the returned consecutive-failure count.
+  size_t RecordFailure(const std::string& error) {
+    if (health == SketchHealth::kFresh) health = SketchHealth::kStale;
+    ++total_failures;
+    last_error = error;
+    return ++consecutive_failures;
+  }
+
+  /// Record a successful round: the entry climbs back to kFresh and all
+  /// backoff state clears (fault-clear recovery needs no restart).
+  void RecordSuccess() {
+    health = SketchHealth::kFresh;
+    consecutive_failures = 0;
+    retry_after_ms = 0;
+    last_error.clear();
+  }
 
   uint64_t valid_version() const { return sketch.valid_version; }
 
@@ -152,8 +193,20 @@ class SketchManager {
   /// All entries.
   std::vector<SketchEntry*> AllEntries();
   /// Minimum valid_version across all entries (UINT64_MAX when the store
-  /// is empty) — the delta-log truncation watermark.
+  /// is empty) — the delta-log truncation watermark. Quarantined entries
+  /// are EXCLUDED: they repair by recapturing from base tables, never by
+  /// replaying the log, so they must not pin it (a wedged sketch holding
+  /// the log forever would turn one fault into unbounded memory growth).
   uint64_t MinValidVersion() const;
+
+  /// Per-state entry counts (one shared-locked walk; health fields are
+  /// stable under the shard's shared lock).
+  struct HealthTally {
+    size_t fresh = 0;
+    size_t stale = 0;
+    size_t quarantined = 0;
+  };
+  HealthTally TallyHealth() const;
 
   /// Drop every shard's unsketchable negative cache (the partition
   /// catalog changed). Caller excludes concurrent shard users (the

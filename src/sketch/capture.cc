@@ -1,5 +1,7 @@
 #include "sketch/capture.h"
 
+#include "common/failpoint.h"
+
 namespace imp {
 
 Result<ProvenanceSketch> CaptureEngine::Capture(const PlanPtr& plan,
@@ -10,6 +12,9 @@ Result<ProvenanceSketch> CaptureEngine::Capture(const PlanPtr& plan,
 
 Result<std::pair<Relation, ProvenanceSketch>> CaptureEngine::CaptureWithResult(
     const PlanPtr& plan, const ReadView* view) const {
+  // Fires before the annotated run: a failed capture leaves no sketch and
+  // no partial state — the caller falls back to plain execution.
+  IMP_FAILPOINT(kFpCapture);
   AnnotatedExecutor exec(
       db_,
       [this](const std::string& table, const Tuple& row, BitVector* out) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/failpoint.h"
+
 namespace imp {
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
@@ -108,7 +110,15 @@ Result<size_t> Database::StageDelete(
   return count;
 }
 
-void Database::PublishTable(std::string_view table) {
+Status Database::PublishTable(std::string_view table) {
+  // The failpoint sits BEFORE any mutation: a fired publication leaves the
+  // staged state untouched, so the caller's retry republishes cleanly.
+  IMP_FAILPOINT(kFpSnapshotPublish);
+  PublishTableUnchecked(table);
+  return Status::OK();
+}
+
+void Database::PublishTableUnchecked(std::string_view table) {
   Table* t = GetMutableTable(table);
   if (t == nullptr) return;
   // Deltas first: the snapshot's version stamp is the log's published
@@ -117,10 +127,29 @@ void Database::PublishTable(std::string_view table) {
   t->PublishSnapshot();
 }
 
+Status Database::PublishTableRetrying(std::string_view table,
+                                      size_t max_retries) {
+  Status first = PublishTable(table);
+  if (first.ok()) return first;
+  publish_faults_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t attempt = 0; attempt < max_retries; ++attempt) {
+    if (PublishTable(table).ok()) return first;
+    publish_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Retries exhausted: force the publication through (see header for why
+  // skipping it is never an option), leaving the fault visible in the
+  // counters and the returned status.
+  forced_publishes_.fetch_add(1, std::memory_order_relaxed);
+  PublishTableUnchecked(table);
+  return first;
+}
+
 void Database::PublishVersion(const std::string& table, uint64_t version) {
   // A failed statement may target a missing table: retire its version
-  // anyway so the stable watermark cannot stall behind it.
-  PublishTable(table);
+  // anyway so the stable watermark cannot stall behind it. The retrying
+  // publication guarantees the retire below never exposes a watermark
+  // whose data is still unpublished.
+  PublishTableRetrying(table, kSyncPublishRetries);
   RetireVersion(version);
 }
 

@@ -137,7 +137,29 @@ class Database {
   /// and swap in the next immutable TableSnapshot. Caller holds the
   /// table's write stripe. One call may cover several staged statements
   /// (the ingestion worker's batched apply publishes once per batch).
-  void PublishTable(std::string_view table);
+  /// Carries the `snapshot.publish` failpoint: a fired failpoint returns
+  /// non-OK WITHOUT publishing anything, so a retry is always clean. A
+  /// missing table publishes nothing and returns OK (failed statements
+  /// flow through here; see PublishVersion).
+  Status PublishTable(std::string_view table);
+
+  /// Publication with the system's failure policy baked in: retry the
+  /// failpoint-gated publish up to `max_retries` extra times, then FORCE
+  /// the publication. Skipping a publication is the one fault this design
+  /// cannot absorb — staged-but-unpublished state under an advancing
+  /// watermark would let a sketch fast-forward past rows it never saw
+  /// (breaking superset safety), and a permanently stalled watermark
+  /// livelocks OpenReadView. Publication is an in-memory pointer swap
+  /// that cannot genuinely fail, so transient faults retry and a
+  /// persistent fault is overridden, loudly: every failed attempt counts
+  /// in publish_faults(), every override in forced_publishes(). Returns
+  /// the first attempt's error (telemetry) — the publication itself has
+  /// ALWAYS completed when this returns.
+  Status PublishTableRetrying(std::string_view table, size_t max_retries);
+
+  /// Retry budget the synchronous Insert/Delete path grants its (forced)
+  /// publication; the asynchronous worker passes its configured budget.
+  static constexpr size_t kSyncPublishRetries = 4;
 
   /// Retire `version` in the version clock: the statement is fully applied
   /// and published, and the stable watermark advances once the version gap
@@ -193,6 +215,16 @@ class Database {
   /// in-flight ingestion writer (per-log writer mutex).
   void TruncateDeltaLogs(uint64_t version);
 
+  /// Failed publication attempts observed by PublishTableRetrying /
+  /// PublishVersion (injected or genuine), and the subset that exhausted
+  /// retries and forced the publication through. Fault telemetry.
+  size_t publish_faults() const {
+    return publish_faults_.load(std::memory_order_relaxed);
+  }
+  size_t forced_publishes() const {
+    return forced_publishes_.load(std::memory_order_relaxed);
+  }
+
   /// Key-value blob store used by the middleware to persist incremental
   /// operator state in the backend (Sec. 2: eviction / restart recovery).
   void PutStateBlob(const std::string& key, std::string blob) {
@@ -207,11 +239,16 @@ class Database {
   size_t MemoryBytes() const;
 
  private:
+  /// The actual publication work (deltas, then snapshot) — no failpoint.
+  void PublishTableUnchecked(std::string_view table);
+
   /// Transparent comparator: find() accepts string_views (heterogeneous
   /// lookup) so per-call key strings are never built on the hot path.
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
   VersionClock clock_;
   std::map<std::string, std::string> state_blobs_;
+  std::atomic<size_t> publish_faults_{0};
+  std::atomic<size_t> forced_publishes_{0};
 };
 
 }  // namespace imp

@@ -1,0 +1,673 @@
+// Fault-injection tests: failpoints (common/failpoint.h) and the graceful
+// degradation they force out of the ingest / maintenance / query pipeline.
+// The invariant under test everywhere: a sketch only ever PRUNES work, so
+// with ANY single failpoint active, queries still return results
+// bit-identical to the fault-free run (degraded to plain scans at worst),
+// nothing deadlocks or aborts, and clearing the fault restores accelerated
+// service without a restart.
+//
+// The CI fault suite runs this file under ASan/UBSan and TSan, plus an
+// environment-activation smoke: IMP_FAILPOINTS="maintain.round=once"
+// ./fault_injection_test --gtest_filter='*EnvActivation*'.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/ingestion_queue.h"
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+#include "middleware/imp_system.h"
+#include "test_util.h"
+
+namespace imp {
+namespace {
+
+// ---- Environment activation (must be FIRST: the fixture below resets the
+// process-global registry, which would disarm env-armed points) -------------
+
+// The CI smoke sets IMP_FAILPOINTS and runs exactly this test: the spec's
+// first point must have been armed by the registry's lazy env parse. With
+// the variable unset (the normal suite run) the test is skipped.
+TEST(FailpointEnvTest, EnvActivation) {
+  const char* spec = std::getenv("IMP_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') {
+    GTEST_SKIP() << "IMP_FAILPOINTS not set";
+  }
+  std::string first(spec);
+  first = first.substr(0, first.find(';'));
+  auto eq = first.find('=');
+  ASSERT_NE(eq, std::string::npos) << "malformed IMP_FAILPOINTS: " << spec;
+  std::string name = first.substr(0, eq);
+  std::string trigger = first.substr(eq + 1);
+  Failpoint& point = FailpointRegistry::Instance().GetOrCreate(name);
+  EXPECT_EQ(point.armed(), trigger != "off")
+      << "env spec did not arm '" << name << "'";
+}
+
+// ---- Helpers ---------------------------------------------------------------
+
+FailpointRegistry& Registry() { return FailpointRegistry::Instance(); }
+
+/// Isolation fixture: every case starts and ends with the process-global
+/// registry disarmed and its fire counts zeroed.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry().Reset(); }
+  void TearDown() override { Registry().Reset(); }
+};
+
+/// Fault-free reference: `sql` evaluated by the plain executor over `db`'s
+/// published state. Every degradation assertion compares against this.
+Relation RefResult(const Database& db, const std::string& sql) {
+  PlanPtr plan = MustBind(db, sql);
+  Executor exec(&db);
+  auto result = exec.Execute(plan);
+  IMP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Relation MustQuery(ImpSystem* system, const std::string& sql) {
+  auto result = system->Query(sql);
+  IMP_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result).value();
+}
+
+/// Incremental-mode sales system with the paper's price partition.
+ImpConfig SalesConfig() {
+  ImpConfig config;
+  config.mode = ExecutionMode::kIncremental;
+  config.strategy = MaintenanceStrategy::kLazy;
+  return config;
+}
+
+constexpr const char* kNewRow8 = "INSERT INTO sales VALUES (8,'HP',"
+                                 "'HP EliteBook 860 G9',1299,6)";
+
+// ---- Failpoint trigger modes ----------------------------------------------
+
+TEST_F(FaultInjectionTest, TriggerModes) {
+  Failpoint& fp = Registry().GetOrCreate("test.modes");
+
+  fp.Arm(Failpoint::Mode::kOnce);
+  EXPECT_TRUE(fp.ShouldFire());
+  EXPECT_FALSE(fp.ShouldFire());  // self-disarmed after the one shot
+  EXPECT_FALSE(fp.armed());
+  EXPECT_EQ(fp.fire_count(), 1u);
+
+  fp.Arm(Failpoint::Mode::kAlways);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fp.ShouldFire());
+  EXPECT_EQ(fp.fire_count(), 5u);  // Arm resets the counter
+
+  fp.Arm(Failpoint::Mode::kTimes, 3);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += fp.ShouldFire() ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(fp.armed());  // exhausted -> disarmed fast path again
+
+  fp.Arm(Failpoint::Mode::kNth, 3);  // every 3rd evaluation
+  std::vector<bool> pattern;
+  for (int i = 0; i < 9; ++i) pattern.push_back(fp.ShouldFire());
+  EXPECT_EQ(pattern, (std::vector<bool>{false, false, true, false, false,
+                                        true, false, false, true}));
+
+  fp.Disarm();
+  EXPECT_FALSE(fp.ShouldFire());
+}
+
+TEST_F(FaultInjectionTest, ProbTriggerIsSeededAndDeterministic) {
+  // Identical seeds -> identical fire sequences (what makes prob-mode CI
+  // runs reproducible); p=1 and p=0 are the degenerate anchors.
+  Failpoint& a = Registry().GetOrCreate("test.prob.a");
+  Failpoint& b = Registry().GetOrCreate("test.prob.b");
+  a.Arm(Failpoint::Mode::kProb, 1, 0.5, 1234);
+  b.Arm(Failpoint::Mode::kProb, 1, 0.5, 1234);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.ShouldFire(), b.ShouldFire());
+
+  a.Arm(Failpoint::Mode::kProb, 1, 1.0, 7);
+  b.Arm(Failpoint::Mode::kProb, 1, 0.0, 7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(a.ShouldFire());
+    EXPECT_FALSE(b.ShouldFire());
+  }
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecParsesAndRejects) {
+  ASSERT_TRUE(Registry().ArmFromSpec("").ok());  // empty spec = no-op
+  ASSERT_TRUE(
+      Registry().ArmFromSpec("test.spec.a=once;test.spec.b=nth:4").ok());
+  EXPECT_TRUE(Registry().GetOrCreate("test.spec.a").armed());
+  EXPECT_TRUE(Registry().GetOrCreate("test.spec.b").armed());
+  ASSERT_TRUE(Registry().ArmFromSpec("test.spec.a=off").ok());
+  EXPECT_FALSE(Registry().GetOrCreate("test.spec.a").armed());
+
+  EXPECT_FALSE(Registry().ArmFromSpec("test.spec.c").ok());  // no '='
+  EXPECT_FALSE(Registry().ArmFromSpec("test.spec.c=bogus").ok());
+  EXPECT_FALSE(Registry().ArmFromSpec("test.spec.c=times:x").ok());
+  EXPECT_FALSE(Registry().GetOrCreate("test.spec.c").armed());
+
+  // A malformed tail must not leave the head armed silently inconsistent:
+  // the head arms, the call still reports the failure.
+  EXPECT_FALSE(Registry().ArmFromSpec("test.spec.d=always;=oops").ok());
+
+  Registry().GetOrCreate("test.spec.b").ShouldFire();  // evaluations 1..
+  Registry().Reset();
+  EXPECT_FALSE(Registry().GetOrCreate("test.spec.b").armed());
+  EXPECT_EQ(Registry().TotalFired(), 0u);
+}
+
+TEST_F(FaultInjectionTest, RegistryCountersTrackFires) {
+  ASSERT_TRUE(Registry().ArmFromSpec("test.cnt.a=times:2;test.cnt.b=once").ok());
+  Failpoint& a = Registry().GetOrCreate("test.cnt.a");
+  Failpoint& b = Registry().GetOrCreate("test.cnt.b");
+  while (a.ShouldFire()) {
+  }
+  while (b.ShouldFire()) {
+  }
+  EXPECT_EQ(a.fire_count(), 2u);
+  EXPECT_EQ(b.fire_count(), 1u);
+  EXPECT_EQ(Registry().TotalFired(), 3u);
+  Registry().DisarmAll();
+  EXPECT_EQ(Registry().TotalFired(), 3u);  // DisarmAll keeps counts
+  bool found = false;
+  for (const auto& [name, count] : Registry().Counters()) {
+    if (name == "test.cnt.a") {
+      found = true;
+      EXPECT_EQ(count, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- ThreadPool / IngestionQueue hardening ---------------------------------
+
+TEST_F(FaultInjectionTest, ParallelForCapturesEscapedExceptions) {
+  ThreadPool pool(4);
+  Status st = pool.ParallelFor(16, [](size_t i) {
+    if (i == 5) throw std::runtime_error("boom at 5");
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("boom at 5"), std::string::npos);
+  // The pool survives: later rounds run normally.
+  std::atomic<size_t> ran{0};
+  EXPECT_TRUE(pool.ParallelFor(8, [&](size_t) { ++ran; }).ok());
+  EXPECT_EQ(ran.load(), 8u);
+}
+
+TEST_F(FaultInjectionTest, QueueTimedPushAndClose) {
+  IngestionQueue<int> queue(1);
+  ASSERT_EQ(queue.PushWithUntil([] { return 1; },
+                                std::chrono::milliseconds(0)),
+            QueuePushOutcome::kOk);
+  // kReject shape: zero budget reports kFull immediately, and the factory
+  // must NOT have run (no version leak on a rejected push).
+  bool made = false;
+  EXPECT_EQ(queue.PushWithUntil(
+                [&] {
+                  made = true;
+                  return 2;
+                },
+                std::chrono::milliseconds(0)),
+            QueuePushOutcome::kFull);
+  EXPECT_FALSE(made);
+  // Timed block: expires while full.
+  EXPECT_EQ(queue.PushWithUntil([] { return 2; },
+                                std::chrono::milliseconds(30)),
+            QueuePushOutcome::kFull);
+
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.PushWithUntil([] { return 3; }, std::nullopt),
+            QueuePushOutcome::kClosed);
+  // Close still delivers what was queued, then reports exhaustion.
+  auto item = queue.TryPop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 1);
+  queue.TaskDone();
+  EXPECT_FALSE(queue.Pop().has_value());
+  queue.WaitIdle();
+}
+
+TEST_F(FaultInjectionTest, QueueCloseWakesBlockedProducer) {
+  IngestionQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<int> outcome{-1};
+  std::thread producer([&] {
+    // No wait budget: parked until space or Close().
+    outcome.store(static_cast<int>(
+        queue.PushWithUntil([] { return 2; }, std::nullopt)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(outcome.load(), -1);  // still parked on the full queue
+  queue.Close();
+  producer.join();
+  EXPECT_EQ(outcome.load(), static_cast<int>(QueuePushOutcome::kClosed));
+}
+
+// ---- Capture failpoint: degraded capture heals on the next query -----------
+
+TEST_F(FaultInjectionTest, CaptureFaultDegradesQueryThenHeals) {
+  Database db;
+  LoadSalesExample(&db);
+  Relation expected = RefResult(db, kSalesQTop);
+
+  ImpConfig config = SalesConfig();
+  config.failpoints = "capture=once";  // armed through the config plumbing
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+
+  // Faulted capture: the query degrades to a plain scan — bit-identical
+  // answer, and the unsketchable verdict is NOT cached (transient fault).
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_EQ(system.stats().degraded_queries, 1u);
+  EXPECT_EQ(system.stats().sketch_captures, 0u);
+  EXPECT_GE(system.Health().faults_injected, 1u);
+
+  // The failpoint burned itself out: the very next query recaptures and
+  // accelerates — recovery without restart.
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_EQ(system.stats().sketch_captures, 1u);
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_GE(system.stats().sketch_uses, 1u);
+  EXPECT_EQ(system.stats().degraded_queries, 1u);  // no further degradation
+}
+
+// ---- Maintenance failpoint: lazy repair degrades, then re-accelerates ------
+
+TEST_F(FaultInjectionTest, MaintainFaultDegradesQueriesBitIdentical) {
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.maintenance_backoff_ms = 0;  // retry on every round (real clock)
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);  // capture
+  ASSERT_TRUE(system.Update(kNewRow8).ok());  // sketch now stale
+
+  ASSERT_TRUE(Registry().ArmFromSpec("maintain.round=always").ok());
+  Relation expected = RefResult(db, kSalesQTop);
+  // Lazy repair fails -> the query runs as a plain scan over the same
+  // pinned view. Answer identical, never an error.
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_GE(system.stats().degraded_queries, 1u);
+  EXPECT_EQ(system.Health().sketches_stale, 1u);
+
+  // Fault clears -> the next query repairs and re-accelerates in place.
+  Registry().DisarmAll();
+  size_t uses_before = system.stats().sketch_uses;
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_GT(system.stats().sketch_uses, uses_before);
+  EXPECT_EQ(system.Health().sketches_fresh, 1u);
+  EXPECT_EQ(system.Health().sketches_stale, 0u);
+}
+
+// ---- Backoff on the injectable clock ---------------------------------------
+
+TEST_F(FaultInjectionTest, BackoffDefersRetriesExponentiallyWithCap) {
+  uint64_t now = 1000;  // outlives the system (declared first)
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.clock_ms = [&now] { return now; };
+  config.maintenance_backoff_ms = 100;
+  config.maintenance_backoff_cap_ms = 300;
+  config.recapture_after_failures = 100;  // keep escalation out of this test
+  config.quarantine_after_failures = 200;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+
+  ASSERT_TRUE(Registry().ArmFromSpec("maintain.round=always").ok());
+  Failpoint& fp = Registry().GetOrCreate(kFpMaintainRound);
+
+  // Failure 1 at t=1000 -> next retry not before t+100.
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 1u);
+  EXPECT_TRUE(system.MaintainAll().ok());  // still t=1000: deferred, silent
+  EXPECT_EQ(fp.fire_count(), 1u);          // the entry was never attempted
+
+  now = 1100;  // deadline reached -> failure 2, backoff doubles to 200.
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 2u);
+  now = 1200;  // 100ms later: NOT enough any more (exponential growth).
+  EXPECT_TRUE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 2u);
+  now = 1300;  // failure 3; raw backoff 400 is clamped to the 300 cap.
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 3u);
+  now = 1599;
+  EXPECT_TRUE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 3u);
+  now = 1600;  // capped deadline reached
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 4u);
+  EXPECT_GE(system.stats().maintenance_retries, 3u);
+
+  // Fault clears: the next due round repairs and resets the entry.
+  Registry().DisarmAll();
+  now = 2000;
+  EXPECT_TRUE(system.MaintainAll().ok());
+  EXPECT_EQ(system.Health().sketches_fresh, 1u);
+  Relation expected = RefResult(db, kSalesQTop);
+  size_t uses_before = system.stats().sketch_uses;
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_GT(system.stats().sketch_uses, uses_before);
+}
+
+// ---- Escalation: repeated incremental failures recapture from base ---------
+
+TEST_F(FaultInjectionTest, EscalationRecapturesAfterRepeatedFailures) {
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.maintenance_backoff_ms = 0;
+  config.recapture_after_failures = 2;
+  config.quarantine_after_failures = 10;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+
+  // Only the incremental round faults; the capture path is healthy, so the
+  // escalation's rebuild-from-base succeeds.
+  ASSERT_TRUE(Registry().ArmFromSpec("maintain.round=always").ok());
+  EXPECT_FALSE(system.MaintainAll().ok());  // failure 1
+  EXPECT_EQ(system.Health().sketches_stale, 1u);
+  // Failure 2 reaches recapture_after_failures: the round still reports
+  // the failure, but the escalation rebuilt the entry on the spot.
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(system.Health().sketches_fresh, 1u);
+  EXPECT_EQ(system.Health().sketches_stale, 0u);
+  EXPECT_EQ(system.stats().sketch_captures, 2u);  // initial + escalation
+
+  // The rebuilt sketch serves queries (fast path, no maintenance, so the
+  // still-armed round failpoint is never reached).
+  Relation expected = RefResult(db, kSalesQTop);
+  size_t uses_before = system.stats().sketch_uses;
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_GT(system.stats().sketch_uses, uses_before);
+}
+
+// ---- Quarantine + explicit repair ------------------------------------------
+
+TEST_F(FaultInjectionTest, QuarantineExcludesEntryUntilRepaired) {
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.maintenance_backoff_ms = 0;
+  config.recapture_after_failures = 2;
+  config.quarantine_after_failures = 3;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+
+  // Both the incremental round AND the capture path fault: escalation
+  // cannot save the entry, so it descends the whole ladder.
+  ASSERT_TRUE(
+      Registry().ArmFromSpec("maintain.round=always;capture=always").ok());
+  EXPECT_FALSE(system.MaintainAll().ok());  // failure 1 -> stale
+  EXPECT_FALSE(system.MaintainAll().ok());  // failure 2 -> escalation fails
+  EXPECT_FALSE(system.MaintainAll().ok());  // failure 3 -> quarantined
+  EXPECT_EQ(system.Health().sketches_quarantined, 1u);
+  EXPECT_EQ(system.stats().sketches_quarantined, 1u);
+
+  // Quarantined entries sit rounds out (no further failpoint evaluations)
+  // and do not pin the delta log.
+  size_t fired = Registry().GetOrCreate(kFpMaintainRound).fire_count();
+  EXPECT_TRUE(system.MaintainAll().ok());
+  EXPECT_EQ(Registry().GetOrCreate(kFpMaintainRound).fire_count(), fired);
+  EXPECT_EQ(system.sketches().MinValidVersion(), UINT64_MAX);
+
+  // Queries degrade to plain scans — bit-identical, never an error.
+  Relation expected = RefResult(db, kSalesQTop);
+  size_t degraded_before = system.stats().degraded_queries;
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_GT(system.stats().degraded_queries, degraded_before);
+
+  // Fault clears -> the explicit repair recaptures and restores service
+  // in the same process.
+  Registry().Reset();
+  ASSERT_TRUE(system.RepairQuarantined().ok());
+  EXPECT_EQ(system.Health().sketches_quarantined, 0u);
+  EXPECT_EQ(system.Health().sketches_fresh, 1u);
+  size_t uses_before = system.stats().sketch_uses;
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+  EXPECT_GT(system.stats().sketch_uses, uses_before);
+}
+
+// ---- Ingest apply failpoint: transient retry and poisoned dead-letter ------
+
+TEST_F(FaultInjectionTest, IngestApplyTransientFaultIsRetried) {
+  Database db, ref;
+  LoadSalesExample(&db);
+  LoadSalesExample(&ref);
+  ImpConfig config = SalesConfig();
+  config.async_ingestion = true;
+  config.failpoints = "ingest.apply=once";
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+  ASSERT_TRUE(system.WaitForIngest().ok());  // retried, applied, no error
+  EXPECT_GE(system.stats().ingest_retries, 1u);
+  EXPECT_EQ(system.Health().dead_letter_size, 0u);
+
+  ASSERT_TRUE(ref.Insert("sales", {{Value::Int(8), Value::String("HP"),
+                                    Value::String("HP EliteBook 860 G9"),
+                                    Value::Int(1299), Value::Int(6)}})
+                  .ok());
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(RefResult(ref, kSalesQTop)));
+}
+
+TEST_F(FaultInjectionTest, IngestApplyPoisonedStatementDeadLetters) {
+  Database db, ref;
+  LoadSalesExample(&db);
+  LoadSalesExample(&ref);  // the poisoned statement never lands
+  ImpConfig config = SalesConfig();
+  config.async_ingestion = true;
+  config.ingest_retry_limit = 2;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+
+  ASSERT_TRUE(Registry().ArmFromSpec("ingest.apply=always").ok());
+  auto ticket = system.Update(kNewRow8);
+  ASSERT_TRUE(ticket.ok());  // the ticket is handed out before the apply
+  Status deferred = system.WaitForIngest();
+  ASSERT_FALSE(deferred.ok());
+  EXPECT_NE(deferred.ToString().find("failpoint fired: ingest.apply"),
+            std::string::npos);
+
+  // The statement is dead-lettered, its version retired: the watermark
+  // advances past it instead of wedging every future ReadView.
+  std::vector<DeadLetter> letters = system.DeadLetters();
+  ASSERT_EQ(letters.size(), 1u);
+  EXPECT_EQ(letters[0].update.table, "sales");
+  EXPECT_EQ(letters[0].version, ticket.value());
+  EXPECT_GE(db.StableVersion(), ticket.value());
+  EXPECT_EQ(system.stats().ingest_dead_letters, 1u);
+  EXPECT_EQ(system.Health().dead_letter_size, 1u);
+  EXPECT_TRUE(system.Health().ingest_worker_alive);  // poisoned != dead
+
+  // Queries serve the state WITHOUT the poisoned statement, bit-identical
+  // to a run that never saw it.
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(RefResult(ref, kSalesQTop)));
+
+  // Fault clears: the worker (still alive) applies new statements; only
+  // the sticky first-error of WaitForIngest remembers the incident.
+  Registry().DisarmAll();
+  ASSERT_TRUE(system
+                  .Update("INSERT INTO sales VALUES (9,'HP',"
+                          "'HP ZBook Fury',2499,3)")
+                  .ok());
+  EXPECT_FALSE(system.WaitForIngest().ok());  // sticky deferred error
+  ASSERT_TRUE(ref.Insert("sales", {{Value::Int(9), Value::String("HP"),
+                                    Value::String("HP ZBook Fury"),
+                                    Value::Int(2499), Value::Int(3)}})
+                  .ok());
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(RefResult(ref, kSalesQTop)));
+}
+
+// ---- Worker death: fail-stop without deadlock ------------------------------
+
+TEST_F(FaultInjectionTest, WorkerCrashFailStopsWithoutDeadlock) {
+  Database db;
+  LoadSalesExample(&db);
+  Relation expected = RefResult(db, kSalesQTop);
+  ImpConfig config = SalesConfig();
+  config.async_ingestion = true;
+  config.failpoints = "ingest.worker_crash=once";
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+
+  auto ticket = system.Update(kNewRow8);
+  ASSERT_TRUE(ticket.ok());  // enqueued before the worker died
+  // The drain barrier must return (with the death), never hang.
+  Status death = system.WaitForIngest();
+  ASSERT_FALSE(death.ok());
+  EXPECT_NE(death.ToString().find("worker_crash"), std::string::npos);
+
+  SystemHealth health = system.Health();
+  EXPECT_FALSE(health.ingest_worker_alive);
+  EXPECT_FALSE(health.last_ingest_error.empty());
+  EXPECT_EQ(health.dead_letter_size, 1u);  // the in-flight statement buried
+
+  // Producers fail fast with kUnavailable instead of parking forever.
+  auto rejected = system.Update(kNewRow8);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  // The watermark advanced past the buried ticket (versions retired), and
+  // the READ path keeps serving the last stable state.
+  EXPECT_GE(db.StableVersion(), ticket.value());
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+}
+
+// ---- Snapshot publication: retried, ultimately forced ----------------------
+
+TEST_F(FaultInjectionTest, PublishFaultIsRetriedThenForced) {
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config;
+  config.mode = ExecutionMode::kNoSketch;  // exercise the bare write path
+  ImpSystem system(&db, config);
+
+  // Transient: the single shot is absorbed by the retry loop.
+  ASSERT_TRUE(Registry().ArmFromSpec("snapshot.publish=once").ok());
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+  EXPECT_EQ(db.publish_faults(), 1u);
+  EXPECT_EQ(db.forced_publishes(), 0u);
+  Relation after_one = RefResult(db, kSalesQTop);
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(after_one));
+
+  // Persistent: publication is the one fault that may never win (a
+  // skipped publication under a retired version breaks superset safety),
+  // so after the retry budget it is forced through — the row is visible.
+  ASSERT_TRUE(Registry().ArmFromSpec("snapshot.publish=always").ok());
+  ASSERT_TRUE(system
+                  .Update("INSERT INTO sales VALUES (9,'HP',"
+                          "'HP ZBook Fury',2499,3)")
+                  .ok());
+  EXPECT_GE(db.forced_publishes(), 1u);
+  Registry().DisarmAll();
+  // The forced publication made the row visible despite the armed fault.
+  EXPECT_EQ(db.GetTable("sales")->Snapshot()->num_rows(), 9u);
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(RefResult(db, kSalesQTop)));
+}
+
+TEST_F(FaultInjectionTest, AsyncPublishFaultIsAbsorbedByWorker) {
+  Database db, ref;
+  LoadSalesExample(&db);
+  LoadSalesExample(&ref);
+  ImpConfig config = SalesConfig();
+  config.async_ingestion = true;
+  config.publish_retry_limit = 2;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+
+  ASSERT_TRUE(Registry().ArmFromSpec("snapshot.publish=always").ok());
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+  ASSERT_TRUE(system.WaitForIngest().ok());  // forced publication, no error
+  EXPECT_GE(system.stats().publish_retries, 1u);
+  EXPECT_GE(db.forced_publishes(), 1u);
+  Registry().DisarmAll();
+
+  ASSERT_TRUE(ref.Insert("sales", {{Value::Int(8), Value::String("HP"),
+                                    Value::String("HP EliteBook 860 G9"),
+                                    Value::Int(1299), Value::Int(6)}})
+                  .ok());
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(RefResult(ref, kSalesQTop)));
+}
+
+// ---- Queue-full policy at the system level ---------------------------------
+
+TEST_F(FaultInjectionTest, QueueFullPolicyRejectsOrTimesOut) {
+  // Deterministically wedge the worker: hold the sales write stripe so the
+  // popped statement blocks in StageIngestTask, then fill the queue.
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.async_ingestion = true;
+  config.ingest_queue_capacity = 1;
+  config.queue_full_policy = QueueFullPolicy::kReject;
+  ImpSystem system(&db, config);
+
+  auto stripe = db.WriteSession("sales");
+  ASSERT_TRUE(system.Update(kNewRow8).ok());  // popped, stuck on the stripe
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (system.Health().ingest_queue_depth != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(system.Health().ingest_queue_depth, 0u);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());  // fills the (capacity-1) queue
+  auto rejected = system.Update(kNewRow8);    // kReject: fail fast, no park
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status().ToString().find("queue full"),
+            std::string::npos);
+
+  stripe.unlock();
+  ASSERT_TRUE(system.WaitForIngest().ok());  // both accepted statements land
+
+  // kBlock + timeout: the producer waits, then gets the same verdict.
+  Database db2;
+  LoadSalesExample(&db2);
+  ImpConfig config2 = SalesConfig();
+  config2.async_ingestion = true;
+  config2.ingest_queue_capacity = 1;
+  config2.queue_full_policy = QueueFullPolicy::kBlock;
+  config2.ingest_push_timeout_ms = 40;
+  ImpSystem system2(&db2, config2);
+  auto stripe2 = db2.WriteSession("sales");
+  ASSERT_TRUE(system2.Update(kNewRow8).ok());
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (system2.Health().ingest_queue_depth != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(system2.Health().ingest_queue_depth, 0u);
+  ASSERT_TRUE(system2.Update(kNewRow8).ok());
+  auto start = std::chrono::steady_clock::now();
+  auto timed_out = system2.Update(kNewRow8);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            30);  // actually waited (tolerates coarse clocks)
+  stripe2.unlock();
+  ASSERT_TRUE(system2.WaitForIngest().ok());
+}
+
+}  // namespace
+}  // namespace imp
