@@ -17,6 +17,24 @@ void BitVector::Resize(size_t num_bits) {
   words_.resize((num_bits + 63) / 64, 0);
 }
 
+void BitVector::SetAll() {
+  if (num_bits_ == 0) return;
+  for (uint64_t& w : words_) w = ~uint64_t{0};
+  size_t tail = num_bits_ & 63;
+  if (tail != 0) words_.back() &= (uint64_t{1} << tail) - 1;
+}
+
+void BitVector::ClearAll() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+void BitVector::FlipAll() {
+  if (num_bits_ == 0) return;
+  for (uint64_t& w : words_) w = ~w;
+  size_t tail = num_bits_ & 63;
+  if (tail != 0) words_.back() &= (uint64_t{1} << tail) - 1;
+}
+
 size_t BitVector::Count() const {
   size_t c = 0;
   for (uint64_t w : words_) c += static_cast<size_t>(PopCount64(w));
@@ -62,6 +80,16 @@ bool BitVector::Intersects(const BitVector& other) const {
     if ((words_[i] & other.words_[i]) != 0) return true;
   }
   return false;
+}
+
+size_t BitVector::CountAnd(const BitVector& other) const {
+  size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                 : other.words_.size();
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c += static_cast<size_t>(PopCount64(words_[i] & other.words_[i]));
+  }
+  return c;
 }
 
 std::vector<size_t> BitVector::SetBits() const {

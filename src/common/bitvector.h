@@ -26,6 +26,14 @@ class BitVector {
   /// Grow to at least `num_bits` (new bits are zero).
   void Resize(size_t num_bits);
 
+  /// Set every addressable bit (trailing word bits beyond num_bits() stay
+  /// zero, preserving the equality/hash contract on trailing words).
+  void SetAll();
+  /// Clear every bit without changing the addressable size.
+  void ClearAll();
+  /// Flip every addressable bit in place (tail bits stay zero).
+  void FlipAll();
+
   void Set(size_t i) {
     IMP_DCHECK(i < num_bits_);
     words_[i >> 6] |= (uint64_t{1} << (i & 63));
@@ -54,8 +62,26 @@ class BitVector {
   /// True iff some bit is set in both.
   bool Intersects(const BitVector& other) const;
 
+  /// Popcount of the bitwise AND with `other`, without materializing a
+  /// temporary vector. Sizes may differ; missing words count as zero.
+  size_t CountAnd(const BitVector& other) const;
+
   /// Indices of all set bits, ascending.
   std::vector<size_t> SetBits() const;
+
+  /// Invoke `fn(index)` for every set bit, ascending, via word scan + ctz.
+  /// The batch kernels' compaction loop: no temporary index vector.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
 
   /// Bytes used by the word storage (Fig. 18 accounting).
   size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }

@@ -34,4 +34,30 @@ bool BloomFilter::MayContainHash(uint64_t hash) const {
   return true;
 }
 
+void BloomFilter::MayContainHashes(const uint64_t* hashes, size_t n,
+                                   BitVector* out) const {
+  out->Resize(n);
+  out->ClearAll();
+  // One fused pass, the conjunction inlined: probe 0 needs only the
+  // primary hash, so the secondary hash — which MayContainHash derives up
+  // front for every key — is computed only for rows surviving the first
+  // probe. The per-row early exit mirrors the single-probe conjunction
+  // exactly, so the result is bit-identical by construction.
+  for (size_t r = 0; r < n; ++r) {
+    const uint64_t h1 = hashes[r];
+    uint64_t bit = h1 % num_bits_;
+    if (((words_[bit >> 6] >> (bit & 63)) & 1) == 0) continue;
+    const uint64_t h2 = HashInt64(h1);
+    bool hit = true;
+    for (int i = 1; i < num_hashes_; ++i) {
+      bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+      if (((words_[bit >> 6] >> (bit & 63)) & 1) == 0) {
+        hit = false;
+        break;
+      }
+    }
+    if (hit) out->Set(r);
+  }
+}
+
 }  // namespace imp

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitvector.h"
+
 namespace imp {
 
 /// Standard k-hash bloom filter with double hashing.
@@ -22,6 +24,12 @@ class BloomFilter {
   void AddHash(uint64_t hash);
   /// Membership test for a pre-hashed key (may return false positives).
   bool MayContainHash(uint64_t hash) const;
+
+  /// Batched probe: `out` is resized to `n` and bit i is set iff
+  /// MayContainHash(hashes[i]) — bit-identical to the single probe, one
+  /// call per batch instead of per row.
+  void MayContainHashes(const uint64_t* hashes, size_t n,
+                        BitVector* out) const;
 
   size_t num_bits() const { return num_bits_; }
   int num_hashes() const { return num_hashes_; }

@@ -33,6 +33,20 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+/// Column-batch hashing: fold one key column's element hashes into the
+/// running per-row key hashes, `(*inout)[i] = HashCombine((*inout)[i],
+/// elem_hash(i))`. Seeding `inout` with the key seed and folding each key
+/// column in order is bit-identical to the row-at-a-time
+/// `HashCombine(h, row[col].Hash())` loop, but walks one column at a time
+/// so only referenced columns are touched.
+template <typename ElemHash, typename Vec>
+inline void HashColumnBatch(size_t num_rows, ElemHash&& elem_hash,
+                            Vec* inout) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    (*inout)[i] = HashCombine((*inout)[i], elem_hash(i));
+  }
+}
+
 }  // namespace imp
 
 #endif  // IMP_COMMON_HASH_H_

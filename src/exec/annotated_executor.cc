@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/vector_kernels.h"
 #include "exec/zone_filter.h"
 
 namespace imp {
@@ -45,9 +46,20 @@ Result<AnnotatedRelation> AnnotatedExecutor::ExecScan(const ScanNode& node) cons
   AnnotatedRelation out;
   out.schema = node.output_schema();
   auto filter = node.filter();
+  PredicateKernel kernel;
+  if (filter && vectorized_) kernel = PredicateKernel::Compile(filter);
   auto bound = bindings_.find(node.table());
   if (bound != bindings_.end()) {
-    for (const AnnotatedRow& r : bound->second->rows) {
+    const std::vector<AnnotatedRow>& rows = bound->second->rows;
+    if (filter && vectorized_) {
+      BitVector sel;
+      kernel.Eval(RowBlock::FromMember(rows, &AnnotatedRow::row), &sel,
+                  &scan_stats_.vectorized_batches,
+                  &scan_stats_.scalar_fallback_rows);
+      sel.ForEachSetBit([&](size_t i) { out.rows.push_back(rows[i]); });
+      return out;
+    }
+    for (const AnnotatedRow& r : rows) {
       if (!filter || filter->Eval(r.row).IsTrue()) out.rows.push_back(r);
     }
     return out;
@@ -65,7 +77,27 @@ Result<AnnotatedRelation> AnnotatedExecutor::ExecScan(const ScanNode& node) cons
   }
   out.rows.reserve(snap->num_rows());
   for (const auto& chunk : snap->chunks()) {
-    if (filter && !ChunkMayMatch(*filter, *chunk)) continue;  // zone map skip
+    if (filter && !ChunkMayMatch(*filter, *chunk)) {
+      ++scan_stats_.chunks_skipped;  // zone map skip
+      continue;
+    }
+    ++scan_stats_.chunks_scanned;
+    scan_stats_.rows_scanned += chunk->num_rows();
+    if (filter && vectorized_) {
+      // Kernel path: filter the whole chunk column-at-a-time, then
+      // materialize and annotate only the surviving rows.
+      BitVector sel;
+      kernel.Eval(RowBlock::FromChunk(*chunk), &sel,
+                  &scan_stats_.vectorized_batches,
+                  &scan_stats_.scalar_fallback_rows);
+      sel.ForEachSetBit([&](size_t r) {
+        AnnotatedRow ar;
+        ar.row = chunk->GetRow(r);
+        if (annotator_) annotator_(node.table(), ar.row, &ar.sketch);
+        out.rows.push_back(std::move(ar));
+      });
+      continue;
+    }
     for (size_t r = 0; r < chunk->num_rows(); ++r) {
       Tuple row = chunk->GetRow(r);
       if (filter && !filter->Eval(row).IsTrue()) continue;
@@ -83,6 +115,16 @@ Result<AnnotatedRelation> AnnotatedExecutor::ExecSelect(
   IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, Execute(node.child()));
   AnnotatedRelation out;
   out.schema = node.output_schema();
+  if (vectorized_) {
+    PredicateKernel kernel = PredicateKernel::Compile(node.predicate());
+    BitVector sel;
+    kernel.Eval(RowBlock::FromMember(in.rows, &AnnotatedRow::row), &sel,
+                &scan_stats_.vectorized_batches,
+                &scan_stats_.scalar_fallback_rows);
+    sel.ForEachSetBit(
+        [&](size_t i) { out.rows.push_back(std::move(in.rows[i])); });
+    return out;
+  }
   for (AnnotatedRow& r : in.rows) {
     if (node.predicate()->Eval(r.row).IsTrue()) out.rows.push_back(std::move(r));
   }

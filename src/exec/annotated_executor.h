@@ -70,6 +70,14 @@ class AnnotatedExecutor {
 
   Result<AnnotatedRelation> Execute(const PlanPtr& plan) const;
 
+  /// Scan/filter counters (zone skips + kernel-vs-fallback path), matching
+  /// Executor::scan_stats().
+  const ScanStats& scan_stats() const { return scan_stats_; }
+
+  /// Toggle the batch kernel path (on by default; see Executor).
+  void set_vectorized(bool v) { vectorized_ = v; }
+  bool vectorized() const { return vectorized_; }
+
  private:
   Result<AnnotatedRelation> ExecScan(const ScanNode& node) const;
   Result<AnnotatedRelation> ExecSelect(const SelectNode& node) const;
@@ -83,6 +91,8 @@ class AnnotatedExecutor {
   RowAnnotator annotator_;
   const ReadView* view_;  ///< pinned snapshots; nullptr = latest published
   std::map<std::string, const AnnotatedRelation*> bindings_;
+  bool vectorized_ = true;
+  mutable ScanStats scan_stats_;
 };
 
 }  // namespace imp

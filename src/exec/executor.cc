@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/vector_kernels.h"
 #include "exec/zone_filter.h"
 
 namespace imp {
@@ -111,9 +112,20 @@ Result<Relation> Executor::ExecScan(const ScanNode& node) const {
   Relation out;
   out.schema = node.output_schema();
   auto filter = node.filter();
+  PredicateKernel kernel;
+  if (filter && vectorized_) kernel = PredicateKernel::Compile(filter);
   auto bound = bindings_.find(node.table());
   if (bound != bindings_.end()) {
-    for (const Tuple& row : bound->second->rows) {
+    const std::vector<Tuple>& rows = bound->second->rows;
+    if (filter && vectorized_) {
+      BitVector sel;
+      kernel.Eval(RowBlock::FromTuples(rows.data(), rows.size()), &sel,
+                  &scan_stats_.vectorized_batches,
+                  &scan_stats_.scalar_fallback_rows);
+      sel.ForEachSetBit([&](size_t i) { out.rows.push_back(rows[i]); });
+      return out;
+    }
+    for (const Tuple& row : rows) {
       if (!filter || filter->Eval(row).IsTrue()) out.rows.push_back(row);
     }
     return out;
@@ -139,6 +151,16 @@ Result<Relation> Executor::ExecScan(const ScanNode& node) const {
     }
     ++scan_stats_.chunks_scanned;
     scan_stats_.rows_scanned += chunk->num_rows();
+    if (filter && vectorized_) {
+      // Kernel path: evaluate the predicate column-at-a-time into a
+      // selection bitvector, then materialize only the surviving rows.
+      BitVector sel;
+      kernel.Eval(RowBlock::FromChunk(*chunk), &sel,
+                  &scan_stats_.vectorized_batches,
+                  &scan_stats_.scalar_fallback_rows);
+      sel.ForEachSetBit([&](size_t r) { out.rows.push_back(chunk->GetRow(r)); });
+      continue;
+    }
     for (size_t r = 0; r < chunk->num_rows(); ++r) {
       Tuple row = chunk->GetRow(r);
       if (!filter || filter->Eval(row).IsTrue()) {
@@ -153,6 +175,16 @@ Result<Relation> Executor::ExecSelect(const SelectNode& node) const {
   IMP_ASSIGN_OR_RETURN(Relation in, Execute(node.child()));
   Relation out;
   out.schema = node.output_schema();
+  if (vectorized_) {
+    PredicateKernel kernel = PredicateKernel::Compile(node.predicate());
+    BitVector sel;
+    kernel.Eval(RowBlock::FromTuples(in.rows.data(), in.rows.size()), &sel,
+                &scan_stats_.vectorized_batches,
+                &scan_stats_.scalar_fallback_rows);
+    sel.ForEachSetBit(
+        [&](size_t i) { out.rows.push_back(std::move(in.rows[i])); });
+    return out;
+  }
   for (Tuple& row : in.rows) {
     if (node.predicate()->Eval(row).IsTrue()) out.rows.push_back(std::move(row));
   }

@@ -32,11 +32,16 @@ struct Relation {
   bool SameBag(const Relation& other) const;
 };
 
-/// Scan-level counters: chunks skipped via zone maps vs scanned.
+/// Scan-level counters: chunks skipped via zone maps vs scanned, and which
+/// evaluation path filtered the surviving chunks (see exec/vector_kernels).
 struct ScanStats {
   size_t chunks_scanned = 0;
   size_t chunks_skipped = 0;
   size_t rows_scanned = 0;
+  /// Batches whose predicate (or a compiled part of it) ran as a kernel.
+  size_t vectorized_batches = 0;
+  /// Rows the scalar Expr::Eval fallback had to inspect.
+  size_t scalar_fallback_rows = 0;
 };
 
 /// Executes plans against a Database plus optional name-bound relations.
@@ -66,6 +71,12 @@ class Executor {
   /// Counters accumulated across Execute calls.
   const ScanStats& scan_stats() const { return scan_stats_; }
 
+  /// Toggle the batch kernel path (on by default). Scalar mode is the
+  /// bit-identical reference the equivalence tests and benches compare
+  /// against; results never differ.
+  void set_vectorized(bool v) { vectorized_ = v; }
+  bool vectorized() const { return vectorized_; }
+
  private:
   Result<Relation> ExecScan(const ScanNode& node) const;
   Result<Relation> ExecSelect(const SelectNode& node) const;
@@ -78,6 +89,7 @@ class Executor {
   const Database* db_;
   const ReadView* view_;  ///< pinned snapshots; nullptr = latest published
   std::map<std::string, const Relation*> bindings_;
+  bool vectorized_ = true;
   mutable ScanStats scan_stats_;
 };
 

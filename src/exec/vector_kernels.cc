@@ -1,0 +1,561 @@
+#include "exec/vector_kernels.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace imp {
+
+// ---- Compiled tree --------------------------------------------------------
+
+struct KernelNode {
+  enum class Kind : uint8_t {
+    kConst,     // constant boolean (folded literals, null-literal compares)
+    kCmp,       // column <op> literal
+    kBetween,   // literal <= column <= literal (inclusive, SQL BETWEEN)
+    kRangeSet,  // column IN union of sorted disjoint [lo, hi] ranges —
+                // the IN-partition-bucket shape of use-rewrite predicates
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  struct Range {
+    Value lo;
+    Value hi;
+  };
+
+  Kind kind;
+  bool const_val = false;        // kConst
+  BinaryOp op = BinaryOp::kEq;   // kCmp
+  size_t col = 0;                // kCmp / kBetween / kRangeSet
+  Value lit;                     // kCmp literal / kBetween lo
+  Value lit_hi;                  // kBetween hi
+  std::vector<Range> ranges;     // kRangeSet (sorted by lo, disjoint)
+  std::vector<std::unique_ptr<KernelNode>> children;  // kAnd / kOr / kNot
+};
+
+namespace {
+
+using NodePtr = std::unique_ptr<KernelNode>;
+
+NodePtr MakeConst(bool v) {
+  auto n = std::make_unique<KernelNode>();
+  n->kind = KernelNode::Kind::kConst;
+  n->const_val = v;
+  return n;
+}
+
+/// l <op> r  <=>  r <mirror(op)> l, for the lit-op-col orientation.
+BinaryOp MirrorCmp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool ApplyCmp(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNe: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+NodePtr MakeCmp(BinaryOp op, size_t col, const Value& lit) {
+  // A NULL literal makes every comparison false (SQL UNKNOWN-as-false).
+  if (lit.is_null()) return MakeConst(false);
+  auto n = std::make_unique<KernelNode>();
+  n->kind = KernelNode::Kind::kCmp;
+  n->op = op;
+  n->col = col;
+  n->lit = lit;
+  return n;
+}
+
+NodePtr CompileNode(const Expr& e);
+
+void FlattenSameOp(const Expr& e, BinaryOp op, std::vector<const Expr*>* out) {
+  if (e.kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(e);
+    if (bin.op() == op) {
+      FlattenSameOp(*bin.left(), op, out);
+      FlattenSameOp(*bin.right(), op, out);
+      return;
+    }
+  }
+  out->push_back(&e);
+}
+
+NodePtr FoldAnd(std::vector<NodePtr> children) {
+  std::vector<NodePtr> kept;
+  for (NodePtr& c : children) {
+    if (c->kind == KernelNode::Kind::kConst) {
+      if (!c->const_val) return MakeConst(false);
+      continue;  // TRUE conjunct is a no-op
+    }
+    kept.push_back(std::move(c));
+  }
+  if (kept.empty()) return MakeConst(true);
+  if (kept.size() == 1) return std::move(kept[0]);
+  auto n = std::make_unique<KernelNode>();
+  n->kind = KernelNode::Kind::kAnd;
+  n->children = std::move(kept);
+  return n;
+}
+
+/// Extract a [lo, hi] range when `c` tests one column against constants:
+/// `col = lit` or `col BETWEEN lo AND hi`. Empty (lo > hi) ranges were
+/// already folded to constants by the compiler.
+bool AsRange(const KernelNode& c, size_t* col, KernelNode::Range* out) {
+  if (c.kind == KernelNode::Kind::kCmp && c.op == BinaryOp::kEq) {
+    *col = c.col;
+    out->lo = c.lit;
+    out->hi = c.lit;
+    return true;
+  }
+  if (c.kind == KernelNode::Kind::kBetween) {
+    *col = c.col;
+    out->lo = c.lit;
+    out->hi = c.lit_hi;
+    return true;
+  }
+  return false;
+}
+
+NodePtr FoldOr(std::vector<NodePtr> children) {
+  std::vector<NodePtr> kept;
+  for (NodePtr& c : children) {
+    if (c->kind == KernelNode::Kind::kConst) {
+      if (c->const_val) return MakeConst(true);
+      continue;  // FALSE disjunct is a no-op
+    }
+    kept.push_back(std::move(c));
+  }
+  if (kept.empty()) return MakeConst(false);
+
+  // Fuse equality/BETWEEN disjuncts over one column into a sorted
+  // range-set probed by binary search — one search per row instead of k
+  // range tests. This is the fan-out shape the sketch use-rewrite emits
+  // (one BETWEEN per selected partition fragment).
+  std::vector<NodePtr> rest;
+  std::vector<std::pair<size_t, KernelNode::Range>> range_terms;
+  for (NodePtr& c : kept) {
+    size_t col;
+    KernelNode::Range r;
+    if (AsRange(*c, &col, &r)) {
+      range_terms.emplace_back(col, std::move(r));
+    } else {
+      rest.push_back(std::move(c));
+    }
+  }
+  // Group ranges per column; fuse columns with >= 2 ranges, keep singles.
+  std::stable_sort(range_terms.begin(), range_terms.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < range_terms.size();) {
+    size_t j = i;
+    while (j < range_terms.size() && range_terms[j].first == range_terms[i].first) ++j;
+    if (j - i == 1) {
+      const KernelNode::Range& r = range_terms[i].second;
+      if (r.lo == r.hi) {
+        rest.push_back(MakeCmp(BinaryOp::kEq, range_terms[i].first, r.lo));
+      } else {
+        auto n = std::make_unique<KernelNode>();
+        n->kind = KernelNode::Kind::kBetween;
+        n->col = range_terms[i].first;
+        n->lit = r.lo;
+        n->lit_hi = r.hi;
+        rest.push_back(std::move(n));
+      }
+    } else {
+      std::vector<KernelNode::Range> ranges;
+      for (size_t k = i; k < j; ++k) ranges.push_back(std::move(range_terms[k].second));
+      std::sort(ranges.begin(), ranges.end(),
+                [](const KernelNode::Range& a, const KernelNode::Range& b) {
+                  return a.lo.Compare(b.lo) < 0;
+                });
+      // Merge overlapping [lo, hi] spans so the probe's ranges are disjoint.
+      std::vector<KernelNode::Range> merged;
+      for (KernelNode::Range& r : ranges) {
+        if (!merged.empty() && r.lo.Compare(merged.back().hi) <= 0) {
+          if (merged.back().hi.Compare(r.hi) < 0) merged.back().hi = std::move(r.hi);
+        } else {
+          merged.push_back(std::move(r));
+        }
+      }
+      auto n = std::make_unique<KernelNode>();
+      n->kind = KernelNode::Kind::kRangeSet;
+      n->col = range_terms[i].first;
+      n->ranges = std::move(merged);
+      rest.push_back(std::move(n));
+    }
+    i = j;
+  }
+
+  if (rest.size() == 1) return std::move(rest[0]);
+  auto n = std::make_unique<KernelNode>();
+  n->kind = KernelNode::Kind::kOr;
+  n->children = std::move(rest);
+  return n;
+}
+
+/// Compile one (sub)expression into a kernel node, or nullptr when the
+/// shape is unsupported (column-vs-column compares, arithmetic, truthy
+/// column tests, ...): those fall back to scalar Expr::Eval.
+NodePtr CompileNode(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral:
+      return MakeConst(static_cast<const LiteralExpr&>(e).value().IsTrue());
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(e);
+      if (bin.op() == BinaryOp::kAnd || bin.op() == BinaryOp::kOr) {
+        std::vector<const Expr*> terms;
+        FlattenSameOp(e, bin.op(), &terms);
+        std::vector<NodePtr> children;
+        children.reserve(terms.size());
+        for (const Expr* t : terms) {
+          NodePtr c = CompileNode(*t);
+          if (!c) return nullptr;  // a disjunct cannot be split off; punt
+          children.push_back(std::move(c));
+        }
+        return bin.op() == BinaryOp::kAnd ? FoldAnd(std::move(children))
+                                          : FoldOr(std::move(children));
+      }
+      if (!IsComparison(bin.op())) return nullptr;
+      const Expr& l = *bin.left();
+      const Expr& r = *bin.right();
+      if (l.kind() == ExprKind::kColumnRef && r.kind() == ExprKind::kLiteral) {
+        return MakeCmp(bin.op(), static_cast<const ColumnRefExpr&>(l).index(),
+                       static_cast<const LiteralExpr&>(r).value());
+      }
+      if (l.kind() == ExprKind::kLiteral && r.kind() == ExprKind::kColumnRef) {
+        return MakeCmp(MirrorCmp(bin.op()),
+                       static_cast<const ColumnRefExpr&>(r).index(),
+                       static_cast<const LiteralExpr&>(l).value());
+      }
+      if (l.kind() == ExprKind::kLiteral && r.kind() == ExprKind::kLiteral) {
+        const Value& lv = static_cast<const LiteralExpr&>(l).value();
+        const Value& rv = static_cast<const LiteralExpr&>(r).value();
+        if (lv.is_null() || rv.is_null()) return MakeConst(false);
+        return MakeConst(ApplyCmp(bin.op(), lv.Compare(rv)));
+      }
+      return nullptr;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op() != UnaryOp::kNot) return nullptr;
+      NodePtr c = CompileNode(*u.child());
+      if (!c) return nullptr;
+      if (c->kind == KernelNode::Kind::kConst) return MakeConst(!c->const_val);
+      auto n = std::make_unique<KernelNode>();
+      n->kind = KernelNode::Kind::kNot;
+      n->children.push_back(std::move(c));
+      return n;
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(e);
+      if (b.input()->kind() != ExprKind::kColumnRef ||
+          b.lo()->kind() != ExprKind::kLiteral ||
+          b.hi()->kind() != ExprKind::kLiteral) {
+        return nullptr;
+      }
+      const Value& lo = static_cast<const LiteralExpr&>(*b.lo()).value();
+      const Value& hi = static_cast<const LiteralExpr&>(*b.hi()).value();
+      if (lo.is_null() || hi.is_null()) return MakeConst(false);
+      if (lo.Compare(hi) > 0) return MakeConst(false);  // empty range
+      auto n = std::make_unique<KernelNode>();
+      n->kind = KernelNode::Kind::kBetween;
+      n->col = static_cast<const ColumnRefExpr&>(*b.input()).index();
+      n->lit = lo;
+      n->lit_hi = hi;
+      return n;
+    }
+    default:
+      return nullptr;  // bare column refs stay scalar (truthy-value tests)
+  }
+}
+
+void FlattenConjunctPtrs(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(*expr);
+    if (bin.op() == BinaryOp::kAnd) {
+      FlattenConjunctPtrs(bin.left(), out);
+      FlattenConjunctPtrs(bin.right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+// ---- Kernel evaluation ----------------------------------------------------
+
+/// Leaf loops templated over the column accessor so the columnar case
+/// iterates a raw Value array and the row-major case strides over tuples.
+template <typename At>
+void EvalCmpLoop(const KernelNode& node, size_t n, const At& at,
+                 BitVector* out) {
+  const Value& lit = node.lit;
+  const BinaryOp op = node.op;
+  if (lit.is_int()) {
+    // Int literals dominate the workloads; compare in-register when the
+    // column value is an int too (identical to Value::Compare int/int).
+    const int64_t lv = lit.AsInt();
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = at(i);
+      int c;
+      if (v.is_int()) {
+        const int64_t a = v.AsInt();
+        c = a < lv ? -1 : (a > lv ? 1 : 0);
+      } else if (v.is_null()) {
+        continue;  // NULL compares to false
+      } else {
+        c = v.Compare(lit);
+      }
+      if (ApplyCmp(op, c)) out->Set(i);
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = at(i);
+    if (v.is_null()) continue;
+    if (ApplyCmp(op, v.Compare(lit))) out->Set(i);
+  }
+}
+
+template <typename At>
+void EvalBetweenLoop(const KernelNode& node, size_t n, const At& at,
+                     BitVector* out) {
+  const Value& lo = node.lit;
+  const Value& hi = node.lit_hi;
+  if (lo.is_int() && hi.is_int()) {
+    const int64_t lv = lo.AsInt(), hv = hi.AsInt();
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = at(i);
+      if (v.is_int()) {
+        const int64_t a = v.AsInt();
+        if (a >= lv && a <= hv) out->Set(i);
+      } else if (!v.is_null() && lo.Compare(v) <= 0 && v.Compare(hi) <= 0) {
+        out->Set(i);
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = at(i);
+    if (v.is_null()) continue;
+    if (lo.Compare(v) <= 0 && v.Compare(hi) <= 0) out->Set(i);
+  }
+}
+
+/// Last range whose lo <= v (ranges are sorted and disjoint), then one
+/// upper-bound test.
+inline bool RangeSetContains(const std::vector<KernelNode::Range>& ranges,
+                             const Value& v) {
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), v,
+      [](const Value& val, const KernelNode::Range& r) {
+        return val.Compare(r.lo) < 0;
+      });
+  if (it == ranges.begin()) return false;
+  --it;
+  return v.Compare(it->hi) <= 0;
+}
+
+template <typename At>
+void EvalRangeSetLoop(const KernelNode& node, size_t n, const At& at,
+                      BitVector* out) {
+  const std::vector<KernelNode::Range>& ranges = node.ranges;
+  bool all_int = true;
+  for (const KernelNode::Range& r : ranges) {
+    if (!r.lo.is_int() || !r.hi.is_int()) {
+      all_int = false;
+      break;
+    }
+  }
+  if (all_int) {
+    // The common partition-bucket shape: a small sorted set of int ranges.
+    // Unbox the bounds once per batch; a linear probe with early break
+    // beats binary search at these sizes and runs entirely on int64s.
+    std::vector<std::pair<int64_t, int64_t>> spans;
+    spans.reserve(ranges.size());
+    for (const KernelNode::Range& r : ranges) {
+      spans.emplace_back(r.lo.AsInt(), r.hi.AsInt());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = at(i);
+      if (v.is_int()) {
+        const int64_t a = v.AsInt();
+        for (const std::pair<int64_t, int64_t>& s : spans) {
+          if (a < s.first) break;  // sorted: no later span can match
+          if (a <= s.second) {
+            out->Set(i);
+            break;
+          }
+        }
+      } else if (!v.is_null() && RangeSetContains(ranges, v)) {
+        // Mixed-type column (e.g. doubles vs int bounds): per-row generic
+        // probe, numerically identical to Value::Compare ordering.
+        out->Set(i);
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = at(i);
+    if (v.is_null()) continue;
+    if (RangeSetContains(ranges, v)) out->Set(i);
+  }
+}
+
+template <typename At>
+void EvalLeaf(const KernelNode& node, size_t n, const At& at, BitVector* out) {
+  switch (node.kind) {
+    case KernelNode::Kind::kCmp:
+      EvalCmpLoop(node, n, at, out);
+      return;
+    case KernelNode::Kind::kBetween:
+      EvalBetweenLoop(node, n, at, out);
+      return;
+    case KernelNode::Kind::kRangeSet:
+      EvalRangeSetLoop(node, n, at, out);
+      return;
+    default:
+      IMP_DCHECK(false);
+  }
+}
+
+/// Evaluate `node` over the whole block. `out` has block.num_rows() bits,
+/// all zero on entry; matching rows get their bit set.
+void EvalNode(const KernelNode& node, const RowBlock& block, BitVector* out) {
+  const size_t n = block.num_rows();
+  switch (node.kind) {
+    case KernelNode::Kind::kConst:
+      if (node.const_val) out->SetAll();
+      return;
+    case KernelNode::Kind::kAnd: {
+      EvalNode(*node.children[0], block, out);
+      BitVector scratch(n);
+      for (size_t i = 1; i < node.children.size(); ++i) {
+        if (out->None()) return;  // conjunction already empty
+        scratch.ClearAll();
+        EvalNode(*node.children[i], block, &scratch);
+        out->IntersectWith(scratch);
+      }
+      return;
+    }
+    case KernelNode::Kind::kOr: {
+      BitVector scratch(n);
+      for (const NodePtr& c : node.children) {
+        scratch.ClearAll();
+        EvalNode(*c, block, &scratch);
+        out->UnionWith(scratch);
+      }
+      return;
+    }
+    case KernelNode::Kind::kNot:
+      EvalNode(*node.children[0], block, out);
+      out->FlipAll();
+      return;
+    default:
+      if (block.columnar()) {
+        const Value* col = block.chunk()->column(node.col).data();
+        EvalLeaf(node, n,
+                 [col](size_t i) -> const Value& { return col[i]; }, out);
+      } else {
+        const size_t c = node.col;
+        EvalLeaf(node, n,
+                 [&block, c](size_t i) -> const Value& { return block.row(i)[c]; },
+                 out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+// ---- PredicateKernel ------------------------------------------------------
+
+PredicateKernel::PredicateKernel() = default;
+PredicateKernel::~PredicateKernel() = default;
+PredicateKernel::PredicateKernel(PredicateKernel&&) noexcept = default;
+PredicateKernel& PredicateKernel::operator=(PredicateKernel&&) noexcept =
+    default;
+
+PredicateKernel PredicateKernel::Compile(const ExprPtr& expr) {
+  PredicateKernel k;
+  k.expr_ = expr;
+  if (!expr) return k;
+
+  // Split the top-level conjunction: compiled conjuncts run as kernels,
+  // the rest re-conjoin into a scalar remainder evaluated on survivors.
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjunctPtrs(expr, &conjuncts);
+  std::vector<NodePtr> compiled;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c : conjuncts) {
+    NodePtr node = CompileNode(*c);
+    if (node) {
+      compiled.push_back(std::move(node));
+    } else {
+      residual.push_back(c);
+    }
+  }
+  if (!compiled.empty()) k.root_ = FoldAnd(std::move(compiled));
+  if (!residual.empty()) {
+    k.scalar_ = residual.size() == 1 ? residual[0]
+                                     : MakeConjunction(std::move(residual));
+    std::vector<size_t> cols;
+    k.scalar_->CollectColumns(&cols);
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    k.scalar_width_ = cols.empty() ? 0 : cols.back() + 1;
+    k.scalar_cols_ = std::move(cols);
+  }
+  return k;
+}
+
+void PredicateKernel::Eval(const RowBlock& block, BitVector* sel,
+                           size_t* vectorized_batches,
+                           size_t* scalar_fallback_rows) const {
+  const size_t n = block.num_rows();
+  *sel = BitVector(n);
+  if (!expr_) {
+    sel->SetAll();
+    return;
+  }
+  if (root_) {
+    EvalNode(*root_, block, sel);
+    if (vectorized_batches) ++*vectorized_batches;
+  } else {
+    sel->SetAll();
+  }
+  if (!scalar_) return;
+
+  // Scalar remainder on surviving rows only. For columnar blocks only the
+  // referenced columns are materialized into a scratch tuple (unreferenced
+  // positions stay NULL — Expr::Eval never reads them).
+  size_t tested = 0;
+  if (block.columnar()) {
+    const DataChunk& chunk = *block.chunk();
+    Tuple scratch(scalar_width_);
+    sel->ForEachSetBit([&](size_t r) {
+      for (size_t c : scalar_cols_) scratch[c] = chunk.At(r, c);
+      ++tested;
+      if (!scalar_->Eval(scratch).IsTrue()) sel->Reset(r);
+    });
+  } else {
+    sel->ForEachSetBit([&](size_t r) {
+      ++tested;
+      if (!scalar_->Eval(block.row(r)).IsTrue()) sel->Reset(r);
+    });
+  }
+  if (scalar_fallback_rows) *scalar_fallback_rows += tested;
+}
+
+}  // namespace imp

@@ -132,9 +132,13 @@ AnnotatedDelta AnnotateImpl(TableDeltaRef&& delta,
   constexpr bool kConsume = !std::is_lvalue_reference<TableDeltaRef>::value;
   AnnotatedDelta out;
   out.rows.reserve(delta.records.size());
+  // Resolve the table's partition once for the whole batch; each record
+  // then costs one binary search over just the partition column (no
+  // catalog map lookup per row). Bit-identical to AnnotateRow.
+  const TableAnnotator annot = catalog.ResolveAnnotator(delta.table);
   for (auto& rec : delta.records) {
     BitVector sketch;
-    catalog.AnnotateRow(delta.table, rec.row, &sketch);
+    annot.AnnotateRow(rec.row, &sketch);
     if constexpr (kConsume) {
       out.Append(std::move(rec.row), std::move(sketch), rec.mult);
     } else {

@@ -83,6 +83,12 @@ struct MaintainStats {
   size_t deltas_borrowed = 0;        ///< borrowed views served by IncScan
   size_t deltas_materialized = 0;    ///< borrowed -> owned materializations
   size_t rows_copied = 0;            ///< rows deep-copied by materialization
+  // Batch-kernel accounting (exec/vector_kernels): batches whose predicate
+  // ran (at least partly) through compiled column kernels, and rows the
+  // scalar Expr::Eval fallback had to inspect. vectorized_batches == 0 on
+  // a filtered workload means the kernel path never engaged.
+  size_t vectorized_batches = 0;
+  size_t scalar_fallback_rows = 0;
 
   void Reset() { *this = MaintainStats{}; }
 };
@@ -212,6 +218,31 @@ class DeltaBatch {
     size_t kept = 0;
     for (size_t i = 0; i < rows.size(); ++i) {
       if (!pred(rows[i])) continue;
+      if (kept != i) rows[kept] = std::move(rows[i]);
+      ++kept;
+    }
+    rows.resize(kept);
+    return std::move(*this);
+  }
+
+  /// Restrict the batch to visible rows whose bit is set in `keep`, a
+  /// bitmap over the BASE rows (borrowed) / the stored rows (owned) — the
+  /// batch-kernel twin of Filter(pred): the kernels evaluate a predicate
+  /// over all base rows into one bitmap and this intersects it with the
+  /// current selection. Identical to Filter for pure predicates (a row is
+  /// kept iff visible AND pred). Borrowed stays borrowed; owned compacts
+  /// in place preserving order.
+  DeltaBatch FilterWithMask(const BitVector& keep) && {
+    if (borrowed()) {
+      BitVector refined = keep;
+      refined.Resize(base_->size());
+      if (has_selection_) refined.IntersectWith(selection_);
+      return BorrowedFiltered(base_, std::move(refined));
+    }
+    std::vector<AnnotatedDeltaRow>& rows = owned_.rows;
+    size_t kept = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!keep.Test(i)) continue;
       if (kept != i) rows[kept] = std::move(rows[i]);
       ++kept;
     }

@@ -2,7 +2,15 @@
 
 #include <unordered_map>
 
+#include "common/hash.h"
+
 namespace imp {
+
+namespace {
+/// Seed of IncJoin::KeyHash; keep the two in sync so the batched and the
+/// row-at-a-time hash are bit-identical.
+constexpr uint64_t kJoinKeySeed = 0x2545f4914f6cdd1dULL;
+}  // namespace
 
 IncJoin::IncJoin(std::unique_ptr<IncOperator> left,
                  std::unique_ptr<IncOperator> right, PlanPtr left_plan,
@@ -45,7 +53,7 @@ IncJoin::IncJoin(std::unique_ptr<IncOperator> left,
 }
 
 uint64_t IncJoin::KeyHash(const Tuple& row, bool left_side) const {
-  uint64_t h = 0x2545f4914f6cdd1dULL;
+  uint64_t h = kJoinKeySeed;
   for (const auto& [lc, rc] : keys_) {
     h = HashCombine(h, row[left_side ? lc : rc].Hash());
   }
@@ -60,7 +68,12 @@ Result<AnnotatedRelation> IncJoin::EvalSide(const PlanPtr& side_plan,
         catalog_->AnnotateRow(table, row, out);
       },
       view);
-  return exec.Execute(side_plan);
+  exec.set_vectorized(options_.vectorized);
+  Result<AnnotatedRelation> result = exec.Execute(side_plan);
+  // Fold the delegated capture's kernel counters into this maintainer.
+  stats_->vectorized_batches += exec.scan_stats().vectorized_batches;
+  stats_->scalar_fallback_rows += exec.scan_stats().scalar_fallback_rows;
+  return result;
 }
 
 void IncJoin::EmitJoined(const Tuple& l, const BitVector& lsk, const Tuple& r,
@@ -137,6 +150,27 @@ Result<AnnotatedRelation> IncJoin::Build(const DeltaContext& ctx) {
 
 DeltaBatch IncJoin::PruneByBloom(DeltaBatch delta, const BloomFilter& filter,
                                  bool left_side) {
+  if (options_.vectorized && !delta.empty()) {
+    // Batched probe: fold each key column into the hash lane column-at-a-
+    // time (same seed/fold order as KeyHash, so bit-identical), then one
+    // MayContainHashes call yields the keep bitmap over the base rows.
+    const std::vector<AnnotatedDeltaRow>& rows =
+        delta.borrowed() ? delta.base()->rows : delta.owned().rows;
+    std::vector<uint64_t> hashes(rows.size(), kJoinKeySeed);
+    for (const auto& kp : keys_) {
+      const size_t col = left_side ? kp.first : kp.second;
+      HashColumnBatch(
+          rows.size(), [&](size_t i) { return rows[i].row[col].Hash(); },
+          &hashes);
+    }
+    BitVector keep;
+    filter.MayContainHashes(hashes.data(), hashes.size(), &keep);
+    ++stats_->vectorized_batches;
+    const size_t before = delta.size();
+    DeltaBatch out = std::move(delta).FilterWithMask(keep);
+    stats_->bloom_pruned_rows += before - out.size();
+    return out;
+  }
   size_t pruned = 0;
   DeltaBatch out =
       std::move(delta).Filter([&](const AnnotatedDeltaRow& r) {

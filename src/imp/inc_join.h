@@ -28,6 +28,10 @@ class IncJoin final : public IncOperator {
  public:
   struct Options {
     bool use_bloom = true;  ///< enable the Sec. 7.2 bloom-filter pruning
+    /// Batched bloom probing: hash the delta's key columns column-at-a-time
+    /// (HashColumnBatch) and probe the filter with one MayContainHashes
+    /// call instead of a per-row MayContainHash. Bit-identical pruning.
+    bool vectorized = true;
   };
 
   IncJoin(std::unique_ptr<IncOperator> left, std::unique_ptr<IncOperator> right,

@@ -2,6 +2,9 @@
 
 #include <map>
 
+#include "exec/zone_filter.h"
+#include "sketch/partition.h"
+
 namespace imp {
 
 size_t IncOperator::TotalStateBytes() const {
@@ -27,14 +30,17 @@ Status IncOperator::LoadTree(SerdeReader* reader) {
 
 IncScan::IncScan(std::string table, ExprPtr filter, const Database* db,
                  const PartitionCatalog* catalog, Schema schema,
-                 MaintainStats* stats)
+                 MaintainStats* stats, bool vectorized)
     : IncOperator({}),
       table_(std::move(table)),
       filter_(std::move(filter)),
       db_(db),
       catalog_(catalog),
       schema_(std::move(schema)),
-      stats_(stats) {}
+      stats_(stats),
+      vectorized_(vectorized) {
+  if (vectorized_ && filter_) kernel_ = PredicateKernel::Compile(filter_);
+}
 
 Result<AnnotatedRelation> IncScan::Build(const DeltaContext& ctx) {
   AnnotatedRelation out;
@@ -50,11 +56,32 @@ Result<AnnotatedRelation> IncScan::Build(const DeltaContext& ctx) {
     snap = pinned.get();
   }
   out.rows.reserve(snap->num_rows());
+  // Resolve the table's partition once; per-row annotation then touches
+  // only the partition column (bit-identical to catalog_->AnnotateRow).
+  const TableAnnotator annot = catalog_->ResolveAnnotator(table_);
+  if (vectorized_) {
+    // Chunk-at-a-time capture: zone-map pruning in front of the compiled
+    // kernel, then materialize + annotate only the surviving rows.
+    for (const auto& chunk : snap->chunks()) {
+      if (filter_ && !ChunkMayMatch(*filter_, *chunk)) continue;
+      BitVector sel;
+      kernel_.Eval(RowBlock::FromChunk(*chunk), &sel,
+                   stats_ ? &stats_->vectorized_batches : nullptr,
+                   stats_ ? &stats_->scalar_fallback_rows : nullptr);
+      sel.ForEachSetBit([&](size_t r) {
+        AnnotatedRow ar;
+        ar.row = chunk->GetRow(r);
+        annot.AnnotateRow(ar.row, &ar.sketch);
+        out.rows.push_back(std::move(ar));
+      });
+    }
+    return out;
+  }
   snap->ForEachRow([&](const Tuple& row) {
     if (filter_ && !filter_->Eval(row).IsTrue()) return;
     AnnotatedRow ar;
     ar.row = row;
-    catalog_->AnnotateRow(table_, row, &ar.sketch);
+    annot.AnnotateRow(row, &ar.sketch);
     out.rows.push_back(std::move(ar));
   });
   return out;
@@ -70,6 +97,15 @@ Result<DeltaBatch> IncScan::Process(const DeltaContext& ctx) {
   ++stats_->deltas_borrowed;
   DeltaBatch out = in->View();
   if (!filter_) return out;
+  if (vectorized_) {
+    // View() always yields a borrowed batch, so evaluate the kernel over
+    // the base rows in one pass and intersect with the current selection.
+    BitVector keep;
+    kernel_.Eval(RowBlock::FromMember(out.base()->rows, &AnnotatedDeltaRow::row),
+                 &keep, stats_ ? &stats_->vectorized_batches : nullptr,
+                 stats_ ? &stats_->scalar_fallback_rows : nullptr);
+    return std::move(out).FilterWithMask(keep);
+  }
   return std::move(out).Filter([&](const AnnotatedDeltaRow& r) {
     return filter_->Eval(r.row).IsTrue();
   });
@@ -77,18 +113,32 @@ Result<DeltaBatch> IncScan::Process(const DeltaContext& ctx) {
 
 // ---- IncSelect --------------------------------------------------------------
 
-IncSelect::IncSelect(std::unique_ptr<IncOperator> child, ExprPtr predicate)
+IncSelect::IncSelect(std::unique_ptr<IncOperator> child, ExprPtr predicate,
+                     MaintainStats* stats, bool vectorized)
     : IncOperator([&] {
         std::vector<std::unique_ptr<IncOperator>> c;
         c.push_back(std::move(child));
         return c;
       }()),
-      predicate_(std::move(predicate)) {}
+      predicate_(std::move(predicate)),
+      stats_(stats),
+      vectorized_(vectorized) {
+  if (vectorized_) kernel_ = PredicateKernel::Compile(predicate_);
+}
 
 Result<AnnotatedRelation> IncSelect::Build(const DeltaContext& ctx) {
   IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
   AnnotatedRelation out;
   out.schema = in.schema;
+  if (vectorized_) {
+    BitVector sel;
+    kernel_.Eval(RowBlock::FromMember(in.rows, &AnnotatedRow::row), &sel,
+                 stats_ ? &stats_->vectorized_batches : nullptr,
+                 stats_ ? &stats_->scalar_fallback_rows : nullptr);
+    sel.ForEachSetBit(
+        [&](size_t i) { out.rows.push_back(std::move(in.rows[i])); });
+    return out;
+  }
   for (AnnotatedRow& r : in.rows) {
     if (predicate_->Eval(r.row).IsTrue()) out.rows.push_back(std::move(r));
   }
@@ -99,6 +149,15 @@ Result<DeltaBatch> IncSelect::Process(const DeltaContext& ctx) {
   IMP_ASSIGN_OR_RETURN(DeltaBatch in, children_[0]->Process(ctx));
   // Borrowed input stays borrowed (bitmap refinement); owned input is
   // filtered in place. Either way: no row copies.
+  if (vectorized_) {
+    const std::vector<AnnotatedDeltaRow>& rows =
+        in.borrowed() ? in.base()->rows : in.owned().rows;
+    BitVector keep;
+    kernel_.Eval(RowBlock::FromMember(rows, &AnnotatedDeltaRow::row), &keep,
+                 stats_ ? &stats_->vectorized_batches : nullptr,
+                 stats_ ? &stats_->scalar_fallback_rows : nullptr);
+    return std::move(in).FilterWithMask(keep);
+  }
   return std::move(in).Filter([&](const AnnotatedDeltaRow& r) {
     return predicate_->Eval(r.row).IsTrue();
   });

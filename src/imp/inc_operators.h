@@ -11,6 +11,7 @@
 #include "common/serde.h"
 #include "common/status.h"
 #include "exec/annotated_executor.h"
+#include "exec/vector_kernels.h"
 #include "expr/expr.h"
 #include "imp/delta.h"
 #include "sketch/sketch.h"
@@ -68,7 +69,7 @@ class IncScan final : public IncOperator {
  public:
   IncScan(std::string table, ExprPtr filter, const Database* db,
           const PartitionCatalog* catalog, Schema schema,
-          MaintainStats* stats);
+          MaintainStats* stats, bool vectorized = true);
 
   Result<AnnotatedRelation> Build(const DeltaContext&) override;
   Result<DeltaBatch> Process(const DeltaContext& ctx) override;
@@ -80,18 +81,24 @@ class IncScan final : public IncOperator {
   const PartitionCatalog* catalog_;
   Schema schema_;
   MaintainStats* stats_;
+  bool vectorized_;
+  PredicateKernel kernel_;  ///< compiled once from filter_ (when vectorized)
 };
 
 /// Incremental selection (Sec. 5.2.3): stateless filter on delta tuples.
 class IncSelect final : public IncOperator {
  public:
-  IncSelect(std::unique_ptr<IncOperator> child, ExprPtr predicate);
+  IncSelect(std::unique_ptr<IncOperator> child, ExprPtr predicate,
+            MaintainStats* stats = nullptr, bool vectorized = true);
 
   Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
   Result<DeltaBatch> Process(const DeltaContext& ctx) override;
 
  private:
   ExprPtr predicate_;
+  MaintainStats* stats_;
+  bool vectorized_;
+  PredicateKernel kernel_;  ///< compiled once from predicate_
 };
 
 /// Incremental projection (Sec. 5.2.2): stateless per-tuple mapping; the

@@ -51,13 +51,14 @@ std::unique_ptr<IncOperator> Maintainer::BuildOperator(const PlanPtr& plan) {
     case PlanKind::kScan: {
       const auto& scan = static_cast<const ScanNode&>(*plan);
       return std::make_unique<IncScan>(scan.table(), scan.filter(), db_,
-                                       catalog_, scan.output_schema(),
-                                       &stats_);
+                                       catalog_, scan.output_schema(), &stats_,
+                                       options_.vectorized_kernels);
     }
     case PlanKind::kSelect: {
       const auto& node = static_cast<const SelectNode&>(*plan);
       return std::make_unique<IncSelect>(BuildOperator(node.child()),
-                                         node.predicate());
+                                         node.predicate(), &stats_,
+                                         options_.vectorized_kernels);
     }
     case PlanKind::kProject: {
       const auto& node = static_cast<const ProjectNode&>(*plan);
@@ -68,6 +69,7 @@ std::unique_ptr<IncOperator> Maintainer::BuildOperator(const PlanPtr& plan) {
       const auto& node = static_cast<const JoinNode&>(*plan);
       IncJoin::Options jopts;
       jopts.use_bloom = options_.bloom_filters;
+      jopts.vectorized = options_.vectorized_kernels;
       return std::make_unique<IncJoin>(
           BuildOperator(node.left()), BuildOperator(node.right()),
           node.left(), node.right(), node.keys(), node.residual(), db_,

@@ -31,6 +31,10 @@ struct MaintainerOptions {
   bool selection_pushdown = true;  ///< Sec. 7.2 delta pre-filtering
   size_t minmax_buffer = 0;        ///< top-l buffer for min/max (0 = all)
   size_t topk_buffer = 0;          ///< top-l buffer for top-k (0 = all)
+  /// Batch-at-a-time predicate kernels + batched bloom probing in the
+  /// operator chain (exec/vector_kernels). Off = row-at-a-time Expr::Eval
+  /// everywhere; results are bit-identical either way.
+  bool vectorized_kernels = true;
 };
 
 /// Incremental maintenance procedure for one query's sketch.

@@ -364,6 +364,8 @@ Result<Relation> ImpSystem::ExecutePlain(const PlanPtr& plan) {
   Result<Relation> result = exec.Execute(plan);
   std::lock_guard<std::mutex> stats(stats_mu_);
   stats_.query_seconds += SecondsSince(start);
+  stats_.vectorized_batches += exec.scan_stats().vectorized_batches;
+  stats_.scalar_fallback_rows += exec.scan_stats().scalar_fallback_rows;
   return result;
 }
 
@@ -426,6 +428,8 @@ Result<Relation> ImpSystem::AnswerWithEntry(SketchManager::Shard& shard,
       Result<Relation> result = exec.Execute(rewritten);
       std::lock_guard<std::mutex> stats(stats_mu_);
       stats_.query_seconds += SecondsSince(start);
+      stats_.vectorized_batches += exec.scan_stats().vectorized_batches;
+      stats_.scalar_fallback_rows += exec.scan_stats().scalar_fallback_rows;
       if (result.ok()) {
         ++stats_.sketch_uses;
         ++stats_.snapshot_reads;
@@ -465,6 +469,8 @@ Result<Relation> ImpSystem::AnswerWithEntry(SketchManager::Shard& shard,
     Result<Relation> result = exec.Execute(plan);
     std::lock_guard<std::mutex> stats(stats_mu_);
     stats_.query_seconds += SecondsSince(start);
+    stats_.vectorized_batches += exec.scan_stats().vectorized_batches;
+    stats_.scalar_fallback_rows += exec.scan_stats().scalar_fallback_rows;
     ++stats_.degraded_queries;
     return result;
   }
@@ -477,6 +483,8 @@ Result<Relation> ImpSystem::AnswerWithEntry(SketchManager::Shard& shard,
   Result<Relation> result = exec.Execute(rewritten);
   std::lock_guard<std::mutex> stats(stats_mu_);
   stats_.query_seconds += SecondsSince(start);
+  stats_.vectorized_batches += exec.scan_stats().vectorized_batches;
+  stats_.scalar_fallback_rows += exec.scan_stats().scalar_fallback_rows;
   if (result.ok()) ++stats_.sketch_uses;
   return result;
 }
@@ -1041,6 +1049,8 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
     size_t borrowed_before = 0;
     size_t materialized_before = 0;
     size_t copied_before = 0;
+    size_t vectorized_before = 0;
+    size_t fallback_before = 0;
   };
   std::vector<Item> items;
   items.reserve(entries.size());
@@ -1076,6 +1086,8 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
       item.borrowed_before = mstats.deltas_borrowed;
       item.materialized_before = mstats.deltas_materialized;
       item.copied_before = mstats.rows_copied;
+      item.vectorized_before = mstats.vectorized_batches;
+      item.fallback_before = mstats.scalar_fallback_rows;
     }
     items.push_back(item);
   }
@@ -1185,6 +1197,10 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
         stats_.deltas_materialized +=
             mstats.deltas_materialized - items[i].materialized_before;
         stats_.rows_copied += mstats.rows_copied - items[i].copied_before;
+        stats_.vectorized_batches +=
+            mstats.vectorized_batches - items[i].vectorized_before;
+        stats_.scalar_fallback_rows +=
+            mstats.scalar_fallback_rows - items[i].fallback_before;
       }
     }
     if (shared) {
@@ -1192,6 +1208,8 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
       stats_.delta_scans += bstats.delta_scans;
       stats_.annotation_passes += bstats.annotation_passes;
       stats_.annotation_hits += bstats.annotation_hits;
+      stats_.vectorized_batches += bstats.vectorized_batches;
+      stats_.scalar_fallback_rows += bstats.scalar_fallback_rows;
     } else if (incremental) {
       // Per-sketch fetch: every stale entry re-scanned each of its
       // referenced tables and re-annotated the non-empty post-push-down

@@ -210,6 +210,14 @@ struct ImpSystemStats {
   size_t deltas_borrowed = 0;
   size_t deltas_materialized = 0;
   size_t rows_copied = 0;
+  // Batch-kernel roll-up (exec/vector_kernels; see README "Execution
+  // model"): batches whose predicate ran through a compiled column kernel,
+  // and rows that fell back to row-at-a-time Expr::Eval (uncompilable
+  // predicate shapes). Summed over maintenance rounds (per-maintainer
+  // MaintainStats diffs + the shared push-down bitmaps) and query
+  // execution.
+  size_t vectorized_batches = 0;
+  size_t scalar_fallback_rows = 0;
   // Asynchronous ingestion counters. In async mode update_seconds measures
   // ENQUEUE latency (what the writer observes); the apply cost moves to
   // the worker and is reported separately.

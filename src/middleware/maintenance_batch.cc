@@ -1,5 +1,7 @@
 #include "middleware/maintenance_batch.h"
 
+#include "exec/vector_kernels.h"
+
 namespace imp {
 
 void MaintenanceBatch::Prefetch(std::string_view table,
@@ -44,7 +46,7 @@ DeltaContext MaintenanceBatch::ContextFor(const Maintainer& maintainer) {
     const AnnotatedDelta* shared =
         GetOrFetch(table, from_version, /*count_hit=*/true);
     if (shared->empty()) continue;  // mirrors MaintainFromBackend's skip
-    auto pred = maintainer.DeltaPredicate(table);
+    ExprPtr pred = maintainer.DeltaPredicateExpr(table);
     if (!pred) {
       // No push-down: borrow the whole shared delta. Zero copies — the
       // operator chain processes the borrowed view in place.
@@ -54,9 +56,18 @@ DeltaContext MaintenanceBatch::ContextFor(const Maintainer& maintainer) {
     // Selection push-down (Sec. 7.2) as a selection bitmap over the shared
     // annotated delta — the visible rows are exactly, and in the same
     // delta-log order as, a pre-filtered log scan's, but no row is copied.
-    BitVector selection(shared->rows.size());
-    for (size_t i = 0; i < shared->rows.size(); ++i) {
-      if (pred(shared->rows[i].row)) selection.Set(i);
+    // The bitmap is built batch-at-a-time by the predicate kernel (with a
+    // scalar Expr::Eval fallback for shapes it cannot compile).
+    BitVector selection;
+    size_t vectorized_batches = 0;
+    size_t scalar_fallback_rows = 0;
+    PredicateKernel kernel = PredicateKernel::Compile(pred);
+    kernel.Eval(RowBlock::FromMember(shared->rows, &AnnotatedDeltaRow::row),
+                &selection, &vectorized_batches, &scalar_fallback_rows);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      vectorized_batches_ += vectorized_batches;
+      scalar_fallback_rows_ += scalar_fallback_rows;
     }
     DeltaBatch filtered =
         DeltaBatch::BorrowedFiltered(shared, std::move(selection));
@@ -71,6 +82,8 @@ MaintenanceBatchStats MaintenanceBatch::stats() const {
   out.delta_scans = delta_scans_;
   out.annotation_passes = annotation_passes_;
   out.annotation_hits = annotation_hits_;
+  out.vectorized_batches = vectorized_batches_;
+  out.scalar_fallback_rows = scalar_fallback_rows_;
   return out;
 }
 

@@ -49,6 +49,8 @@ struct MaintenanceBatchStats {
   size_t delta_scans = 0;        ///< backend delta-log scans issued
   size_t annotation_passes = 0;  ///< annotate(ΔR, Φ) runs over a table delta
   size_t annotation_hits = 0;    ///< per-sketch views served from the cache
+  size_t vectorized_batches = 0;    ///< push-down bitmaps built by kernels
+  size_t scalar_fallback_rows = 0;  ///< push-down rows via scalar Expr::Eval
 };
 
 /// Cache key of one shared annotated delta: the (table, from_version)
@@ -131,6 +133,8 @@ class MaintenanceBatch {
   size_t delta_scans_ = 0;
   size_t annotation_passes_ = 0;
   size_t annotation_hits_ = 0;
+  size_t vectorized_batches_ = 0;
+  size_t scalar_fallback_rows_ = 0;
 };
 
 }  // namespace imp

@@ -136,6 +136,17 @@ void PartitionCatalog::AnnotateRow(const std::string& table, const Tuple& row,
   out->Set(e.offset + frag);
 }
 
+TableAnnotator PartitionCatalog::ResolveAnnotator(
+    const std::string& table) const {
+  TableAnnotator a;
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return a;
+  a.partition_ = &it->second.partition;
+  a.offset_ = it->second.offset;
+  a.total_fragments_ = total_fragments_;
+  return a;
+}
+
 size_t PartitionCatalog::GlobalFragment(const std::string& table,
                                         size_t local) const {
   auto it = entries_.find(table);

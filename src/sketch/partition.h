@@ -73,6 +73,44 @@ class RangePartition {
   std::vector<Value> bounds_;
 };
 
+/// A table's annotation context resolved ONCE per batch instead of once
+/// per row: the partition, its global fragment offset and the universe
+/// size. The per-row work shrinks to one binary search over just the
+/// partition column — no catalog map lookup, no access to any other
+/// column. Annotate()/AnnotateRow() are bit-identical to
+/// PartitionCatalog::AnnotateRow. Valid only while the catalog it was
+/// resolved from is alive and unchanged (repartitioning invalidates it,
+/// as it invalidates every sketch).
+class TableAnnotator {
+ public:
+  TableAnnotator() = default;  // inactive: unpartitioned table
+
+  /// False for unpartitioned tables: annotation is a no-op.
+  bool active() const { return partition_ != nullptr; }
+  /// Index of the partition column (valid only when active()).
+  size_t attr_index() const { return partition_->attr_index(); }
+
+  /// Set the fragment bit for partition-column value `v` (resizing `out`
+  /// to the global universe first), exactly as AnnotateRow does.
+  void Annotate(const Value& v, BitVector* out) const {
+    if (!partition_) return;
+    out->Resize(total_fragments_);
+    out->Set(offset_ + partition_->FragmentOf(v));
+  }
+
+  /// Full-row convenience (reads only the partition column).
+  void AnnotateRow(const Tuple& row, BitVector* out) const {
+    if (!partition_) return;
+    Annotate(row[partition_->attr_index()], out);
+  }
+
+ private:
+  friend class PartitionCatalog;
+  const RangePartition* partition_ = nullptr;
+  size_t offset_ = 0;
+  size_t total_fragments_ = 0;
+};
+
 /// Φ: the set of (range, attribute) pairs across tables, plus the global
 /// fragment-id assignment. At most one partition per table (as in the
 /// paper's definition of Φ).
@@ -101,6 +139,11 @@ class PartitionCatalog {
   /// no partition — the "single range covering all domain values" case).
   void AnnotateRow(const std::string& table, const Tuple& row,
                    BitVector* out) const;
+
+  /// Resolve `table`'s annotation context once for a whole batch (inactive
+  /// when the table is unpartitioned). The batch path's replacement for
+  /// calling AnnotateRow per row.
+  TableAnnotator ResolveAnnotator(const std::string& table) const;
 
   /// Global fragment id for (table, local fragment index).
   size_t GlobalFragment(const std::string& table, size_t local) const;

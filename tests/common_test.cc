@@ -224,6 +224,81 @@ TEST(BitVectorTest, OrderingIsTotal) {
   EXPECT_EQ(set.size(), 2u);
 }
 
+// Tail-word boundaries matter for the bulk word operations: sizes around
+// multiples of 64 exercise full words, exact boundaries and partial tails.
+TEST(BitVectorTest, SetAllRespectsTailWordBoundaries) {
+  for (size_t n : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 129u, 300u}) {
+    BitVector bv(n);
+    bv.SetAll();
+    EXPECT_EQ(bv.Count(), n) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) EXPECT_TRUE(bv.Test(i)) << "n=" << n;
+    EXPECT_FALSE(bv.Test(n));  // tail stays zero
+    // Equality/hash contract: trailing zero words must not leak set bits.
+    BitVector manual(n);
+    for (size_t i = 0; i < n; ++i) manual.Set(i);
+    EXPECT_EQ(bv, manual) << "n=" << n;
+    EXPECT_EQ(bv.Hash(), manual.Hash()) << "n=" << n;
+    bv.ClearAll();
+    EXPECT_EQ(bv.Count(), 0u);
+    EXPECT_EQ(bv, BitVector(n));
+  }
+}
+
+TEST(BitVectorTest, FlipAllIsComplementWithinSize) {
+  for (size_t n : {1u, 63u, 64u, 65u, 128u, 200u}) {
+    BitVector bv(n);
+    bv.Set(0);
+    if (n > 3) bv.Set(n - 1);
+    BitVector flipped = bv;
+    flipped.FlipAll();
+    EXPECT_EQ(flipped.Count(), n - bv.Count()) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NE(bv.Test(i), flipped.Test(i)) << "n=" << n << " i=" << i;
+    }
+    EXPECT_FALSE(flipped.Test(n));  // tail stays zero
+    flipped.FlipAll();
+    EXPECT_EQ(flipped, bv);
+  }
+}
+
+TEST(BitVectorTest, ForEachSetBitVisitsAscending) {
+  BitVector bv(200);
+  std::vector<size_t> expect = {0, 1, 63, 64, 65, 127, 128, 199};
+  for (size_t i : expect) bv.Set(i);
+  std::vector<size_t> seen;
+  bv.ForEachSetBit([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expect);
+  BitVector empty(100);
+  empty.ForEachSetBit([&](size_t) { FAIL() << "no bits set"; });
+}
+
+TEST(BitVectorTest, ForEachSetBitSafeAgainstResetDuringIteration) {
+  // The kernel's scalar-remainder loop Resets survivors mid-iteration;
+  // iteration works over word copies, so every originally-set bit is still
+  // visited exactly once.
+  BitVector bv(130);
+  for (size_t i = 0; i < 130; i += 3) bv.Set(i);
+  size_t visited = 0;
+  bv.ForEachSetBit([&](size_t i) {
+    ++visited;
+    bv.Reset(i);
+  });
+  EXPECT_EQ(visited, (130 + 2) / 3);
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVectorTest, CountAndMatchesExplicitIntersection) {
+  for (size_t n : {1u, 64u, 65u, 300u}) {
+    BitVector a(n), b(n + 64);  // different word counts on purpose
+    for (size_t i = 0; i < n; i += 2) a.Set(i);
+    for (size_t i = 0; i < n + 64; i += 3) b.Set(i);
+    BitVector both = a;
+    both.IntersectWith(b);
+    EXPECT_EQ(a.CountAnd(b), both.Count()) << "n=" << n;
+    EXPECT_EQ(b.CountAnd(a), both.Count()) << "n=" << n;
+  }
+}
+
 // ---- BloomFilter ------------------------------------------------------------
 
 TEST(BloomFilterTest, NoFalseNegatives) {
@@ -244,6 +319,52 @@ TEST(BloomFilterTest, LowFalsePositiveRate) {
   }
   // ~1% expected at 10 bits/key; allow generous slack.
   EXPECT_LT(fp, kProbes / 20);
+}
+
+TEST(BloomFilterTest, BatchedProbeMatchesSingleProbeBitForBit) {
+  Rng rng(7);
+  BloomFilter bf(500, 8);
+  for (uint64_t i = 0; i < 500; ++i) bf.AddHash(HashInt64(i * 13));
+  // Mix of present and absent keys, including batch sizes that straddle
+  // word boundaries of the output bitmap.
+  for (size_t n : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    std::vector<uint64_t> hashes(n);
+    for (size_t i = 0; i < n; ++i) {
+      hashes[i] = HashInt64(static_cast<int64_t>(
+          rng.UniformInt(0, 2000) * 13));
+    }
+    BitVector out;
+    bf.MayContainHashes(hashes.data(), hashes.size(), &out);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out.Test(i), bf.MayContainHash(hashes[i]))
+          << "n=" << n << " i=" << i;
+    }
+    EXPECT_FALSE(out.Test(n));
+  }
+}
+
+TEST(HashTest, HashColumnBatchMatchesRowAtATimeFold) {
+  // Column-batch hashing must reproduce the row-at-a-time seed+fold
+  // exactly — IncJoin's bloom keys depend on it.
+  const uint64_t kSeed = 0x2545f4914f6cdd1dULL;
+  std::vector<Tuple> rows;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back(Tuple{Value::Int(rng.UniformInt(0, 50)),
+                         Value::String(std::to_string(i % 7)),
+                         Value::Double(static_cast<double>(i) / 3)});
+  }
+  const std::vector<size_t> key_cols = {2, 0};  // order matters
+  std::vector<uint64_t> batch(rows.size(), kSeed);
+  for (size_t col : key_cols) {
+    HashColumnBatch(
+        rows.size(), [&](size_t i) { return rows[i][col].Hash(); }, &batch);
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    uint64_t h = kSeed;
+    for (size_t col : key_cols) h = HashCombine(h, rows[i][col].Hash());
+    EXPECT_EQ(batch[i], h) << "row " << i;
+  }
 }
 
 // ---- Status / Result ---------------------------------------------------------

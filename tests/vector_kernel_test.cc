@@ -1,0 +1,390 @@
+// Randomized equivalence suite for the batch predicate kernels
+// (exec/vector_kernels): for any predicate the compiler sees — compilable,
+// partially compilable, or fully scalar — the kernel's selection bitmap
+// must be bit-for-bit identical to row-at-a-time Expr::Eval, over both
+// columnar chunks and row-major blocks. Also checks end-to-end: queries,
+// captures and maintenance produce identical results with the kernels on
+// and off.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/executor.h"
+#include "exec/vector_kernels.h"
+#include "imp/maintainer.h"
+#include "sketch/capture.h"
+#include "test_util.h"
+
+namespace imp {
+namespace {
+
+// ---- Random data + predicate generators ------------------------------------
+
+// Columns: a int, b int, c double, d string (with NULLs sprinkled in every
+// column so three-valued comparison semantics are exercised).
+Schema MixedSchema() {
+  Schema s;
+  s.AddColumn("a", ValueType::kInt);
+  s.AddColumn("b", ValueType::kInt);
+  s.AddColumn("c", ValueType::kDouble);
+  s.AddColumn("d", ValueType::kString);
+  return s;
+}
+
+Value RandomCell(Rng* rng, size_t col) {
+  if (rng->Chance(0.1)) return Value::Null();
+  switch (col) {
+    case 0:
+      return Value::Int(rng->UniformInt(0, 100));
+    case 1:
+      return Value::Int(rng->UniformInt(-50, 50));
+    case 2:
+      return Value::Double(rng->UniformDouble(-10.0, 10.0));
+    default:
+      return Value::String(std::string("s") +
+                           std::to_string(rng->UniformInt(0, 9)));
+  }
+}
+
+std::vector<Tuple> RandomRows(Rng* rng, size_t n) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Tuple{RandomCell(rng, 0), RandomCell(rng, 1),
+                         RandomCell(rng, 2), RandomCell(rng, 3)});
+  }
+  return rows;
+}
+
+ExprPtr RandomColumn(Rng* rng) {
+  static const ValueType kTypes[] = {ValueType::kInt, ValueType::kInt,
+                                     ValueType::kDouble, ValueType::kString};
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  size_t col = static_cast<size_t>(rng->UniformInt(0, 3));
+  return MakeColumnRef(col, kNames[col], kTypes[col]);
+}
+
+ExprPtr RandomLiteral(Rng* rng, size_t col_hint) {
+  if (rng->Chance(0.05)) return MakeLiteral(Value::Null());
+  return MakeLiteral(RandomCell(rng, col_hint));
+}
+
+BinaryOp RandomCmp(Rng* rng) {
+  static const BinaryOp kOps[] = {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                                  BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+  return kOps[rng->UniformInt(0, 5)];
+}
+
+/// A random predicate mixing every shape the compiler handles (col-vs-lit
+/// in both orders, BETWEEN, AND/OR/NOT, OR-of-ranges) with shapes it must
+/// fall back on (col-vs-col, arithmetic).
+ExprPtr RandomPredicate(Rng* rng, int depth) {
+  if (depth > 0 && rng->Chance(0.6)) {
+    switch (rng->UniformInt(0, 2)) {
+      case 0:
+        return MakeBinary(BinaryOp::kAnd, RandomPredicate(rng, depth - 1),
+                          RandomPredicate(rng, depth - 1));
+      case 1:
+        return MakeBinary(BinaryOp::kOr, RandomPredicate(rng, depth - 1),
+                          RandomPredicate(rng, depth - 1));
+      default:
+        return MakeUnary(UnaryOp::kNot, RandomPredicate(rng, depth - 1));
+    }
+  }
+  size_t col = static_cast<size_t>(rng->UniformInt(0, 3));
+  switch (rng->UniformInt(0, 5)) {
+    case 0:  // col cmp lit
+      return MakeBinary(RandomCmp(rng), RandomColumn(rng),
+                        RandomLiteral(rng, col));
+    case 1:  // lit cmp col (compiled through the mirrored op)
+      return MakeBinary(RandomCmp(rng), RandomLiteral(rng, col),
+                        RandomColumn(rng));
+    case 2:  // BETWEEN
+      return MakeBetween(RandomColumn(rng), RandomLiteral(rng, col),
+                         RandomLiteral(rng, col));
+    case 3:  // col cmp col — NOT compilable, exercises the scalar remainder
+      return MakeBinary(RandomCmp(rng), RandomColumn(rng), RandomColumn(rng));
+    case 4: {  // arithmetic (numeric columns only) — NOT compilable
+      size_t num_col = static_cast<size_t>(rng->UniformInt(0, 1));
+      return MakeBinary(
+          RandomCmp(rng),
+          MakeBinary(BinaryOp::kAdd,
+                     MakeColumnRef(num_col, num_col == 0 ? "a" : "b",
+                                   ValueType::kInt),
+                     MakeLiteral(Value::Int(1))),
+          RandomLiteral(rng, 0));
+    }
+    default:  // constant
+      return MakeLiteral(rng->Chance(0.5) ? Value::Int(1) : Value::Int(0));
+  }
+}
+
+/// Reference bit: the scalar semantics the kernel must reproduce exactly.
+bool ScalarBit(const ExprPtr& expr, const Tuple& row) {
+  return expr->Eval(row).IsTrue();
+}
+
+void ExpectBitIdentical(const PredicateKernel& kernel, const ExprPtr& expr,
+                        const RowBlock& block,
+                        const std::vector<Tuple>& rows_for_reference,
+                        const std::string& context) {
+  BitVector sel;
+  size_t batches = 0, fallback_rows = 0;
+  kernel.Eval(block, &sel, &batches, &fallback_rows);
+  ASSERT_EQ(block.num_rows(), rows_for_reference.size());
+  for (size_t i = 0; i < rows_for_reference.size(); ++i) {
+    ASSERT_EQ(sel.Test(i), ScalarBit(expr, rows_for_reference[i]))
+        << context << " row " << i << " expr " << expr->ToString();
+  }
+}
+
+// ---- Randomized kernel-vs-scalar over columnar chunks -----------------------
+
+TEST(VectorKernelTest, RandomizedEquivalenceOnChunks) {
+  Rng rng(42);
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", MixedSchema()).ok());
+  std::vector<Tuple> rows = RandomRows(&rng, 9000);  // spans several chunks
+  ASSERT_TRUE(db.BulkLoad("t", rows).ok());
+  auto snap = db.GetTable("t")->Snapshot();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    ExprPtr expr = RandomPredicate(&rng, 3);
+    PredicateKernel kernel = PredicateKernel::Compile(expr);
+    size_t row_base = 0;
+    for (const auto& chunk : snap->chunks()) {
+      std::vector<Tuple> chunk_rows;
+      chunk_rows.reserve(chunk->num_rows());
+      for (size_t r = 0; r < chunk->num_rows(); ++r) {
+        chunk_rows.push_back(chunk->GetRow(r));
+      }
+      ExpectBitIdentical(kernel, expr, RowBlock::FromChunk(*chunk), chunk_rows,
+                         "chunk@" + std::to_string(row_base));
+      row_base += chunk->num_rows();
+    }
+  }
+}
+
+// ---- Randomized kernel-vs-scalar over row-major blocks ----------------------
+
+TEST(VectorKernelTest, RandomizedEquivalenceOnTupleArrays) {
+  Rng rng(43);
+  std::vector<Tuple> rows = RandomRows(&rng, 700);
+  for (int trial = 0; trial < 60; ++trial) {
+    ExprPtr expr = RandomPredicate(&rng, 3);
+    PredicateKernel kernel = PredicateKernel::Compile(expr);
+    ExpectBitIdentical(kernel, expr,
+                       RowBlock::FromTuples(rows.data(), rows.size()), rows,
+                       "tuple-array");
+  }
+}
+
+TEST(VectorKernelTest, RandomizedEquivalenceOnStridedMembers) {
+  // The layout the maintenance pipeline uses: tuples embedded in a larger
+  // struct, accessed at a stride via FromMember.
+  struct Wrapper {
+    int64_t pad0 = 7;
+    Tuple row;
+    std::string pad1 = "x";
+  };
+  Rng rng(44);
+  std::vector<Tuple> plain = RandomRows(&rng, 500);
+  std::vector<Wrapper> wrapped(plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) wrapped[i].row = plain[i];
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprPtr expr = RandomPredicate(&rng, 3);
+    PredicateKernel kernel = PredicateKernel::Compile(expr);
+    ExpectBitIdentical(kernel, expr,
+                       RowBlock::FromMember(wrapped, &Wrapper::row), plain,
+                       "strided");
+  }
+}
+
+// ---- Targeted shapes --------------------------------------------------------
+
+TEST(VectorKernelTest, RangeSetFusionIsFullyVectorized) {
+  // The IN-partition-bucket shape the use-rewrite emits: OR of ranges and
+  // equalities over ONE column fuses into a sorted range-set probe.
+  ExprPtr col = MakeColumnRef(0, "a", ValueType::kInt);
+  auto ref = [&] { return MakeColumnRef(0, "a", ValueType::kInt); };
+  ExprPtr expr = MakeDisjunction([&] {
+    std::vector<ExprPtr> terms;
+    terms.push_back(MakeBetween(ref(), MakeLiteral(Value::Int(1)),
+                                MakeLiteral(Value::Int(10))));
+    terms.push_back(MakeBetween(ref(), MakeLiteral(Value::Int(8)),
+                                MakeLiteral(Value::Int(20))));  // overlaps
+    terms.push_back(MakeBinary(BinaryOp::kEq, ref(),
+                               MakeLiteral(Value::Int(50))));
+    return terms;
+  }());
+  PredicateKernel kernel = PredicateKernel::Compile(expr);
+  EXPECT_TRUE(kernel.fully_vectorized());
+
+  std::vector<Tuple> rows;
+  for (int v = -5; v < 60; ++v) rows.push_back(Tuple{Value::Int(v)});
+  rows.push_back(Tuple{Value::Null()});
+  BitVector sel;
+  kernel.Eval(RowBlock::FromTuples(rows.data(), rows.size()), &sel, nullptr,
+              nullptr);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(sel.Test(i), ScalarBit(expr, rows[i])) << "row " << i;
+  }
+}
+
+TEST(VectorKernelTest, ScalarRemainderOnlyTestsSurvivors) {
+  // (a <= 10) AND (a < b): the comparison compiles, the col-vs-col
+  // remainder must run only on rows that pass the compiled part.
+  ExprPtr expr = MakeBinary(
+      BinaryOp::kAnd,
+      MakeBinary(BinaryOp::kLe, MakeColumnRef(0, "a", ValueType::kInt),
+                 MakeLiteral(Value::Int(10))),
+      MakeBinary(BinaryOp::kLt, MakeColumnRef(0, "a", ValueType::kInt),
+                 MakeColumnRef(1, "b", ValueType::kInt)));
+  PredicateKernel kernel = PredicateKernel::Compile(expr);
+  EXPECT_TRUE(kernel.vectorized());
+  EXPECT_FALSE(kernel.fully_vectorized());
+  ASSERT_NE(kernel.scalar_remainder(), nullptr);
+
+  std::vector<Tuple> rows;
+  for (int v = 0; v < 100; ++v) {
+    rows.push_back(Tuple{Value::Int(v), Value::Int(50)});
+  }
+  BitVector sel;
+  size_t batches = 0, fallback_rows = 0;
+  kernel.Eval(RowBlock::FromTuples(rows.data(), rows.size()), &sel, &batches,
+              &fallback_rows);
+  EXPECT_EQ(batches, 1u);
+  EXPECT_EQ(fallback_rows, 11u);  // rows 0..10 survive a <= 10
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(sel.Test(i), ScalarBit(expr, rows[i])) << "row " << i;
+  }
+}
+
+TEST(VectorKernelTest, NullPredicateSelectsEverything) {
+  PredicateKernel kernel = PredicateKernel::Compile(nullptr);
+  EXPECT_FALSE(kernel.has_predicate());
+  std::vector<Tuple> rows = {{Value::Int(1)}, {Value::Null()}};
+  BitVector sel;
+  kernel.Eval(RowBlock::FromTuples(rows.data(), rows.size()), &sel, nullptr,
+              nullptr);
+  EXPECT_EQ(sel.Count(), rows.size());
+}
+
+// ---- End-to-end: queries, capture, maintenance ------------------------------
+
+TEST(VectorKernelTest, ExecutorVectorizedOffMatchesOn) {
+  Rng rng(45);
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", MixedSchema()).ok());
+  ASSERT_TRUE(db.BulkLoad("t", RandomRows(&rng, 6000)).ok());
+  struct Case {
+    const char* sql;
+    bool expect_kernel_batches;  // false: fully scalar-fallback shape
+  };
+  const Case queries[] = {
+      {"SELECT * FROM t WHERE a BETWEEN 10 AND 60", true},
+      {"SELECT a, b FROM t WHERE a < 30 AND b >= 0", true},
+      {"SELECT * FROM t WHERE a = 5 OR a = 9 OR a BETWEEN 90 AND 95", true},
+      {"SELECT * FROM t WHERE d = 's3' AND c > 0.0", true},
+      {"SELECT * FROM t WHERE a < b", false},
+  };
+  for (const Case& c : queries) {
+    PlanPtr plan = MustBind(db, c.sql);
+    Executor on(&db);
+    Executor off(&db);
+    off.set_vectorized(false);
+    auto r_on = on.Execute(plan);
+    auto r_off = off.Execute(plan);
+    ASSERT_TRUE(r_on.ok() && r_off.ok()) << c.sql;
+    EXPECT_TRUE(r_on.value().SameBag(r_off.value())) << c.sql;
+    if (c.expect_kernel_batches) {
+      EXPECT_GT(on.scan_stats().vectorized_batches, 0u) << c.sql;
+    } else {
+      EXPECT_GT(on.scan_stats().scalar_fallback_rows, 0u) << c.sql;
+    }
+    EXPECT_EQ(off.scan_stats().vectorized_batches, 0u) << c.sql;
+    EXPECT_EQ(off.scan_stats().scalar_fallback_rows, 0u) << c.sql;
+  }
+}
+
+TEST(VectorKernelTest, CaptureSketchIdenticalWithKernelsOnAndOff) {
+  Database db;
+  LoadSalesExample(&db);
+  PartitionCatalog catalog;
+  ASSERT_TRUE(catalog.Register(SalesPricePartition()).ok());
+  PlanPtr plan =
+      MustBind(db, "SELECT sid FROM sales WHERE price BETWEEN 1001 AND 1500");
+  auto annotate = [&](const std::string& table, const Tuple& row,
+                      BitVector* out) { catalog.AnnotateRow(table, row, out); };
+  AnnotatedExecutor on(&db, annotate);
+  AnnotatedExecutor off(&db, annotate);
+  off.set_vectorized(false);
+  auto r_on = on.Execute(plan);
+  auto r_off = off.Execute(plan);
+  ASSERT_TRUE(r_on.ok() && r_off.ok());
+  EXPECT_EQ(r_on.value().SketchUnion(), r_off.value().SketchUnion());
+  EXPECT_TRUE(r_on.value().ToRelation().SameBag(r_off.value().ToRelation()));
+  EXPECT_GT(on.scan_stats().vectorized_batches, 0u);
+}
+
+TEST(VectorKernelTest, MaintenanceBitIdenticalWithKernelsOnAndOff) {
+  // Two maintainers over identical databases — kernels on vs off — must
+  // produce identical sketch deltas and identical sketches on every round,
+  // across filters, joins (bloom pruning) and deletes.
+  Database db_on, db_off;
+  LoadFig5Example(&db_on);
+  LoadFig5Example(&db_off);
+  PartitionCatalog cat_on, cat_off;
+  for (PartitionCatalog* cat : {&cat_on, &cat_off}) {
+    ASSERT_TRUE(cat->Register(Fig5PartitionR()).ok());
+    ASSERT_TRUE(cat->Register(Fig5PartitionS()).ok());
+  }
+  MaintainerOptions opt_on, opt_off;
+  opt_off.vectorized_kernels = false;
+  Maintainer m_on(&db_on, &cat_on, MustBind(db_on, kFig5Query), opt_on);
+  Maintainer m_off(&db_off, &cat_off, MustBind(db_off, kFig5Query), opt_off);
+  auto s_on = m_on.Initialize();
+  auto s_off = m_off.Initialize();
+  ASSERT_TRUE(s_on.ok() && s_off.ok());
+  EXPECT_EQ(s_on.value().fragments, s_off.value().fragments);
+
+  Rng rng(46);
+  for (int round = 0; round < 8; ++round) {
+    // Same random mutations applied to both databases.
+    std::vector<Tuple> r_rows, s_rows;
+    for (int i = 0; i < 5; ++i) {
+      r_rows.push_back(Tuple{Value::Int(rng.UniformInt(1, 10)),
+                             Value::Int(rng.UniformInt(1, 10))});
+      s_rows.push_back(Tuple{Value::Int(rng.UniformInt(1, 15)),
+                             Value::Int(rng.UniformInt(1, 10))});
+    }
+    int64_t doomed = rng.UniformInt(1, 10);
+    for (Database* db : {&db_on, &db_off}) {
+      ASSERT_TRUE(db->Insert("r", r_rows).ok());
+      ASSERT_TRUE(db->Insert("s", s_rows).ok());
+      if (round % 3 == 2) {
+        ASSERT_TRUE(db->Delete("r", [&](const Tuple& row) {
+                        return row[0] == Value::Int(doomed);
+                      }).ok());
+      }
+    }
+    auto d_on = m_on.MaintainFromBackend();
+    auto d_off = m_off.MaintainFromBackend();
+    ASSERT_TRUE(d_on.ok() && d_off.ok()) << "round " << round;
+    EXPECT_EQ(d_on.value().added, d_off.value().added) << "round " << round;
+    EXPECT_EQ(d_on.value().removed, d_off.value().removed)
+        << "round " << round;
+    EXPECT_EQ(m_on.sketch().fragments, m_off.sketch().fragments)
+        << "round " << round;
+  }
+  // The vectorized maintainer actually used the kernels; the scalar one
+  // never did.
+  EXPECT_GT(m_on.stats().vectorized_batches, 0u);
+  EXPECT_EQ(m_off.stats().vectorized_batches, 0u);
+}
+
+}  // namespace
+}  // namespace imp
