@@ -91,6 +91,12 @@ void RunJoin() {
     char label[16];
     std::snprintf(label, sizeof(label), "%.0f%%", sel * 100);
     table.AddRow(label, {before, after});
+    // The delegated join probes the backend's snapshot index; its shards
+    // are backend memory, not operator state — report them side by side so
+    // the split stays visible.
+    std::printf("  sel %s: backend index %.1f KB (table data %.1f KB)\n",
+                label, static_cast<double>(db.IndexBytes()) / 1024.0,
+                static_cast<double>(db.MemoryBytes()) / 1024.0);
   }
   table.Print();
 }

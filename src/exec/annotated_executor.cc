@@ -75,9 +75,35 @@ Result<AnnotatedRelation> AnnotatedExecutor::ExecScan(const ScanNode& node) cons
     pinned = table->Snapshot();
     snap = pinned.get();
   }
+  // Exact single-column range filters: serve from the ordered index
+  // (bit-identical emission order) or at least sharpen chunk skipping —
+  // mirrors Executor::ExecScan.
+  std::optional<ColumnRanges> ranges;
+  if (filter) ranges = ExtractColumnRanges(*filter);
+  if (ranges && range_index_mode_ != RangeIndexMode::kOff) {
+    std::vector<TableSnapshot::RowLoc> locs;
+    if (TryIndexRangeScan(*snap, *ranges,
+                          range_index_mode_ == RangeIndexMode::kBuild,
+                          &locs)) {
+      ++scan_stats_.index_range_scans;
+      size_t matched_chunks = 0;
+      for (size_t i = 0; i < locs.size(); ++i) {
+        if (i == 0 || locs[i].chunk != locs[i - 1].chunk) ++matched_chunks;
+        AnnotatedRow ar;
+        ar.row = snap->chunks()[locs[i].chunk]->GetRow(locs[i].row);
+        if (annotator_) annotator_(node.table(), ar.row, &ar.sketch);
+        out.rows.push_back(std::move(ar));
+      }
+      scan_stats_.chunks_scanned += matched_chunks;
+      scan_stats_.chunks_skipped += snap->chunks().size() - matched_chunks;
+      scan_stats_.rows_scanned += locs.size();
+      return out;
+    }
+  }
   out.rows.reserve(snap->num_rows());
   for (const auto& chunk : snap->chunks()) {
-    if (filter && !ChunkMayMatch(*filter, *chunk)) {
+    if (filter && !(ranges ? ChunkMayMatchRanges(*ranges, *chunk)
+                           : ChunkMayMatch(*filter, *chunk))) {
       ++scan_stats_.chunks_skipped;  // zone map skip
       continue;
     }

@@ -78,6 +78,12 @@ class AnnotatedExecutor {
   void set_vectorized(bool v) { vectorized_ = v; }
   bool vectorized() const { return vectorized_; }
 
+  /// Range-index policy for exact single-column range filters (see
+  /// Executor::set_range_index_mode). Maintenance callers (delegated join
+  /// sides, recapture) set kBuild — the build amortizes across rounds.
+  void set_range_index_mode(RangeIndexMode m) { range_index_mode_ = m; }
+  RangeIndexMode range_index_mode() const { return range_index_mode_; }
+
  private:
   Result<AnnotatedRelation> ExecScan(const ScanNode& node) const;
   Result<AnnotatedRelation> ExecSelect(const SelectNode& node) const;
@@ -92,6 +98,7 @@ class AnnotatedExecutor {
   const ReadView* view_;  ///< pinned snapshots; nullptr = latest published
   std::map<std::string, const AnnotatedRelation*> bindings_;
   bool vectorized_ = true;
+  RangeIndexMode range_index_mode_ = RangeIndexMode::kIfAvailable;
   mutable ScanStats scan_stats_;
 };
 

@@ -143,9 +143,32 @@ Result<Relation> Executor::ExecScan(const ScanNode& node) const {
     pinned = table->Snapshot();
     snap = pinned.get();
   }
+  // Filters that reduce exactly to single-column value ranges can be
+  // answered by the snapshot's ordered index (bit-identical emission
+  // order), and sharpen chunk skipping even when they cannot.
+  std::optional<ColumnRanges> ranges;
+  if (filter) ranges = ExtractColumnRanges(*filter);
+  if (ranges && range_index_mode_ != RangeIndexMode::kOff) {
+    std::vector<TableSnapshot::RowLoc> locs;
+    if (TryIndexRangeScan(*snap, *ranges,
+                          range_index_mode_ == RangeIndexMode::kBuild,
+                          &locs)) {
+      ++scan_stats_.index_range_scans;
+      size_t matched_chunks = 0;
+      for (size_t i = 0; i < locs.size(); ++i) {
+        if (i == 0 || locs[i].chunk != locs[i - 1].chunk) ++matched_chunks;
+        out.rows.push_back(snap->chunks()[locs[i].chunk]->GetRow(locs[i].row));
+      }
+      scan_stats_.chunks_scanned += matched_chunks;
+      scan_stats_.chunks_skipped += snap->chunks().size() - matched_chunks;
+      scan_stats_.rows_scanned += locs.size();
+      return out;
+    }
+  }
   out.rows.reserve(snap->num_rows());
   for (const auto& chunk : snap->chunks()) {
-    if (filter && !ChunkMayMatch(*filter, *chunk)) {
+    if (filter && !(ranges ? ChunkMayMatchRanges(*ranges, *chunk)
+                           : ChunkMayMatch(*filter, *chunk))) {
       ++scan_stats_.chunks_skipped;  // zone map pruned the whole chunk
       continue;
     }

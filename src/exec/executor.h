@@ -42,7 +42,22 @@ struct ScanStats {
   size_t vectorized_batches = 0;
   /// Rows the scalar Expr::Eval fallback had to inspect.
   size_t scalar_fallback_rows = 0;
+  /// Scans answered by ordered-index range enumeration instead of chunk
+  /// filtering (the predicate reduced exactly to single-column ranges).
+  size_t index_range_scans = 0;
 };
+
+/// When a scan's filter reduces exactly to single-column value ranges
+/// (ExtractColumnRanges), should it be answered by the snapshot's ordered
+/// index instead of filtering chunks?
+///   kOff         — never (the scalar/kernel reference paths).
+///   kIfAvailable — only when the snapshot already has a range index on the
+///                  column (warm or assembled); one-off queries never pay a
+///                  build. Default.
+///   kBuild       — build the index on first use; for repeating scans
+///                  (sketch use-rewrite fragment ranges, maintenance
+///                  rounds) where the build amortizes across calls.
+enum class RangeIndexMode : uint8_t { kOff, kIfAvailable, kBuild };
 
 /// Executes plans against a Database plus optional name-bound relations.
 /// Scans with filters consult each chunk's zone map and skip chunks that
@@ -77,6 +92,11 @@ class Executor {
   void set_vectorized(bool v) { vectorized_ = v; }
   bool vectorized() const { return vectorized_; }
 
+  /// Range-index policy for scans whose filter is exactly single-column
+  /// ranges (results never differ from the filtering paths).
+  void set_range_index_mode(RangeIndexMode m) { range_index_mode_ = m; }
+  RangeIndexMode range_index_mode() const { return range_index_mode_; }
+
  private:
   Result<Relation> ExecScan(const ScanNode& node) const;
   Result<Relation> ExecSelect(const SelectNode& node) const;
@@ -90,6 +110,7 @@ class Executor {
   const ReadView* view_;  ///< pinned snapshots; nullptr = latest published
   std::map<std::string, const Relation*> bindings_;
   bool vectorized_ = true;
+  RangeIndexMode range_index_mode_ = RangeIndexMode::kIfAvailable;
   mutable ScanStats scan_stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "exec/zone_filter.h"
 
+#include <algorithm>
+
 namespace imp {
 
 namespace {
@@ -92,6 +94,235 @@ bool ChunkMayMatch(const Expr& predicate, const DataChunk& chunk) {
     default:
       return true;  // NOT / column refs / anything else: unknown
   }
+}
+
+// ---- Range extraction ------------------------------------------------------
+
+namespace {
+
+/// True when lower bound `a` starts strictly later than `b` (is tighter).
+bool LowerTighter(const RangeBound& a, const RangeBound& b) {
+  if (!a.has) return false;
+  if (!b.has) return true;
+  int c = a.v.Compare(b.v);
+  if (c != 0) return c > 0;
+  return !a.inclusive && b.inclusive;
+}
+
+/// True when upper bound `a` ends strictly earlier than `b` (is tighter).
+bool UpperTighter(const RangeBound& a, const RangeBound& b) {
+  if (!a.has) return false;
+  if (!b.has) return true;
+  int c = a.v.Compare(b.v);
+  if (c != 0) return c < 0;
+  return !a.inclusive && b.inclusive;
+}
+
+bool RangeEmpty(const ValueRange& r) {
+  if (!r.lo.has || !r.hi.has) return false;
+  int c = r.lo.v.Compare(r.hi.v);
+  if (c != 0) return c > 0;
+  return !(r.lo.inclusive && r.hi.inclusive);
+}
+
+bool Intersect(const ValueRange& a, const ValueRange& b, ValueRange* out) {
+  out->lo = LowerTighter(a.lo, b.lo) ? a.lo : b.lo;
+  out->hi = UpperTighter(a.hi, b.hi) ? a.hi : b.hi;
+  return !RangeEmpty(*out);
+}
+
+/// True when an interval ending at `hi` and one starting at `lo` leave no
+/// gap between them (overlap or touch), so their union is contiguous.
+bool Connects(const RangeBound& hi, const RangeBound& lo) {
+  if (!hi.has || !lo.has) return true;
+  int c = lo.v.Compare(hi.v);
+  if (c != 0) return c < 0;
+  return hi.inclusive || lo.inclusive;
+}
+
+/// Drop empty intervals, sort by lower bound, merge overlapping/touching —
+/// leaves a disjoint, sorted union with the same covered set.
+void NormalizeRanges(std::vector<ValueRange>* ranges) {
+  ranges->erase(
+      std::remove_if(ranges->begin(), ranges->end(), RangeEmpty),
+      ranges->end());
+  std::sort(ranges->begin(), ranges->end(),
+            [](const ValueRange& a, const ValueRange& b) {
+              return LowerTighter(b.lo, a.lo);
+            });
+  std::vector<ValueRange> merged;
+  for (ValueRange& r : *ranges) {
+    if (merged.empty() || !Connects(merged.back().hi, r.lo)) {
+      merged.push_back(std::move(r));
+    } else if (UpperTighter(merged.back().hi, r.hi)) {
+      merged.back().hi = std::move(r.hi);
+    }
+  }
+  *ranges = std::move(merged);
+}
+
+/// Ranges of `col cmp lit` under Expr::Eval semantics (NULL literal → no
+/// row matches; != splits into two open-ended intervals).
+std::optional<ColumnRanges> ComparisonRanges(size_t col, BinaryOp cmp,
+                                             const Value& lit) {
+  ColumnRanges out;
+  out.col = col;
+  if (lit.is_null()) return out;  // NULL comparand: false everywhere
+  ValueRange r;
+  switch (cmp) {
+    case BinaryOp::kEq:
+      r.lo = {true, lit, true};
+      r.hi = {true, lit, true};
+      break;
+    case BinaryOp::kNe: {
+      ValueRange below, above;
+      below.hi = {true, lit, false};
+      above.lo = {true, lit, false};
+      out.ranges = {below, above};
+      return out;
+    }
+    case BinaryOp::kLt:
+      r.hi = {true, lit, false};
+      break;
+    case BinaryOp::kLe:
+      r.hi = {true, lit, true};
+      break;
+    case BinaryOp::kGt:
+      r.lo = {true, lit, false};
+      break;
+    case BinaryOp::kGe:
+      r.lo = {true, lit, true};
+      break;
+    default:
+      return std::nullopt;
+  }
+  out.ranges.push_back(std::move(r));
+  return out;
+}
+
+}  // namespace
+
+std::optional<ColumnRanges> ExtractColumnRanges(const Expr& predicate) {
+  switch (predicate.kind()) {
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(predicate);
+      if (bin.op() == BinaryOp::kAnd || bin.op() == BinaryOp::kOr) {
+        auto l = ExtractColumnRanges(*bin.left());
+        auto r = ExtractColumnRanges(*bin.right());
+        if (!l || !r || l->col != r->col) return std::nullopt;
+        if (bin.op() == BinaryOp::kOr) {
+          l->ranges.insert(l->ranges.end(),
+                           std::make_move_iterator(r->ranges.begin()),
+                           std::make_move_iterator(r->ranges.end()));
+        } else {
+          std::vector<ValueRange> intersected;
+          for (const ValueRange& a : l->ranges) {
+            for (const ValueRange& b : r->ranges) {
+              ValueRange x;
+              if (Intersect(a, b, &x)) intersected.push_back(std::move(x));
+            }
+          }
+          l->ranges = std::move(intersected);
+        }
+        NormalizeRanges(&l->ranges);
+        return l;
+      }
+      if (!IsComparison(bin.op())) return std::nullopt;
+      if (bin.left()->kind() == ExprKind::kColumnRef &&
+          bin.right()->kind() == ExprKind::kLiteral) {
+        return ComparisonRanges(
+            static_cast<const ColumnRefExpr&>(*bin.left()).index(), bin.op(),
+            static_cast<const LiteralExpr&>(*bin.right()).value());
+      }
+      if (bin.right()->kind() == ExprKind::kColumnRef &&
+          bin.left()->kind() == ExprKind::kLiteral) {
+        return ComparisonRanges(
+            static_cast<const ColumnRefExpr&>(*bin.right()).index(),
+            MirrorComparison(bin.op()),
+            static_cast<const LiteralExpr&>(*bin.left()).value());
+      }
+      return std::nullopt;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const BetweenExpr&>(predicate);
+      if (bt.input()->kind() != ExprKind::kColumnRef ||
+          bt.lo()->kind() != ExprKind::kLiteral ||
+          bt.hi()->kind() != ExprKind::kLiteral) {
+        return std::nullopt;
+      }
+      ColumnRanges out;
+      out.col = static_cast<const ColumnRefExpr&>(*bt.input()).index();
+      const Value& lo = static_cast<const LiteralExpr&>(*bt.lo()).value();
+      const Value& hi = static_cast<const LiteralExpr&>(*bt.hi()).value();
+      if (lo.is_null() || hi.is_null()) return out;  // false everywhere
+      ValueRange r;
+      r.lo = {true, lo, true};
+      r.hi = {true, hi, true};
+      out.ranges.push_back(std::move(r));
+      NormalizeRanges(&out.ranges);  // drops an empty lo > hi interval
+      return out;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+bool ChunkMayMatchRanges(const ColumnRanges& ranges, const DataChunk& chunk) {
+  if (ranges.col >= chunk.num_columns()) return true;
+  if (ranges.ranges.empty()) return false;  // unsatisfiable predicate
+  const DataChunk::ZoneEntry& z = chunk.zone(ranges.col);
+  if (!z.valid) return false;  // all-NULL column: no range matches
+  bool zone_may = false;
+  for (const ValueRange& r : ranges.ranges) {
+    bool ends_below_min = false;
+    if (r.hi.has) {
+      int c = r.hi.v.Compare(z.min);
+      ends_below_min = c < 0 || (c == 0 && !r.hi.inclusive);
+    }
+    bool starts_above_max = false;
+    if (r.lo.has) {
+      int c = r.lo.v.Compare(z.max);
+      starts_above_max = c > 0 || (c == 0 && !r.lo.inclusive);
+    }
+    if (!ends_below_min && !starts_above_max) {
+      zone_may = true;
+      break;
+    }
+  }
+  if (!zone_may) return false;
+  // Exact refinement: an already-materialized ordered shard answers
+  // emptiness in O(log n). Opportunistic only — never build here.
+  std::shared_ptr<const SortedShard> shard =
+      chunk.SortedShardIfBuilt(ranges.col);
+  if (shard == nullptr) return true;
+  for (const ValueRange& r : ranges.ranges) {
+    if (shard->AnyInRange(r.lo.has ? &r.lo.v : nullptr, r.lo.inclusive,
+                          r.hi.has ? &r.hi.v : nullptr, r.hi.inclusive)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TryIndexRangeScan(const TableSnapshot& snap, const ColumnRanges& ranges,
+                       bool build_if_missing,
+                       std::vector<TableSnapshot::RowLoc>* locs) {
+  if (ranges.col >= snap.schema().size()) return false;
+  if (!build_if_missing && !snap.HasRangeIndex(ranges.col)) return false;
+  locs->clear();
+  for (const ValueRange& r : ranges.ranges) {
+    snap.ForEachIndexRangeMatch(
+        ranges.col, r.lo.has ? &r.lo.v : nullptr, r.lo.inclusive,
+        r.hi.has ? &r.hi.v : nullptr, r.hi.inclusive,
+        [&](const TableSnapshot::RowLoc& loc) { locs->push_back(loc); });
+  }
+  // Each probe emits chunk-major already; a union of disjoint ranges just
+  // needs one merge back into global scan order (no duplicates possible).
+  std::sort(locs->begin(), locs->end(),
+            [](const TableSnapshot::RowLoc& a, const TableSnapshot::RowLoc& b) {
+              return a.chunk != b.chunk ? a.chunk < b.chunk : a.row < b.row;
+            });
+  return true;
 }
 
 }  // namespace imp

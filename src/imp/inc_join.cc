@@ -69,6 +69,9 @@ Result<AnnotatedRelation> IncJoin::EvalSide(const PlanPtr& side_plan,
       },
       view);
   exec.set_vectorized(options_.vectorized);
+  // Side evaluations repeat every round over the same tables — let exact
+  // range filters build the ordered index once and skip chunks thereafter.
+  exec.set_range_index_mode(RangeIndexMode::kBuild);
   Result<AnnotatedRelation> result = exec.Execute(side_plan);
   // Fold the delegated capture's kernel counters into this maintainer.
   stats_->vectorized_batches += exec.scan_stats().vectorized_batches;
@@ -252,12 +255,14 @@ void IncJoin::JoinDeltaWithDelta(const DeltaBatch& dl, const DeltaBatch& dr,
 bool IncJoin::TryIndexedJoin(const DeltaBatch& delta, bool delta_is_left,
                              int sign, const ReadView* view,
                              AnnotatedDelta* out) {
+  if (!options_.use_index) return false;
   const std::optional<StatelessChain>& chain =
       delta_is_left ? right_chain_ : left_chain_;
   int index_col = delta_is_left ? right_index_col_ : left_index_col_;
   if (!chain || index_col < 0) return false;
-  // Probe the pinned snapshot's lazily built hash index: rows and index
-  // are immutable and consistent at the round's cut.
+  // Probe the pinned snapshot's point index: rows and index shards are
+  // immutable and consistent at the round's cut, and shards carried
+  // forward from earlier publications make the probe O(delta)-maintained.
   std::shared_ptr<const TableSnapshot> pinned;
   const TableSnapshot* snap = view ? view->Find(chain->table) : nullptr;
   if (snap == nullptr) {
@@ -268,25 +273,23 @@ bool IncJoin::TryIndexedJoin(const DeltaBatch& delta, bool delta_is_left,
   }
 
   size_t delta_key_col = delta_is_left ? keys_[0].first : keys_[0].second;
-  size_t side_key_col = delta_is_left ? keys_[0].second : keys_[0].first;
-  (void)side_key_col;
   delta.ForEachRow([&](const AnnotatedDeltaRow& d) {
-    const std::vector<TableSnapshot::RowLoc>* locs =
-        snap->IndexProbe(static_cast<size_t>(index_col),
-                         d.row[delta_key_col]);
-    if (locs == nullptr) return;
-    for (const TableSnapshot::RowLoc& loc : *locs) {
-      Tuple base = snap->chunks()[loc.chunk]->GetRow(loc.row);
-      BitVector side_sketch;
-      catalog_->AnnotateRow(chain->table, base, &side_sketch);
-      Tuple side_row;
-      if (!chain->Replay(base, &side_row)) continue;
-      if (delta_is_left) {
-        EmitJoined(d.row, d.sketch, side_row, side_sketch, sign * d.mult, out);
-      } else {
-        EmitJoined(side_row, side_sketch, d.row, d.sketch, sign * d.mult, out);
-      }
-    }
+    snap->ForEachIndexMatch(
+        static_cast<size_t>(index_col), d.row[delta_key_col],
+        [&](const TableSnapshot::RowLoc& loc) {
+          Tuple base = snap->chunks()[loc.chunk]->GetRow(loc.row);
+          BitVector side_sketch;
+          catalog_->AnnotateRow(chain->table, base, &side_sketch);
+          Tuple side_row;
+          if (!chain->Replay(base, &side_row)) return;
+          if (delta_is_left) {
+            EmitJoined(d.row, d.sketch, side_row, side_sketch, sign * d.mult,
+                       out);
+          } else {
+            EmitJoined(side_row, side_sketch, d.row, d.sketch, sign * d.mult,
+                       out);
+          }
+        });
   });
   return true;
 }
@@ -318,6 +321,7 @@ Result<DeltaBatch> IncJoin::Process(const DeltaContext& ctx) {
     stats_->join_rows_shipped += dl.size();
     ++stats_->join_round_trips;
     if (!TryIndexedJoin(dl, /*delta_is_left=*/true, +1, ctx.view, &out)) {
+      ++stats_->index_fallback_scans;  // no point index: O(rows) side eval
       IMP_ASSIGN_OR_RETURN(AnnotatedRelation right_side,
                            EvalSide(right_plan_, ctx.view));
       JoinDeltaWithSide(dl, right_side, /*delta_is_left=*/true, +1, &out);
@@ -328,6 +332,7 @@ Result<DeltaBatch> IncJoin::Process(const DeltaContext& ctx) {
     stats_->join_rows_shipped += dr.size();
     ++stats_->join_round_trips;
     if (!TryIndexedJoin(dr, /*delta_is_left=*/false, +1, ctx.view, &out)) {
+      ++stats_->index_fallback_scans;  // no point index: O(rows) side eval
       IMP_ASSIGN_OR_RETURN(AnnotatedRelation left_side,
                            EvalSide(left_plan_, ctx.view));
       JoinDeltaWithSide(dr, left_side, /*delta_is_left=*/false, +1, &out);

@@ -32,6 +32,11 @@ class IncJoin final : public IncOperator {
     /// (HashColumnBatch) and probe the filter with one MayContainHashes
     /// call instead of a per-row MayContainHash. Bit-identical pruning.
     bool vectorized = true;
+    /// Answer delegated ΔR ⋈ S round trips through the snapshot's point
+    /// index when the side plan allows it (stateless chain with the key
+    /// column passed through). Off = always evaluate the side — the
+    /// bit-identical reference the index equivalence gates compare against.
+    bool use_index = true;
   };
 
   IncJoin(std::unique_ptr<IncOperator> left, std::unique_ptr<IncOperator> right,

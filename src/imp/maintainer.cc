@@ -70,6 +70,7 @@ std::unique_ptr<IncOperator> Maintainer::BuildOperator(const PlanPtr& plan) {
       IncJoin::Options jopts;
       jopts.use_bloom = options_.bloom_filters;
       jopts.vectorized = options_.vectorized_kernels;
+      jopts.use_index = options_.indexed_joins;
       return std::make_unique<IncJoin>(
           BuildOperator(node.left()), BuildOperator(node.right()),
           node.left(), node.right(), node.keys(), node.residual(), db_,

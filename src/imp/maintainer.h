@@ -35,6 +35,11 @@ struct MaintainerOptions {
   /// operator chain (exec/vector_kernels). Off = row-at-a-time Expr::Eval
   /// everywhere; results are bit-identical either way.
   bool vectorized_kernels = true;
+  /// Delegated ΔR ⋈ S round trips answered via the backend snapshot's
+  /// point index (storage/snapshot_index). Off = every round trip fully
+  /// evaluates the side; results are bit-identical either way — the
+  /// reference the index equivalence gates compare against.
+  bool indexed_joins = true;
 };
 
 /// Incremental maintenance procedure for one query's sketch.

@@ -268,9 +268,15 @@ SystemHealth ImpSystem::Health() {
   }
   // Refresh the snapshot-style stats fields from the same readings.
   {
+    Database::IndexStatsSnapshot istats = db_->AggregateIndexStats();
     std::lock_guard<std::mutex> stats(stats_mu_);
     stats_.faults_injected = health.faults_injected;
     stats_.dead_letter_size = health.dead_letter_size;
+    stats_.index_shards_built = istats.shards_built;
+    stats_.index_shards_reused = istats.shards_reused;
+    stats_.index_point_probes = istats.point_probes;
+    stats_.index_range_probes = istats.range_probes;
+    stats_.index_bytes = db_->IndexBytes();
   }
   return health;
 }
@@ -1051,6 +1057,7 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
     size_t copied_before = 0;
     size_t vectorized_before = 0;
     size_t fallback_before = 0;
+    size_t index_fallback_before = 0;
   };
   std::vector<Item> items;
   items.reserve(entries.size());
@@ -1088,6 +1095,7 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
       item.copied_before = mstats.rows_copied;
       item.vectorized_before = mstats.vectorized_batches;
       item.fallback_before = mstats.scalar_fallback_rows;
+      item.index_fallback_before = mstats.index_fallback_scans;
     }
     items.push_back(item);
   }
@@ -1201,8 +1209,19 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
             mstats.vectorized_batches - items[i].vectorized_before;
         stats_.scalar_fallback_rows +=
             mstats.scalar_fallback_rows - items[i].fallback_before;
+        stats_.index_fallback_scans +=
+            mstats.index_fallback_scans - items[i].index_fallback_before;
       }
     }
+    // Snapshot-style refresh of the backend's cumulative index counters —
+    // every round's probes/builds (delegated joins, side evaluations) are
+    // visible here without threading deltas through each maintainer.
+    Database::IndexStatsSnapshot istats = db_->AggregateIndexStats();
+    stats_.index_shards_built = istats.shards_built;
+    stats_.index_shards_reused = istats.shards_reused;
+    stats_.index_point_probes = istats.point_probes;
+    stats_.index_range_probes = istats.range_probes;
+    stats_.index_bytes = db_->IndexBytes();
     if (shared) {
       MaintenanceBatchStats bstats = batch.stats();
       stats_.delta_scans += bstats.delta_scans;

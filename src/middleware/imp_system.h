@@ -218,6 +218,20 @@ struct ImpSystemStats {
   // execution.
   size_t vectorized_batches = 0;
   size_t scalar_fallback_rows = 0;
+  // Snapshot-index roll-up (storage/snapshot_index; see README "Index
+  // lifetime"). The shard counters are snapshot-style refreshes of the
+  // backend's cumulative per-table TableIndexStats: built counts shard
+  // materializations, reused counts carry-forwards from a chunk's cache —
+  // a healthy steady state reuses nearly everything and builds O(delta).
+  // index_fallback_scans sums the per-maintainer MaintainStats diffs
+  // (delegated joins that could not use the point index); index_bytes is
+  // the materialized shard footprint reachable from current snapshots.
+  size_t index_shards_built = 0;
+  size_t index_shards_reused = 0;
+  size_t index_point_probes = 0;
+  size_t index_range_probes = 0;
+  size_t index_fallback_scans = 0;
+  size_t index_bytes = 0;
   // Asynchronous ingestion counters. In async mode update_seconds measures
   // ENQUEUE latency (what the writer observes); the apply cost moves to
   // the worker and is reported separately.

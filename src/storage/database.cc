@@ -216,4 +216,24 @@ size_t Database::MemoryBytes() const {
   return bytes;
 }
 
+Database::IndexStatsSnapshot Database::AggregateIndexStats() const {
+  IndexStatsSnapshot out;
+  for (const auto& [_, table] : tables_) {
+    const TableIndexStats& s = table->index_stats();
+    out.shards_built += s.shards_built.load(std::memory_order_relaxed);
+    out.shards_reused += s.shards_reused.load(std::memory_order_relaxed);
+    out.point_probes += s.point_probes.load(std::memory_order_relaxed);
+    out.range_probes += s.range_probes.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+size_t Database::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& [_, table] : tables_) {
+    bytes += table->Snapshot()->IndexBytes();
+  }
+  return bytes;
+}
+
 }  // namespace imp

@@ -238,6 +238,22 @@ class Database {
 
   size_t MemoryBytes() const;
 
+  /// Cross-table roll-up of the per-table snapshot-index counters
+  /// (TableIndexStats), for stats reporting and O(delta) maintenance
+  /// gating in the benches.
+  struct IndexStatsSnapshot {
+    uint64_t shards_built = 0;
+    uint64_t shards_reused = 0;
+    uint64_t point_probes = 0;
+    uint64_t range_probes = 0;
+  };
+  IndexStatsSnapshot AggregateIndexStats() const;
+
+  /// Bytes held by materialized index shards reachable from the currently
+  /// published snapshots (reported separately from data bytes so
+  /// carry-forward sharing is measurable).
+  size_t IndexBytes() const;
+
  private:
   /// The actual publication work (deltas, then snapshot) — no failpoint.
   void PublishTableUnchecked(std::string_view table);

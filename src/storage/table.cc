@@ -7,6 +7,14 @@ namespace imp {
 
 void DataChunk::AppendRow(const Tuple& row) {
   IMP_DCHECK(row.size() == columns_.size());
+  // Appends only ever hit writer-private chunks (a snapshot-shared tail is
+  // cloned or sealed first), but a chunk can become private again after the
+  // last pinned snapshot drops it — drop any shards it left behind.
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    hash_shards_.clear();
+    sorted_shards_.clear();
+  }
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c].push_back(row[c]);
     if (!row[c].is_null()) {
@@ -39,6 +47,49 @@ size_t DataChunk::MemoryBytes() const {
       if (v.is_string()) bytes += v.AsString().capacity();
     }
   }
+  return bytes;
+}
+
+std::shared_ptr<const HashShard> DataChunk::HashShardFor(
+    size_t col, bool* built_now) const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  auto it = hash_shards_.find(col);
+  if (it != hash_shards_.end()) {
+    *built_now = false;
+    return it->second;
+  }
+  auto shard = HashShard::Build(columns_[col], num_rows_);
+  hash_shards_[col] = shard;
+  *built_now = true;
+  return shard;
+}
+
+std::shared_ptr<const SortedShard> DataChunk::SortedShardFor(
+    size_t col, bool* built_now) const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  auto it = sorted_shards_.find(col);
+  if (it != sorted_shards_.end()) {
+    *built_now = false;
+    return it->second;
+  }
+  auto shard = SortedShard::Build(columns_[col], num_rows_);
+  sorted_shards_[col] = shard;
+  *built_now = true;
+  return shard;
+}
+
+std::shared_ptr<const SortedShard> DataChunk::SortedShardIfBuilt(
+    size_t col) const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  auto it = sorted_shards_.find(col);
+  return it == sorted_shards_.end() ? nullptr : it->second;
+}
+
+size_t DataChunk::IndexBytes() const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  size_t bytes = 0;
+  for (const auto& kv : hash_shards_) bytes += kv.second->MemoryBytes();
+  for (const auto& kv : sorted_shards_) bytes += kv.second->MemoryBytes();
   return bytes;
 }
 
@@ -86,48 +137,172 @@ std::vector<Value> TableSnapshot::ColumnValues(size_t col) const {
   return out;
 }
 
-void TableSnapshot::BuildIndex(size_t col) const {
-  HashIndex index;
-  index.reserve(num_rows_);
-  for (uint32_t c = 0; c < chunks_.size(); ++c) {
-    const auto& column = chunks_[c]->column(col);
-    for (uint32_t r = 0; r < chunks_[c]->num_rows(); ++r) {
-      index[column[r]].push_back(RowLoc{c, r});
-    }
-  }
-  hash_indexes_[col] = std::move(index);
-}
-
-const std::vector<TableSnapshot::RowLoc>* TableSnapshot::IndexProbe(
-    size_t col, const Value& v) const {
-  IMP_CHECK(col < schema().size());
-  // Fast path: the index exists — a shared lock keeps concurrent probes
-  // from maintenance workers parallel. Map nodes are stable, so the index
-  // stays valid after the lock is released.
-  const HashIndex* index = nullptr;
+const TableSnapshot::HashShardVec& TableSnapshot::HashShards(size_t col) const {
+  // Fast path: already assembled — a shared lock keeps concurrent probes
+  // from maintenance workers parallel. Map nodes are stable, so the
+  // returned reference stays valid after the lock is released.
   {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
-    auto it = hash_indexes_.find(col);
-    if (it != hash_indexes_.end()) index = &it->second;
+    auto it = hash_assemblies_.find(col);
+    if (it != hash_assemblies_.end()) return it->second;
   }
-  if (index == nullptr) {
-    // Slow path: serialize the lazy build; re-check under the exclusive
-    // lock since another reader may have built it meanwhile.
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
-    auto it = hash_indexes_.find(col);
-    if (it == hash_indexes_.end()) {
-      BuildIndex(col);
-      it = hash_indexes_.find(col);
+  // Slow path: serialize the lazy assembly; re-check under the exclusive
+  // lock since another reader may have assembled it meanwhile. Chunks that
+  // already carry a shard (a predecessor snapshot probed them) are shared
+  // as-is — only delta chunks pay a build.
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  auto it = hash_assemblies_.find(col);
+  if (it == hash_assemblies_.end()) {
+    HashShardVec shards;
+    shards.reserve(chunks_.size());
+    uint64_t built = 0, reused = 0;
+    for (const auto& chunk : chunks_) {
+      bool built_now = false;
+      shards.push_back(chunk->HashShardFor(col, &built_now));
+      built_now ? ++built : ++reused;
     }
-    index = &it->second;
+    if (table_ != nullptr) {
+      TableIndexStats& s = table_->index_stats();
+      s.shards_built.fetch_add(built, std::memory_order_relaxed);
+      s.shards_reused.fetch_add(reused, std::memory_order_relaxed);
+    }
+    it = hash_assemblies_.emplace(col, std::move(shards)).first;
   }
-  auto hit = index->find(v);
-  return hit == index->end() ? nullptr : &hit->second;
+  return it->second;
+}
+
+const TableSnapshot::SortedShardVec& TableSnapshot::SortedShards(
+    size_t col) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = sorted_assemblies_.find(col);
+    if (it != sorted_assemblies_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  auto it = sorted_assemblies_.find(col);
+  if (it == sorted_assemblies_.end()) {
+    SortedShardVec shards;
+    shards.reserve(chunks_.size());
+    uint64_t built = 0, reused = 0;
+    for (const auto& chunk : chunks_) {
+      bool built_now = false;
+      shards.push_back(chunk->SortedShardFor(col, &built_now));
+      built_now ? ++built : ++reused;
+    }
+    if (table_ != nullptr) {
+      TableIndexStats& s = table_->index_stats();
+      s.shards_built.fetch_add(built, std::memory_order_relaxed);
+      s.shards_reused.fetch_add(reused, std::memory_order_relaxed);
+    }
+    it = sorted_assemblies_.emplace(col, std::move(shards)).first;
+  }
+  return it->second;
+}
+
+void TableSnapshot::ForEachIndexMatch(
+    size_t col, const Value& v,
+    const std::function<void(const RowLoc&)>& fn) const {
+  IMP_CHECK(col < schema().size());
+  const HashShardVec& shards = HashShards(col);
+  if (table_ != nullptr) {
+    table_->index_stats().point_probes.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (uint32_t c = 0; c < shards.size(); ++c) {
+    const std::vector<uint32_t>* rows = shards[c]->Probe(v);
+    if (rows == nullptr) continue;
+    for (uint32_t r : *rows) fn(RowLoc{c, r});
+  }
+}
+
+std::vector<TableSnapshot::RowLoc> TableSnapshot::IndexProbe(
+    size_t col, const Value& v) const {
+  std::vector<RowLoc> out;
+  ForEachIndexMatch(col, v, [&](const RowLoc& loc) { out.push_back(loc); });
+  return out;
+}
+
+void TableSnapshot::ForEachIndexRangeMatch(
+    size_t col, const Value* lo, bool lo_inclusive, const Value* hi,
+    bool hi_inclusive, const std::function<void(const RowLoc&)>& fn) const {
+  IMP_CHECK(col < schema().size());
+  const SortedShardVec& shards = SortedShards(col);
+  if (table_ != nullptr) {
+    table_->index_stats().range_probes.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<uint32_t> rows;
+  for (uint32_t c = 0; c < shards.size(); ++c) {
+    rows.clear();
+    shards[c]->CollectRange(lo, lo_inclusive, hi, hi_inclusive, &rows);
+    for (uint32_t r : rows) fn(RowLoc{c, r});
+  }
+}
+
+std::vector<TableSnapshot::RowLoc> TableSnapshot::IndexRangeProbe(
+    size_t col, const Value& lo, const Value& hi) const {
+  std::vector<RowLoc> out;
+  ForEachIndexRangeMatch(col, &lo, /*lo_inclusive=*/true, &hi,
+                         /*hi_inclusive=*/true,
+                         [&](const RowLoc& loc) { out.push_back(loc); });
+  return out;
+}
+
+namespace {
+bool Contains(const std::vector<size_t>& cols, size_t col) {
+  return std::find(cols.begin(), cols.end(), col) != cols.end();
+}
+
+template <typename Map>
+std::vector<size_t> MergeIndexedColumns(const std::vector<size_t>& warm,
+                                        const Map& assemblies) {
+  std::vector<size_t> out = warm;
+  for (const auto& kv : assemblies) out.push_back(kv.first);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+}  // namespace
+
+bool TableSnapshot::HasIndex(size_t col) const {
+  if (Contains(warm_hash_cols_, col)) return true;
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return hash_assemblies_.count(col) > 0;
+}
+
+bool TableSnapshot::HasRangeIndex(size_t col) const {
+  if (Contains(warm_sorted_cols_, col)) return true;
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return sorted_assemblies_.count(col) > 0;
+}
+
+std::vector<size_t> TableSnapshot::IndexedHashColumns() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return MergeIndexedColumns(warm_hash_cols_, hash_assemblies_);
+}
+
+std::vector<size_t> TableSnapshot::IndexedSortedColumns() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return MergeIndexedColumns(warm_sorted_cols_, sorted_assemblies_);
+}
+
+size_t TableSnapshot::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& chunk : chunks_) bytes += chunk->IndexBytes();
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    bytes += hash_assemblies_.size() * chunks_.size() *
+             sizeof(std::shared_ptr<const HashShard>);
+    bytes += sorted_assemblies_.size() * chunks_.size() *
+             sizeof(std::shared_ptr<const SortedShard>);
+  }
+  return bytes;
 }
 
 size_t TableSnapshot::MemoryBytes() const {
   size_t bytes = sizeof(TableSnapshot);
   for (const auto& chunk : chunks_) bytes += chunk->MemoryBytes();
+  // Materialized index shards are real memory too; without this the
+  // fig17-style accounting would report index carry-forward as free.
+  bytes += IndexBytes();
   return bytes;
 }
 
@@ -229,9 +404,16 @@ void Table::PublishSnapshot() {
   // append clones it (COW), every other chunk is immutable by construction.
   std::vector<std::shared_ptr<const DataChunk>> chunks(chunks_.begin(),
                                                        chunks_.end());
+  // Index carry-forward: the predecessor's indexed columns stay available
+  // on the successor. The shards themselves ride the shared chunk
+  // pointers above; only the availability sets are copied here, so
+  // publication stays O(#chunks) and the first probe on the new snapshot
+  // rebuilds shards for delta chunks alone.
+  std::shared_ptr<const TableSnapshot> prev = Snapshot();
   auto next = std::make_shared<const TableSnapshot>(
       this, std::move(chunks), num_rows_, delta_log_.last_published_version(),
-      ++snapshot_epoch_);
+      ++snapshot_epoch_, prev->IndexedHashColumns(),
+      prev->IndexedSortedColumns());
   std::atomic_store_explicit(&snapshot_,
                              std::shared_ptr<const TableSnapshot>(next),
                              std::memory_order_release);

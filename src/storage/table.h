@@ -15,11 +15,20 @@
 //   TableSnapshot via an RCU-style atomic shared_ptr swap — the same design
 //   the middleware uses for SketchSnapshots, pushed down into storage. A
 //   reader pins the snapshot (one atomic load) and scans chunks, zone maps
-//   and lazily built hash indexes that are guaranteed never to change under
+//   and lazily built index shards that are guaranteed never to change under
 //   it. Reclamation is epoch-based through the pins themselves: an old
 //   snapshot (and any chunk only it references) is freed exactly when the
 //   last ReadView / pinned pointer drops it — a writer never waits for or
 //   even observes readers.
+//
+//   Index lifetime: indexes are chunk-granular immutable shards
+//   (storage/snapshot_index.h) cached on the DataChunk they index. A
+//   snapshot's per-column index is an assembly of shard pointers, one per
+//   chunk, built lazily on first probe; chunks already carrying a shard
+//   (because a predecessor snapshot probed them) are reused as-is, so a
+//   publication that appended a handful of rows re-indexes only the COW
+//   tail — O(delta rows), not O(table rows). Shards die with their chunk
+//   via the same epoch/pin reclamation as the data.
 //
 //   Writers are serialized per table by the Database's write stripe (one
 //   mutex per table, never taken by readers). Appends copy-on-write the
@@ -44,6 +53,7 @@
 #include "common/schema.h"
 #include "common/tuple.h"
 #include "storage/delta_log.h"
+#include "storage/snapshot_index.h"
 
 namespace imp {
 
@@ -66,6 +76,12 @@ class DataChunk {
 
   explicit DataChunk(size_t num_columns)
       : columns_(num_columns), zone_(num_columns), num_rows_(0) {}
+
+  /// Copy the row data and zone map but NOT the shard cache: a COW clone is
+  /// a fresh, writer-private chunk whose contents will diverge immediately.
+  DataChunk(const DataChunk& other)
+      : columns_(other.columns_), zone_(other.zone_), num_rows_(other.num_rows_) {}
+  DataChunk& operator=(const DataChunk&) = delete;
 
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
@@ -91,15 +107,49 @@ class DataChunk {
   };
   const ZoneEntry& zone(size_t col) const { return zone_[col]; }
 
+  /// Lazily build (or fetch the cached) point / ordered index shard for
+  /// `col`. The returned shard is immutable and may be shared by any number
+  /// of snapshots; `*built_now` reports whether THIS call materialized it
+  /// (the O(delta)-maintenance accounting hook). Thread-safe: concurrent
+  /// builders are serialized on the chunk's shard mutex. Only valid on
+  /// chunks reachable from a published snapshot (physically immutable).
+  std::shared_ptr<const HashShard> HashShardFor(size_t col,
+                                                bool* built_now) const;
+  std::shared_ptr<const SortedShard> SortedShardFor(size_t col,
+                                                    bool* built_now) const;
+  /// The ordered shard for `col` if some probe already materialized it,
+  /// else nullptr — never builds. Lets zone-filter refinement use exact
+  /// emptiness checks opportunistically without paying a build.
+  std::shared_ptr<const SortedShard> SortedShardIfBuilt(size_t col) const;
+
+  /// Bytes held by materialized index shards on this chunk.
+  size_t IndexBytes() const;
+
   size_t MemoryBytes() const;
 
  private:
   std::vector<std::vector<Value>> columns_;
   std::vector<ZoneEntry> zone_;
   size_t num_rows_;
+  /// Shard cache. Guards the maps only; the shards themselves are
+  /// immutable. Leaf lock (acquired under a snapshot's index_mu_ during
+  /// assembly; shard builds take no further locks).
+  mutable std::mutex shard_mu_;
+  mutable std::map<size_t, std::shared_ptr<const HashShard>> hash_shards_;
+  mutable std::map<size_t, std::shared_ptr<const SortedShard>> sorted_shards_;
 };
 
 class Table;
+
+/// Cumulative per-table index maintenance / probe counters. Snapshots are
+/// const on the read path, so the counters live on the Table and are
+/// atomics (relaxed; they are statistics, not synchronization).
+struct TableIndexStats {
+  std::atomic<uint64_t> shards_built{0};   ///< shards materialized
+  std::atomic<uint64_t> shards_reused{0};  ///< carried forward from a chunk's cache
+  std::atomic<uint64_t> point_probes{0};
+  std::atomic<uint64_t> range_probes{0};
+};
 
 /// The immutable, epoch-stamped published state of one table — the storage
 /// twin of the middleware's SketchSnapshot. A pinned snapshot is
@@ -109,14 +159,23 @@ class Table;
 /// snapshot; nothing on this class takes a table or session lock.
 class TableSnapshot {
  public:
+  /// `warm_hash_cols` / `warm_sorted_cols` name the columns the predecessor
+  /// snapshot had indexed: the publication path passes them so index
+  /// availability (HasIndex / HasRangeIndex) carries forward across
+  /// generations and the first probe on the new snapshot reassembles from
+  /// the chunks' cached shards in O(delta).
   TableSnapshot(const Table* table,
                 std::vector<std::shared_ptr<const DataChunk>> chunks,
-                size_t num_rows, uint64_t version, uint64_t epoch)
+                size_t num_rows, uint64_t version, uint64_t epoch,
+                std::vector<size_t> warm_hash_cols = {},
+                std::vector<size_t> warm_sorted_cols = {})
       : table_(table),
         chunks_(std::move(chunks)),
         num_rows_(num_rows),
         version_(version),
-        epoch_(epoch) {}
+        epoch_(epoch),
+        warm_hash_cols_(std::move(warm_hash_cols)),
+        warm_sorted_cols_(std::move(warm_sorted_cols)) {}
 
   TableSnapshot(const TableSnapshot&) = delete;
   TableSnapshot& operator=(const TableSnapshot&) = delete;
@@ -156,36 +215,71 @@ class TableSnapshot {
     uint32_t row = 0;
   };
 
-  /// Probe the hash index on `col` for rows with value `v`. The index is
-  /// built lazily on first use (an access-method cache, so logically
-  /// const) and belongs to THIS snapshot — it can never go stale or point
-  /// into rows the snapshot does not contain. Returns nullptr when no row
-  /// matches. Safe from any number of concurrent readers: the lazy build
-  /// is serialized on index_mu_, steady-state probes take the shared side,
-  /// and map nodes are stable so a returned pointer outlives the lock.
-  const std::vector<RowLoc>* IndexProbe(size_t col, const Value& v) const;
+  /// Probe the point index on `col` for rows with value `v`, in
+  /// chunk-ascending / row-ascending order (the emission order a full scan
+  /// would produce). The per-chunk shards are assembled lazily on first
+  /// use (an access-method cache, so logically const) and belong to THIS
+  /// snapshot's chunks — they can never go stale or point into rows the
+  /// snapshot does not contain. Safe from any number of concurrent
+  /// readers: assembly is serialized on index_mu_, steady-state probes
+  /// take the shared side.
+  std::vector<RowLoc> IndexProbe(size_t col, const Value& v) const;
+  /// Callback form of IndexProbe for hot paths (no RowLoc vector built).
+  void ForEachIndexMatch(size_t col, const Value& v,
+                         const std::function<void(const RowLoc&)>& fn) const;
 
-  /// True once an index on `col` has been materialized.
-  bool HasIndex(size_t col) const {
-    std::shared_lock<std::shared_mutex> lock(index_mu_);
-    return hash_indexes_.count(col) > 0;
-  }
+  /// Probe the ordered index on `col` for rows with lo <= value <= hi
+  /// (both bounds inclusive), in chunk-ascending / row-ascending order.
+  /// NULL rows never match, matching SQL comparison semantics.
+  std::vector<RowLoc> IndexRangeProbe(size_t col, const Value& lo,
+                                      const Value& hi) const;
+  /// General form: null bound pointer = unbounded side, inclusivity flags
+  /// select <= / < per bound.
+  void ForEachIndexRangeMatch(size_t col, const Value* lo, bool lo_inclusive,
+                              const Value* hi, bool hi_inclusive,
+                              const std::function<void(const RowLoc&)>& fn) const;
+
+  /// True once a point index on `col` is available: assembled by a probe on
+  /// this snapshot, or carried forward warm from the predecessor.
+  bool HasIndex(size_t col) const;
+  /// Same for the ordered (range-capable) index.
+  bool HasRangeIndex(size_t col) const;
+
+  /// Columns with an available point / ordered index (assembled ∪ warm);
+  /// the publication path passes these to the successor snapshot so
+  /// availability survives generations. Sorted, deduplicated.
+  std::vector<size_t> IndexedHashColumns() const;
+  std::vector<size_t> IndexedSortedColumns() const;
+
+  /// Bytes held by materialized index shards on this snapshot's chunks
+  /// (shared shards are counted once per snapshot).
+  size_t IndexBytes() const;
 
   size_t MemoryBytes() const;
 
  private:
-  using HashIndex = std::unordered_map<Value, std::vector<RowLoc>, ValueHash>;
-  void BuildIndex(size_t col) const;
+  using HashShardVec = std::vector<std::shared_ptr<const HashShard>>;
+  using SortedShardVec = std::vector<std::shared_ptr<const SortedShard>>;
+  /// Assemble (or fetch) the per-chunk shard vector for `col`, counting
+  /// built vs reused shards into the owning table's TableIndexStats.
+  const HashShardVec& HashShards(size_t col) const;
+  const SortedShardVec& SortedShards(size_t col) const;
 
   const Table* table_;  ///< name/schema only; the Database outlives views
   std::vector<std::shared_ptr<const DataChunk>> chunks_;
   size_t num_rows_;
   uint64_t version_;
   uint64_t epoch_;
-  /// Guards hash_indexes_ against concurrent lazy builds; steady-state
-  /// probes only take the shared side. Leaf lock.
+  /// Columns the predecessor snapshot had indexed (availability only; the
+  /// shards themselves live on the shared chunks). Immutable after ctor.
+  std::vector<size_t> warm_hash_cols_;
+  std::vector<size_t> warm_sorted_cols_;
+  /// Guards the assembly maps against concurrent lazy assembly;
+  /// steady-state probes only take the shared side. Map nodes are stable,
+  /// so a returned reference outlives the lock.
   mutable std::shared_mutex index_mu_;
-  mutable std::map<size_t, HashIndex> hash_indexes_;
+  mutable std::map<size_t, HashShardVec> hash_assemblies_;
+  mutable std::map<size_t, SortedShardVec> sorted_assemblies_;
 };
 
 /// A base table: schema + chunks + append-only delta log + the published
@@ -263,6 +357,10 @@ class Table {
   /// Epoch of the currently published snapshot (tests / introspection).
   uint64_t SnapshotEpoch() const { return Snapshot()->epoch(); }
 
+  /// Cumulative index shard / probe counters (updated by snapshots on the
+  /// const read path; atomics, any thread).
+  TableIndexStats& index_stats() const { return index_stats_; }
+
   size_t MemoryBytes() const;
 
   /// The table's write stripe (Database::WriteSession locks it).
@@ -275,6 +373,7 @@ class Table {
   size_t num_rows_ = 0;
   uint64_t snapshot_epoch_ = 0;  ///< writer-side; last published epoch
   DeltaLog delta_log_;
+  mutable TableIndexStats index_stats_;
   mutable std::mutex stripe_mu_;
   /// The published snapshot (atomic shared_ptr swap; see class comment).
   std::shared_ptr<const TableSnapshot> snapshot_;

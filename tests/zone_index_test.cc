@@ -172,7 +172,7 @@ TEST(ChunkSkippingTest, UseRewriteActuallySkipsChunks) {
             plain_exec.scan_stats().rows_scanned / 2);
 }
 
-// ---- Hash indexes ---------------------------------------------------------------
+// ---- Snapshot index shards -----------------------------------------------------
 
 TEST(HashIndexTest, ProbeFindsAllMatches) {
   Database db;
@@ -180,18 +180,23 @@ TEST(HashIndexTest, ProbeFindsAllMatches) {
   std::vector<Tuple> rows;
   for (int64_t i = 0; i < 10000; ++i) rows.push_back(Row(i % 100, i));
   ASSERT_TRUE(db.BulkLoad("t", rows).ok());
-  // Indexes live on the immutable published snapshot (built lazily per
+  // Indexes live on the immutable published snapshot (assembled lazily per
   // snapshot, so they can never point into rows the snapshot lacks).
   auto t = db.GetTable("t")->Snapshot();
   EXPECT_FALSE(t->HasIndex(0));
-  const auto* locs = t->IndexProbe(0, Value::Int(42));
+  std::vector<TableSnapshot::RowLoc> locs = t->IndexProbe(0, Value::Int(42));
   EXPECT_TRUE(t->HasIndex(0));
-  ASSERT_NE(locs, nullptr);
-  EXPECT_EQ(locs->size(), 100u);
-  for (const auto& loc : *locs) {
+  EXPECT_EQ(locs.size(), 100u);
+  for (const auto& loc : locs) {
     EXPECT_EQ(t->chunks()[loc.chunk]->At(loc.row, 0), Value::Int(42));
   }
-  EXPECT_EQ(t->IndexProbe(0, Value::Int(12345)), nullptr);
+  // Postings arrive in scan order: chunk-ascending, row-ascending.
+  for (size_t i = 1; i < locs.size(); ++i) {
+    EXPECT_TRUE(locs[i - 1].chunk < locs[i].chunk ||
+                (locs[i - 1].chunk == locs[i].chunk &&
+                 locs[i - 1].row < locs[i].row));
+  }
+  EXPECT_TRUE(t->IndexProbe(0, Value::Int(12345)).empty());
 }
 
 TEST(HashIndexTest, FreshSnapshotIndexSeesInsertedRows) {
@@ -199,35 +204,38 @@ TEST(HashIndexTest, FreshSnapshotIndexSeesInsertedRows) {
   ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
   ASSERT_TRUE(db.BulkLoad("t", {Row(1, 1)}).ok());
   auto before = db.GetTable("t")->Snapshot();
-  ASSERT_NE(before->IndexProbe(0, Value::Int(1)), nullptr);  // build index
+  EXPECT_EQ(before->IndexProbe(0, Value::Int(1)).size(), 1u);  // build index
   ASSERT_TRUE(db.Insert("t", {Row(1, 2), Row(7, 3)}).ok());
-  // The old pinned snapshot (and its index) is immutable — it still sees
+  // The old pinned snapshot (and its shards) is immutable — it still sees
   // exactly the pre-insert rows; the freshly published snapshot's lazily
-  // built index covers the new ones.
-  EXPECT_EQ(before->IndexProbe(0, Value::Int(1))->size(), 1u);
-  EXPECT_EQ(before->IndexProbe(0, Value::Int(7)), nullptr);
+  // assembled index covers the new ones.
+  EXPECT_EQ(before->IndexProbe(0, Value::Int(1)).size(), 1u);
+  EXPECT_TRUE(before->IndexProbe(0, Value::Int(7)).empty());
   auto after = db.GetTable("t")->Snapshot();
-  EXPECT_EQ(after->IndexProbe(0, Value::Int(1))->size(), 2u);
-  EXPECT_EQ(after->IndexProbe(0, Value::Int(7))->size(), 1u);
+  // Availability carried forward from the probed predecessor.
+  EXPECT_TRUE(after->HasIndex(0));
+  EXPECT_EQ(after->IndexProbe(0, Value::Int(1)).size(), 2u);
+  EXPECT_EQ(after->IndexProbe(0, Value::Int(7)).size(), 1u);
 }
 
-TEST(HashIndexTest, IndexDroppedAndRebuiltAfterDelete) {
+TEST(HashIndexTest, IndexCarriedAcrossDelete) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
   std::vector<Tuple> rows;
   for (int64_t i = 0; i < 100; ++i) rows.push_back(Row(i % 10, i));
   ASSERT_TRUE(db.BulkLoad("t", rows).ok());
-  ASSERT_EQ(db.GetTable("t")->Snapshot()->IndexProbe(0, Value::Int(3))->size(),
+  ASSERT_EQ(db.GetTable("t")->Snapshot()->IndexProbe(0, Value::Int(3)).size(),
             10u);
   ASSERT_TRUE(db.Delete("t", [](const Tuple& row) {
                   return row[0] == Value::Int(3);
                 }).ok());
-  // The delete published a fresh snapshot with no index yet; its lazily
-  // rebuilt index reflects the post-delete rows.
+  // The delete published a fresh snapshot over rebuilt chunks; index
+  // availability carries forward and the reassembled shards reflect the
+  // post-delete rows.
   auto t = db.GetTable("t")->Snapshot();
-  EXPECT_FALSE(t->HasIndex(0));
-  EXPECT_EQ(t->IndexProbe(0, Value::Int(3)), nullptr);  // rebuilt, empty
-  EXPECT_EQ(t->IndexProbe(0, Value::Int(4))->size(), 10u);
+  EXPECT_TRUE(t->HasIndex(0));
+  EXPECT_TRUE(t->IndexProbe(0, Value::Int(3)).empty());  // rebuilt, empty
+  EXPECT_EQ(t->IndexProbe(0, Value::Int(4)).size(), 10u);
 }
 
 TEST(HashIndexTest, NumericKeyEquivalenceIntDouble) {
@@ -236,8 +244,209 @@ TEST(HashIndexTest, NumericKeyEquivalenceIntDouble) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
   ASSERT_TRUE(db.BulkLoad("t", {Row(2, 1)}).ok());
-  ASSERT_NE(db.GetTable("t")->Snapshot()->IndexProbe(0, Value::Double(2.0)),
-            nullptr);
+  EXPECT_EQ(db.GetTable("t")->Snapshot()->IndexProbe(0, Value::Double(2.0))
+                .size(),
+            1u);
+}
+
+TEST(ShardCarryForwardTest, AppendRebuildOnlyTouchesTheTail) {
+  // The tentpole O(delta) property, observed through TableIndexStats: after
+  // a small append, the next probe reuses every sealed chunk's cached shard
+  // and builds at most the COW-tail shard.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  std::vector<Tuple> rows;
+  const int64_t n = static_cast<int64_t>(DataChunk::kDefaultCapacity) * 4;
+  for (int64_t i = 0; i < n; ++i) rows.push_back(Row(i % 128, i));
+  ASSERT_TRUE(db.BulkLoad("t", rows).ok());
+  const Table* table = db.GetTable("t");
+  auto& istats = table->index_stats();
+
+  auto s1 = table->Snapshot();
+  const size_t num_chunks = s1->chunks().size();
+  ASSERT_GE(num_chunks, 4u);
+  ASSERT_FALSE(s1->IndexProbe(0, Value::Int(7)).empty());
+  EXPECT_EQ(istats.shards_built.load(), num_chunks);
+  EXPECT_EQ(istats.shards_reused.load(), 0u);
+
+  ASSERT_TRUE(db.Insert("t", {Row(7, -1)}).ok());
+  auto s2 = table->Snapshot();
+  ASSERT_NE(s1.get(), s2.get());
+  EXPECT_TRUE(s2->HasIndex(0));  // warm from s1
+  uint64_t built_before = istats.shards_built.load();
+  ASSERT_FALSE(s2->IndexProbe(0, Value::Int(7)).empty());
+  // Every chunk s1 and s2 share contributes a reused shard; only the tail
+  // region (COW clone or fresh chunk) needs a new one.
+  EXPECT_LE(istats.shards_built.load() - built_before, 2u);
+  EXPECT_GE(istats.shards_reused.load(), num_chunks - 1);
+}
+
+TEST(RangeIndexTest, RangeProbeMatchesPredicateSemantics) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 1000; ++i) rows.push_back(Row(i % 50, i));
+  rows.push_back({Value::Null(), Value::Int(-1)});  // NULL never in a range
+  ASSERT_TRUE(db.BulkLoad("t", rows).ok());
+  auto t = db.GetTable("t")->Snapshot();
+  EXPECT_FALSE(t->HasRangeIndex(0));
+  std::vector<TableSnapshot::RowLoc> locs =
+      t->IndexRangeProbe(0, Value::Int(10), Value::Int(12));
+  EXPECT_TRUE(t->HasRangeIndex(0));
+  EXPECT_EQ(locs.size(), 60u);  // 3 keys x 20 rows each
+  for (const auto& loc : locs) {
+    const Value& v = t->chunks()[loc.chunk]->At(loc.row, 0);
+    EXPECT_FALSE(v.is_null());
+    EXPECT_GE(v.AsInt(), 10);
+    EXPECT_LE(v.AsInt(), 12);
+  }
+  // Emission order is scan order.
+  for (size_t i = 1; i < locs.size(); ++i) {
+    EXPECT_TRUE(locs[i - 1].chunk < locs[i].chunk ||
+                (locs[i - 1].chunk == locs[i].chunk &&
+                 locs[i - 1].row < locs[i].row));
+  }
+  // Exclusive bounds via the general form: 10 < k < 12 leaves one key.
+  size_t hits = 0;
+  Value lo = Value::Int(10), hi = Value::Int(12);
+  t->ForEachIndexRangeMatch(0, &lo, false, &hi, false,
+                            [&](const TableSnapshot::RowLoc&) { ++hits; });
+  EXPECT_EQ(hits, 20u);
+  // Unbounded sides.
+  hits = 0;
+  t->ForEachIndexRangeMatch(0, &lo, false, nullptr, false,
+                            [&](const TableSnapshot::RowLoc&) { ++hits; });
+  EXPECT_EQ(hits, 39u * 20u);  // keys 11..49, NULL excluded
+  hits = 0;
+  t->ForEachIndexRangeMatch(0, nullptr, false, nullptr, false,
+                            [&](const TableSnapshot::RowLoc&) { ++hits; });
+  EXPECT_EQ(hits, 1000u);  // everything but the NULL row
+}
+
+TEST(RangeIndexTest, ExtractColumnRangesShapes) {
+  auto k = [] { return MakeColumnRef(0, "k", ValueType::kInt); };
+  auto lit = [](int64_t v) { return MakeLiteral(Value::Int(v)); };
+
+  // Simple comparison.
+  auto r = ExtractColumnRanges(*MakeBinary(BinaryOp::kLt, k(), lit(10)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->col, 0u);
+  ASSERT_EQ(r->ranges.size(), 1u);
+  EXPECT_FALSE(r->ranges[0].lo.has);
+  EXPECT_TRUE(r->ranges[0].hi.has);
+  EXPECT_EQ(r->ranges[0].hi.v, Value::Int(10));
+  EXPECT_FALSE(r->ranges[0].hi.inclusive);
+
+  // Mirrored literal: 10 < k is k > 10.
+  r = ExtractColumnRanges(*MakeBinary(BinaryOp::kLt, lit(10), k()));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->ranges.size(), 1u);
+  EXPECT_TRUE(r->ranges[0].lo.has);
+  EXPECT_FALSE(r->ranges[0].lo.inclusive);
+
+  // AND intersects: 5 <= k AND k < 9.
+  r = ExtractColumnRanges(*MakeBinary(
+      BinaryOp::kAnd, MakeBinary(BinaryOp::kGe, k(), lit(5)),
+      MakeBinary(BinaryOp::kLt, k(), lit(9))));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->ranges.size(), 1u);
+  EXPECT_EQ(r->ranges[0].lo.v, Value::Int(5));
+  EXPECT_EQ(r->ranges[0].hi.v, Value::Int(9));
+
+  // Contradiction: k < 3 AND k > 7 is unsatisfiable (empty, not nullopt).
+  r = ExtractColumnRanges(*MakeBinary(
+      BinaryOp::kAnd, MakeBinary(BinaryOp::kLt, k(), lit(3)),
+      MakeBinary(BinaryOp::kGt, k(), lit(7))));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ranges.empty());
+
+  // OR unions and merges touching intervals: k <= 5 OR k = 6 OR k > 6.
+  r = ExtractColumnRanges(*MakeBinary(
+      BinaryOp::kOr, MakeBinary(BinaryOp::kLe, k(), lit(5)),
+      MakeBinary(BinaryOp::kOr, MakeBinary(BinaryOp::kEq, k(), lit(6)),
+                 MakeBinary(BinaryOp::kGt, k(), lit(6)))));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->ranges.size(), 2u);  // (-inf,5] and [6,+inf)
+
+  // != is two open intervals.
+  r = ExtractColumnRanges(*MakeBinary(BinaryOp::kNe, k(), lit(4)));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->ranges.size(), 2u);
+
+  // BETWEEN.
+  r = ExtractColumnRanges(*MakeBetween(k(), lit(2), lit(8)));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->ranges.size(), 1u);
+  EXPECT_TRUE(r->ranges[0].lo.inclusive);
+  EXPECT_TRUE(r->ranges[0].hi.inclusive);
+
+  // NULL literal comparison matches nothing.
+  r = ExtractColumnRanges(
+      *MakeBinary(BinaryOp::kEq, k(), MakeLiteral(Value::Null())));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ranges.empty());
+
+  // Not single-column reducible.
+  ExprPtr v = MakeColumnRef(1, "v", ValueType::kInt);
+  EXPECT_FALSE(ExtractColumnRanges(*MakeBinary(BinaryOp::kLt, k(), v))
+                   .has_value());
+  EXPECT_FALSE(ExtractColumnRanges(*MakeBinary(
+                   BinaryOp::kAnd, MakeBinary(BinaryOp::kLt, k(), lit(9)),
+                   MakeBinary(BinaryOp::kGt, v, lit(1))))
+                   .has_value());
+}
+
+TEST(RangeIndexTest, ChunkMayMatchRangesRefinesWithSortedShard) {
+  DataChunk chunk(2);
+  for (int64_t i = 10; i <= 20; i += 2) chunk.AppendRow(Row(i, i));  // evens
+  ColumnRanges gap;
+  gap.col = 0;
+  ValueRange r;
+  r.lo = {true, Value::Int(13), true};
+  r.hi = {true, Value::Int(13), true};
+  gap.ranges.push_back(r);
+  // Zone map [10,20] alone cannot rule out k=13.
+  EXPECT_TRUE(ChunkMayMatchRanges(gap, chunk));
+  // Once a probe materialized the ordered shard, the check is exact.
+  bool built = false;
+  chunk.SortedShardFor(0, &built);
+  EXPECT_TRUE(built);
+  EXPECT_FALSE(ChunkMayMatchRanges(gap, chunk));
+  gap.ranges[0].lo.v = gap.ranges[0].hi.v = Value::Int(14);
+  EXPECT_TRUE(ChunkMayMatchRanges(gap, chunk));
+}
+
+TEST(RangeIndexTest, ExecutorRangeScanBitIdenticalToFullScan) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  std::vector<Tuple> rows;
+  const int64_t n = static_cast<int64_t>(DataChunk::kDefaultCapacity) * 3;
+  for (int64_t i = 0; i < n; ++i) rows.push_back(Row(i % 301, i));
+  ASSERT_TRUE(db.BulkLoad("t", rows).ok());
+  ExprPtr pred = MakeBetween(MakeColumnRef(0, "k", ValueType::kInt),
+                             MakeLiteral(Value::Int(40)),
+                             MakeLiteral(Value::Int(60)));
+  PlanPtr scan = MakeScan("t", db.GetTable("t")->schema(), pred);
+
+  Executor scan_exec(&db), index_exec(&db);
+  scan_exec.set_range_index_mode(RangeIndexMode::kOff);
+  index_exec.set_range_index_mode(RangeIndexMode::kBuild);
+  auto scanned = scan_exec.Execute(scan);
+  auto indexed = index_exec.Execute(scan);
+  ASSERT_TRUE(scanned.ok());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(scan_exec.scan_stats().index_range_scans, 0u);
+  EXPECT_EQ(index_exec.scan_stats().index_range_scans, 1u);
+  // Bit-identical: same rows in the same order.
+  ASSERT_EQ(scanned.value().size(), indexed.value().size());
+  for (size_t i = 0; i < scanned.value().size(); ++i) {
+    EXPECT_EQ(scanned.value().rows[i], indexed.value().rows[i]);
+  }
+  // Default mode never builds for a one-off query; once the index exists
+  // it is used.
+  Executor avail_exec(&db);
+  ASSERT_TRUE(avail_exec.Execute(scan).ok());
+  EXPECT_EQ(avail_exec.scan_stats().index_range_scans, 1u);
 }
 
 }  // namespace
