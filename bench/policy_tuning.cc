@@ -1,0 +1,316 @@
+// bench_policy_tuning — fixed vs self-tuning maintenance policies under a
+// workload whose delta windows repeatedly OUTGROW the sketch (the PR 9
+// tentpole claim, measured).
+//
+// Two identical systems run the same statement stream:
+//
+//   fixed  — PolicyMode::kFixed: always-incremental repair, eager rounds
+//            at their configured cadence (today's behaviour, the
+//            reference);
+//   tuned  — PolicyMode::kCostBased: the per-sketch cost ledger switches
+//            outgrown windows to FM recapture, and eager flushes defer
+//            under ingest-queue pressure.
+//
+// Workload: a steady trickle punctuated by churn bursts (insert a
+// table-sized batch, then delete it) — each burst leaves a pending delta
+// window of ~2x the table's rows, the regime where replaying the log
+// costs more than rebuilding from base tables. Reported per twin: p99
+// maintenance stall (the longest MaintainAll the workload observes) and
+// total maintenance seconds. A separate pressure phase drives the eager
+// path through a wedged-then-released ingestion backlog and reports the
+// deferral counters.
+//
+// Hard gates (exit non-zero):
+//   * every query result of both twins is bit-identical to the plain
+//     executor's reference at the same watermark — the policies may move
+//     work, never answers;
+//   * the tuned run switched incremental -> recapture at least once
+//     (policy_recaptures >= 1);
+//   * the tuned pressure phase deferred at least one eager round
+//     (rounds_deferred >= 1).
+//
+// Metrics land in BENCH_PR9.json (override with IMP_BENCH_JSON).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "exec/executor.h"
+
+namespace imp {
+namespace {
+
+constexpr size_t kGroups = 200;
+constexpr const char* kTable = "edbp";
+
+std::string BenchQuery(size_t rows) {
+  int64_t rows_per_group = static_cast<int64_t>(rows / kGroups) + 1;
+  return "SELECT a, sum(b) AS s FROM edbp GROUP BY a HAVING sum(b) > " +
+         std::to_string(rows_per_group * 400);
+}
+
+Relation MustQuery(ImpSystem* system, const std::string& sql) {
+  auto result = system->Query(sql);
+  IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+/// Reference over the database's current published state.
+Relation Reference(const Database& db, const std::string& sql) {
+  PlanPtr plan = [&] {
+    Binder binder(&db);
+    auto bound = binder.BindQuery(sql);
+    IMP_CHECK_MSG(bound.ok(), bound.status().ToString().c_str());
+    return std::move(bound).value();
+  }();
+  Executor exec(&db);
+  auto result = exec.Execute(plan);
+  IMP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+void Gate(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "POLICY-TUNING GATE FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+// ---- Phase A/B: outgrown-window maintenance, fixed vs tuned ----------------
+
+struct MaintainResult {
+  std::vector<double> round_seconds;   ///< per-MaintainAll wall time
+  std::vector<std::string> results;    ///< per-round query result strings
+  double maintain_seconds = 0;         ///< stats().maintain_seconds
+  size_t policy_recaptures = 0;
+  size_t policy_switches = 0;
+};
+
+MaintainResult RunOutgrownWorkload(PolicyMode mode, size_t base_rows,
+                                   size_t rounds) {
+  Database db;
+  SyntheticSpec spec;
+  spec.name = kTable;
+  spec.num_rows = base_rows;
+  spec.num_groups = kGroups;
+  IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+
+  ImpConfig config;
+  config.mode = ExecutionMode::kIncremental;
+  config.strategy = MaintenanceStrategy::kLazy;
+  config.policy.mode = mode;
+  ImpSystem system(&db, config);
+  IMP_CHECK(system
+                .RegisterPartition(RangePartition::EquiWidthInt(
+                    kTable, "a", 1, 0, kGroups - 1, 100))
+                .ok());
+  const std::string sql = BenchQuery(base_rows);
+  MustQuery(&system, sql);  // capture
+
+  MaintainResult out;
+  Rng rng(17);
+  int64_t next_id = static_cast<int64_t>(base_rows);
+  for (size_t round = 0; round < rounds; ++round) {
+    if (round % 3 == 2) {
+      // Churn burst: insert a table-sized batch, then delete exactly it.
+      // The pending window at the next cut is ~2x the table's rows —
+      // replaying it through the operators costs more than one rebuild
+      // from base tables, so the cost model should recapture here.
+      BoundUpdate burst;
+      burst.kind = BoundUpdate::Kind::kInsert;
+      burst.table = kTable;
+      const int64_t first = next_id;
+      for (size_t r = 0; r < base_rows; ++r) {
+        burst.rows.push_back(SyntheticRow(spec, next_id++, &rng));
+      }
+      IMP_CHECK(system.UpdateBound(burst).ok());
+      IMP_CHECK(system
+                    .Update("DELETE FROM edbp WHERE id >= " +
+                            std::to_string(first) + " AND id <= " +
+                            std::to_string(next_id - 1))
+                    .ok());
+    } else {
+      // Trickle: a small delta the incremental engine should keep.
+      BoundUpdate trickle;
+      trickle.kind = BoundUpdate::Kind::kInsert;
+      trickle.table = kTable;
+      const size_t n = std::max<size_t>(1, base_rows / 100);
+      for (size_t r = 0; r < n; ++r) {
+        trickle.rows.push_back(SyntheticRow(spec, next_id++, &rng));
+      }
+      IMP_CHECK(system.UpdateBound(trickle).ok());
+    }
+    out.round_seconds.push_back(bench::TimeSeconds([&] {
+      Status st = system.MaintainAll();
+      IMP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }));
+    Relation expected = Reference(db, sql);
+    Relation got = MustQuery(&system, sql);
+    Gate(got.SameBag(expected),
+         "query result diverged from the plain-executor reference");
+    out.results.push_back(got.ToString());
+  }
+  out.maintain_seconds = system.stats().maintain_seconds;
+  out.policy_recaptures = system.stats().policy_recaptures;
+  out.policy_switches = system.stats().policy_switches;
+  return out;
+}
+
+// ---- Phase C: eager-round deferral under ingest-queue pressure -------------
+
+struct PressureResult {
+  double drain_seconds = 0;  ///< release-to-drained wall time
+  size_t rounds_deferred = 0;
+  size_t batch_rounds = 0;
+};
+
+PressureResult RunPressure(PolicyMode mode, size_t base_rows, size_t backlog) {
+  Database db;
+  SyntheticSpec spec;
+  spec.name = kTable;
+  spec.num_rows = base_rows;
+  spec.num_groups = kGroups;
+  IMP_CHECK(CreateSyntheticTable(&db, spec).ok());
+
+  ImpConfig config;
+  config.mode = ExecutionMode::kIncremental;
+  config.strategy = MaintenanceStrategy::kEager;
+  config.eager_batch_size = 1;
+  config.async_ingestion = true;
+  config.ingest_queue_capacity = 32;
+  config.policy.mode = mode;
+  config.policy.defer_queue_fraction = 0.25;  // threshold: 8 of 32
+  // One statement per apply cycle so every eager decision observes the
+  // real backlog (adaptive sizing would drain the burst in one cycle and
+  // leave nothing to defer on — it is measured by its own counters, not
+  // in this phase).
+  config.policy.adaptive_ingest_batch = false;
+  ImpSystem system(&db, config);
+  IMP_CHECK(system
+                .RegisterPartition(RangePartition::EquiWidthInt(
+                    kTable, "a", 1, 0, kGroups - 1, 100))
+                .ok());
+  const std::string sql = BenchQuery(base_rows);
+  MustQuery(&system, sql);  // capture
+
+  // Deterministic pressure: wedge the worker on the table's write stripe,
+  // pile a backlog up behind it, then release and time the drain. Every
+  // applied statement triggers an eager decision against the backlog the
+  // queue actually holds at that moment.
+  Rng rng(23);
+  int64_t next_id = static_cast<int64_t>(base_rows);
+  auto one_row = [&] {
+    BoundUpdate update;
+    update.kind = BoundUpdate::Kind::kInsert;
+    update.table = kTable;
+    update.rows.push_back(SyntheticRow(spec, next_id++, &rng));
+    return update;
+  };
+  auto stripe = db.WriteSession(kTable);
+  IMP_CHECK(system.UpdateBound(one_row()).ok());  // popped, stuck mid-apply
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (system.Health().ingest_queue_depth != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Gate(system.Health().ingest_queue_depth == 0, "worker did not wedge");
+  for (size_t i = 0; i < backlog; ++i) {
+    IMP_CHECK(system.UpdateBound(one_row()).ok());
+  }
+  PressureResult out;
+  stripe.unlock();
+  out.drain_seconds = bench::TimeSeconds([&] {
+    Status st = system.WaitForIngest();
+    IMP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  });
+  IMP_CHECK(system.MaintainAll().ok());
+  Relation expected = Reference(db, sql);
+  Gate(MustQuery(&system, sql).SameBag(expected),
+       "pressure-phase query result diverged from the reference");
+  out.rounds_deferred = system.stats().rounds_deferred;
+  out.batch_rounds = system.stats().batch_rounds;
+  return out;
+}
+
+}  // namespace
+}  // namespace imp
+
+int main() {
+  using namespace imp;
+
+  bench::PrintFigureHeader(
+      "policy_tuning",
+      "Fixed vs self-tuning maintenance under outgrown delta windows");
+
+  const size_t base_rows = bench::ScaledRows(20000);
+  const size_t rounds = 15;  // 5 churn bursts, 10 trickle rounds
+
+  MaintainResult fixed = RunOutgrownWorkload(PolicyMode::kFixed, base_rows,
+                                             rounds);
+  MaintainResult tuned = RunOutgrownWorkload(PolicyMode::kCostBased, base_rows,
+                                             rounds);
+
+  // Bit-identical across the twins at every matched watermark.
+  Gate(fixed.results == tuned.results,
+       "tuned query results diverged from the fixed-policy twin");
+  // The tuned run must actually have switched to recapture on the bursts.
+  Gate(tuned.policy_recaptures >= 1,
+       "no incremental -> recapture switch despite outgrown windows");
+  Gate(fixed.policy_recaptures == 0, "fixed twin took a policy decision");
+
+  double fixed_total = 0, tuned_total = 0;
+  for (double s : fixed.round_seconds) fixed_total += s;
+  for (double s : tuned.round_seconds) tuned_total += s;
+  const double fixed_p99 = bench::PercentileUs(fixed.round_seconds, 0.99);
+  const double tuned_p99 = bench::PercentileUs(tuned.round_seconds, 0.99);
+
+  const size_t backlog = 24;
+  PressureResult pressure_fixed =
+      RunPressure(PolicyMode::kFixed, bench::ScaledRows(4000), backlog);
+  PressureResult pressure_tuned =
+      RunPressure(PolicyMode::kCostBased, bench::ScaledRows(4000), backlog);
+  Gate(pressure_tuned.rounds_deferred >= 1,
+       "no eager round deferred under queue pressure");
+  Gate(pressure_fixed.rounds_deferred == 0, "fixed twin deferred a round");
+
+  bench::SeriesTable table("twin",
+                           {"total_maint_s", "p99_stall_ms", "deferred"});
+  table.AddRow("fixed", {fixed_total, fixed_p99 / 1e3,
+                         static_cast<double>(pressure_fixed.rounds_deferred)});
+  table.AddRow("tuned", {tuned_total, tuned_p99 / 1e3,
+                         static_cast<double>(pressure_tuned.rounds_deferred)});
+  table.Print();
+  std::printf("\npolicy recaptures: %zu   policy switches: %zu   "
+              "p99 stall tuned/fixed: %.2f   total tuned/fixed: %.2f\n",
+              tuned.policy_recaptures, tuned.policy_switches,
+              tuned_p99 / fixed_p99, tuned_total / fixed_total);
+  std::printf("correctness gate: every result bit-identical to the "
+              "fixed-policy reference -- PASSED\n");
+
+  bench::JsonReport json("policy_tuning", "BENCH_PR9.json");
+  json.Add("maintenance", "fixed_total_s", fixed_total);
+  json.Add("maintenance", "tuned_total_s", tuned_total);
+  json.Add("maintenance", "tuned_over_fixed_total",
+           tuned_total / fixed_total);
+  json.Add("maintenance", "fixed_p99_stall_us", fixed_p99);
+  json.Add("maintenance", "tuned_p99_stall_us", tuned_p99);
+  json.Add("maintenance", "tuned_over_fixed_p99", tuned_p99 / fixed_p99);
+  json.Add("maintenance", "fixed_maintain_seconds", fixed.maintain_seconds);
+  json.Add("maintenance", "tuned_maintain_seconds", tuned.maintain_seconds);
+  json.Add("decisions", "policy_recaptures",
+           static_cast<double>(tuned.policy_recaptures));
+  json.Add("decisions", "policy_switches",
+           static_cast<double>(tuned.policy_switches));
+  json.Add("pressure", "rounds_deferred",
+           static_cast<double>(pressure_tuned.rounds_deferred));
+  json.Add("pressure", "fixed_drain_s", pressure_fixed.drain_seconds);
+  json.Add("pressure", "tuned_drain_s", pressure_tuned.drain_seconds);
+  json.Write();
+  return 0;
+}

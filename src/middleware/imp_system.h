@@ -141,6 +141,19 @@ struct ImpConfig {
   /// ever re-scan below it), bounding log growth on long-lived systems.
   bool truncate_delta_log = true;
 
+  // --- Self-tuning maintenance policies (middleware/policy.h) -------------
+  // PolicyMode::kCostBased turns the knobs above from hand-picked into
+  // per-sketch / per-round decisions driven by observed costs: an EWMA
+  // cost ledger per sketch chooses incremental repair vs FM recapture
+  // (outgrown delta window) vs eviction (upkeep with no query benefit),
+  // eager flushes defer under ingest-queue pressure, and the ingestion
+  // worker sizes apply batches from the backlog. Decisions only change
+  // WHEN/HOW sketches refresh — query results stay bit-identical to
+  // kFixed (the default, preserving today's behaviour exactly) over the
+  // same pinned view. Only meaningful in kIncremental mode; the health
+  // ladder above outranks every policy decision.
+  PolicyConfig policy;
+
   // --- Fault handling & graceful degradation ------------------------------
   // The failure posture throughout: sketches are a pure accelerator, so a
   // faulty sketch degrades the query to a plain scan (bit-identical
@@ -255,6 +268,15 @@ struct ImpSystemStats {
   size_t ingest_dead_letters = 0;   ///< statements dead-lettered (lifetime)
   size_t publish_retries = 0;       ///< worker publish cycles that needed
                                     ///< retry or force
+  // Self-tuning policy counters (all zero under PolicyMode::kFixed).
+  size_t policy_switches = 0;    ///< per-sketch policy transitions applied
+  size_t policy_recaptures = 0;  ///< recaptures the COST MODEL chose (the
+                                 ///< ladder's failure escalations and
+                                 ///< truncation recaptures count elsewhere)
+  size_t rounds_deferred = 0;    ///< eager flushes deferred under queue
+                                 ///< pressure
+  size_t sketches_evicted = 0;   ///< entries whose upkeep was declined
+                                 ///< (cumulative; readmission re-switches)
   double capture_seconds = 0;
   double maintain_seconds = 0;
   double query_seconds = 0;      ///< instrumented/plain query execution
@@ -283,6 +305,10 @@ struct SystemHealth {
   size_t sketches_quarantined = 0;
   size_t faults_injected = 0;        ///< failpoint fires since construction
   std::string last_ingest_error;     ///< first deferred error ("" = none)
+  /// Per-sketch policy state (cost EWMAs, idle window, current policy) in
+  /// deterministic store order. Populated in every mode; the ledger fields
+  /// only move under PolicyMode::kCostBased.
+  std::vector<SketchPolicyState> policies;
 };
 
 /// One statement the ingestion worker gave up on (poisoned): kept out of
@@ -446,6 +472,12 @@ class ImpSystem {
   /// Eager-strategy bookkeeping; runs on the caller (sync) or the
   /// ingestion worker (async), after the statement is applied.
   void NoteUpdate();
+  /// Cost-based round planner: true when this eager flush should wait —
+  /// the ingest queue is above config.policy.defer_queue_fraction of its
+  /// capacity and the starvation bound (max_consecutive_deferrals) has
+  /// not been hit. Counts stats_.rounds_deferred. Always false under
+  /// PolicyMode::kFixed and for explicit MaintainAll calls.
+  bool ShouldDeferEagerRound();
   /// Apply the statement under the caller (synchronous mode).
   Result<uint64_t> ApplySyncBound(const BoundUpdate& update);
   /// Allocate version(s) + enqueue; returns the ticket (async mode).
@@ -499,6 +531,9 @@ class ImpSystem {
   /// on the ingestion worker (async) or producer threads (sync), reset by
   /// the maintenance round that flushes it.
   std::atomic<size_t> pending_update_statements_{0};
+  /// Pressure deferrals taken since the last non-deferred eager round
+  /// (ShouldDeferEagerRound's starvation bound).
+  std::atomic<size_t> consecutive_deferrals_{0};
   std::unique_ptr<ThreadPool> maintenance_pool_;
   std::once_flag maintenance_pool_once_;
   /// Top of the lock hierarchy. Shared: the whole sketch-touching front

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "imp/maintainer.h"
+#include "middleware/policy.h"
 #include "sketch/capture.h"
 #include "sketch/sketch.h"
 
@@ -105,6 +106,16 @@ struct SketchEntry {
     retry_after_ms = 0;
     last_error.clear();
   }
+
+  // --- Self-tuning policy state (middleware/policy.h) ---------------------
+  // `policy` and `ledger` are maintenance-side like the health fields:
+  // written only under the shard WRITE lock (round planning / post-round
+  // cost observation / query-path readmission). `uses` is the lock-free
+  // benefit signal: the read path bumps it for every query that WANTS this
+  // sketch, with no shard lock held.
+  SketchPolicy policy = SketchPolicy::kIncremental;
+  SketchCostLedger ledger;
+  std::atomic<size_t> uses{0};
 
   uint64_t valid_version() const { return sketch.valid_version; }
 
@@ -197,6 +208,9 @@ class SketchManager {
   /// are EXCLUDED: they repair by recapturing from base tables, never by
   /// replaying the log, so they must not pin it (a wedged sketch holding
   /// the log forever would turn one fault into unbounded memory growth).
+  /// Policy-EVICTED entries are excluded for the same reason: eviction
+  /// declines upkeep, so the log may truncate past them — which is why
+  /// readmission always routes through a recapture (ledger.needs_recapture).
   uint64_t MinValidVersion() const;
 
   /// Per-state entry counts (one shared-locked walk; health fields are
@@ -207,6 +221,10 @@ class SketchManager {
     size_t quarantined = 0;
   };
   HealthTally TallyHealth() const;
+
+  /// Per-sketch policy snapshots for Health() (one shared-locked walk, in
+  /// deterministic shard/bucket order).
+  std::vector<SketchPolicyState> PolicyStates() const;
 
   /// Drop every shard's unsketchable negative cache (the partition
   /// catalog changed). Caller excludes concurrent shard users (the

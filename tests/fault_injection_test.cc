@@ -363,6 +363,143 @@ TEST_F(FaultInjectionTest, BackoffDefersRetriesExponentiallyWithCap) {
   EXPECT_GT(system.stats().sketch_uses, uses_before);
 }
 
+// The shift in min(cap, base << (k - 1)) must saturate, not wrap: whether
+// it overflows depends on the BASE's magnitude, so a large configured base
+// used to wrap uint64 after a handful of failures and produce a TINY retry
+// deadline — immediate hammering exactly when a sketch is failing hard.
+TEST_F(FaultInjectionTest, BackoffSaturatesInsteadOfWrappingOnLargeBase) {
+  uint64_t now = 1000;
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.clock_ms = [&now] { return now; };
+  config.maintenance_backoff_ms = uint64_t{1} << 60;  // extreme but legal
+  config.maintenance_backoff_cap_ms = 500;
+  config.recapture_after_failures = 100;  // keep escalation out of this test
+  config.quarantine_after_failures = 200;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+
+  ASSERT_TRUE(Registry().ArmFromSpec("maintain.round=always").ok());
+  Failpoint& fp = Registry().GetOrCreate(kFpMaintainRound);
+
+  // Five consecutive failures. At failure 5 the raw backoff is
+  // 2^60 << 4 = 2^64 — the wrap-to-zero case before the fix; every raw
+  // value is clamped to the 500ms cap, so each deadline is exactly +500.
+  for (size_t failure = 1; failure <= 5; ++failure) {
+    EXPECT_FALSE(system.MaintainAll().ok());
+    EXPECT_EQ(fp.fire_count(), failure);
+    now += 499;  // one tick short of the capped deadline: still deferred
+    EXPECT_TRUE(system.MaintainAll().ok());
+    EXPECT_EQ(fp.fire_count(), failure);
+    now += 1;  // deadline reached
+  }
+
+  // Fault clears: the entry recovers at the next due round as usual.
+  Registry().DisarmAll();
+  EXPECT_TRUE(system.MaintainAll().ok());
+  EXPECT_EQ(system.Health().sketches_fresh, 1u);
+  Relation expected = RefResult(db, kSalesQTop);
+  EXPECT_TRUE(MustQuery(&system, kSalesQTop).SameBag(expected));
+}
+
+// With an uncapped configuration the saturated backoff pins the deadline
+// at UINT64_MAX — "never", not "now" — and now + backoff saturates too.
+TEST_F(FaultInjectionTest, BackoffSaturatesAtUint64WithUncappedConfig) {
+  uint64_t now = 1000;
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.clock_ms = [&now] { return now; };
+  config.maintenance_backoff_ms = uint64_t{1} << 63;
+  config.maintenance_backoff_cap_ms = UINT64_MAX;
+  config.recapture_after_failures = 100;
+  config.quarantine_after_failures = 200;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+
+  ASSERT_TRUE(Registry().ArmFromSpec("maintain.round=always").ok());
+  Failpoint& fp = Registry().GetOrCreate(kFpMaintainRound);
+
+  EXPECT_FALSE(system.MaintainAll().ok());  // failure 1: deadline now + 2^63
+  EXPECT_EQ(fp.fire_count(), 1u);
+  now = (uint64_t{1} << 63) + 1000;  // exactly the deadline -> failure 2
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 2u);
+  // Failure 2's raw backoff is 2^64: saturated to UINT64_MAX, and
+  // now + UINT64_MAX saturates again instead of wrapping to "due now".
+  now = UINT64_MAX - 1;
+  EXPECT_TRUE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 2u);
+}
+
+// Shift counts past 63 (more failures than the word has bits) are equally
+// saturating — the old expression was undefined behaviour there and on
+// x86 would alias to a small shift, shrinking the deadline below the cap.
+TEST_F(FaultInjectionTest, BackoffSaturatesBeyondSixtyFourFailures) {
+  uint64_t now = 1000;
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.clock_ms = [&now] { return now; };
+  config.maintenance_backoff_ms = 1;
+  config.maintenance_backoff_cap_ms = 100;
+  config.recapture_after_failures = 1000;
+  config.quarantine_after_failures = 2000;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+
+  ASSERT_TRUE(Registry().ArmFromSpec("maintain.round=always").ok());
+  Failpoint& fp = Registry().GetOrCreate(kFpMaintainRound);
+
+  // 70 consecutive failures; from failure 8 on the cap pins every
+  // deadline at +100, including the shift >= 64 region (failures 65+).
+  for (size_t failure = 1; failure <= 70; ++failure) {
+    EXPECT_FALSE(system.MaintainAll().ok());
+    ASSERT_EQ(fp.fire_count(), failure);
+    now += 100;
+  }
+  // Failure 70's shift is 69: the aliased-shift bug would have set a
+  // 32ms deadline here; the saturating fix keeps the full 100ms cap.
+  now -= 100;
+  now += 99;
+  EXPECT_TRUE(system.MaintainAll().ok());
+  ASSERT_EQ(fp.fire_count(), 70u);
+  now += 1;
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 71u);
+}
+
+// base == 0 keeps its documented meaning: retry immediately, no deferral.
+TEST_F(FaultInjectionTest, ZeroBackoffBaseStillRetriesImmediately) {
+  uint64_t now = 1000;
+  Database db;
+  LoadSalesExample(&db);
+  ImpConfig config = SalesConfig();
+  config.clock_ms = [&now] { return now; };
+  config.maintenance_backoff_ms = 0;
+  config.recapture_after_failures = 100;
+  config.quarantine_after_failures = 200;
+  ImpSystem system(&db, config);
+  ASSERT_TRUE(system.RegisterPartition(SalesPricePartition()).ok());
+  MustQuery(&system, kSalesQTop);
+  ASSERT_TRUE(system.Update(kNewRow8).ok());
+
+  ASSERT_TRUE(Registry().ArmFromSpec("maintain.round=always").ok());
+  Failpoint& fp = Registry().GetOrCreate(kFpMaintainRound);
+  // Same clock tick, three rounds, three attempts: nothing defers.
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_FALSE(system.MaintainAll().ok());
+  EXPECT_EQ(fp.fire_count(), 3u);
+}
+
 // ---- Escalation: repeated incremental failures recapture from base ---------
 
 TEST_F(FaultInjectionTest, EscalationRecapturesAfterRepeatedFailures) {

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -475,6 +476,47 @@ TEST(AsyncIngestionTest, BackpressureBoundedQueue) {
   EXPECT_EQ(stats.ingest_enqueued, 200u);
   EXPECT_EQ(stats.ingest_applied, 200u);
   EXPECT_LE(stats.ingest_queue_peak, 4u);
+}
+
+TEST(AsyncIngestionTest, QueuePeakReportedWithoutADrainBarrier) {
+  // Regression: the queue's high-water mark used to be folded into
+  // stats() only by WaitForIngest — a system whose worker was wedged (or
+  // fail-stopped) under-reported the peak as 0 exactly when the backlog
+  // mattered. Health() is the stats-refresh point and must fold it too.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  ImpConfig config = ConfigFor(true, MaintenanceStrategy::kLazy);
+  config.ingest_queue_capacity = 8;
+  ImpSystem system(&db, config);
+
+  BoundUpdate update;
+  update.kind = BoundUpdate::Kind::kInsert;
+  update.table = "t";
+  update.rows.push_back(Row(0, 0));
+
+  // Wedge the worker on the table's write stripe mid-apply, then pile
+  // three statements up behind it: the push-time high-water mark is
+  // deterministically 3, and no worker cycle (let alone a WaitForIngest)
+  // will happen while we read it.
+  auto stripe = db.WriteSession("t");
+  ASSERT_TRUE(system.UpdateBound(update).ok());  // popped, stuck on stripe
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (system.Health().ingest_queue_depth != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(system.Health().ingest_queue_depth, 0u);
+  for (int64_t i = 1; i <= 3; ++i) {
+    update.rows[0] = Row(i, i);
+    ASSERT_TRUE(system.UpdateBound(update).ok());
+  }
+  ASSERT_EQ(system.Health().ingest_queue_depth, 3u);
+  EXPECT_EQ(system.stats().ingest_queue_peak, 3u);  // refreshed by Health()
+
+  stripe.unlock();
+  ASSERT_TRUE(system.WaitForIngest().ok());
+  EXPECT_EQ(db.GetTable("t")->NumRows(), 4u);
+  EXPECT_EQ(system.stats().ingest_queue_peak, 3u);
 }
 
 // ---- The concurrent append/scan contract (TSan target) ---------------------
