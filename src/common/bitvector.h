@@ -99,6 +99,11 @@ class BitVector {
 
   const std::vector<uint64_t>& words() const { return words_; }
 
+  /// Raw word access for batch kernels that assemble verdict masks a word
+  /// at a time. Callers must keep bits at or above num_bits() zero (the
+  /// equality/hash contract on trailing words).
+  uint64_t* mutable_words() { return words_.data(); }
+
  private:
   size_t num_bits_ = 0;
   std::vector<uint64_t> words_;

@@ -58,11 +58,16 @@ inline std::string TupleToString(const Tuple& t) {
   return out;
 }
 
-/// Approximate memory footprint of a tuple (for state accounting).
+/// Approximate memory footprint of a tuple (for state accounting). Strings
+/// count heap bytes only when they outgrow the small-string buffer that the
+/// inline Value already accounts for — consistent with Value::MemoryBytes,
+/// so boxed-vs-typed storage comparisons measure real allocations.
 inline size_t TupleMemoryBytes(const Tuple& t) {
   size_t bytes = sizeof(Tuple) + t.capacity() * sizeof(Value);
   for (const Value& v : t) {
-    if (v.is_string()) bytes += v.AsString().capacity();
+    if (v.is_string() && v.AsString().size() > sizeof(std::string)) {
+      bytes += v.AsString().capacity();
+    }
   }
   return bytes;
 }

@@ -110,18 +110,19 @@ Result<AnnotatedRelation> AnnotatedExecutor::ExecScan(const ScanNode& node) cons
     ++scan_stats_.chunks_scanned;
     scan_stats_.rows_scanned += chunk->num_rows();
     if (filter && vectorized_) {
-      // Kernel path: filter the whole chunk column-at-a-time, then
-      // materialize and annotate only the surviving rows.
+      // Kernel path: filter the whole chunk column-at-a-time, gather the
+      // survivors column-at-a-time, then annotate them in row order.
       BitVector sel;
       kernel.Eval(RowBlock::FromChunk(*chunk), &sel,
                   &scan_stats_.vectorized_batches,
                   &scan_stats_.scalar_fallback_rows);
-      sel.ForEachSetBit([&](size_t r) {
+      std::vector<Tuple> gathered = chunk->GatherRows(sel);
+      for (Tuple& row : gathered) {
         AnnotatedRow ar;
-        ar.row = chunk->GetRow(r);
+        ar.row = std::move(row);
         if (annotator_) annotator_(node.table(), ar.row, &ar.sketch);
         out.rows.push_back(std::move(ar));
-      });
+      }
       continue;
     }
     for (size_t r = 0; r < chunk->num_rows(); ++r) {

@@ -176,12 +176,14 @@ Result<Relation> Executor::ExecScan(const ScanNode& node) const {
     scan_stats_.rows_scanned += chunk->num_rows();
     if (filter && vectorized_) {
       // Kernel path: evaluate the predicate column-at-a-time into a
-      // selection bitvector, then materialize only the surviving rows.
+      // selection bitvector, then gather the surviving rows
+      // column-at-a-time (one encoding dispatch per column, not per cell).
       BitVector sel;
       kernel.Eval(RowBlock::FromChunk(*chunk), &sel,
                   &scan_stats_.vectorized_batches,
                   &scan_stats_.scalar_fallback_rows);
-      sel.ForEachSetBit([&](size_t r) { out.rows.push_back(chunk->GetRow(r)); });
+      std::vector<Tuple> gathered = chunk->GatherRows(sel);
+      for (Tuple& row : gathered) out.rows.push_back(std::move(row));
       continue;
     }
     for (size_t r = 0; r < chunk->num_rows(); ++r) {

@@ -1,6 +1,8 @@
 #include "exec/vector_kernels.h"
 
 #include <algorithm>
+#include <string_view>
+#include <type_traits>
 #include <utility>
 
 namespace imp {
@@ -430,6 +432,358 @@ void EvalLeaf(const KernelNode& node, size_t n, const At& at, BitVector* out) {
   }
 }
 
+// ---- Typed columnar leaf loops --------------------------------------------
+//
+// One loop per ColumnVector encoding, each replicating the generic row
+// semantics bit-exactly: bit i is set iff the row's (reboxed) value is
+// non-NULL and the leaf holds under Value::Compare. Numeric literals are
+// classified once per batch into an exact-int compare or a promoted-double
+// compare — the two legs of Value::Compare's numeric path, including its
+// NaN-compares-equal `a < b ? -1 : (a > b ? 1 : 0)` form — and string
+// literals become a constant outcome (numbers < strings in the type-tag
+// order).
+
+struct NumLit {
+  enum class Cls : uint8_t { kInt, kDbl, kConst };
+  Cls cls = Cls::kConst;
+  int64_t iv = 0;
+  double dv = 0;
+  int cc = 0;  ///< kConst: fixed three-way outcome for every column value
+};
+
+NumLit ClassifyNumLit(bool int_column, const Value& lit) {
+  NumLit m;
+  if (lit.is_string()) {
+    m.cc = -1;  // numbers < strings
+    return m;
+  }
+  if (int_column && lit.is_int()) {
+    m.cls = NumLit::Cls::kInt;
+    m.iv = lit.AsInt();
+    return m;
+  }
+  m.cls = NumLit::Cls::kDbl;
+  m.dv = lit.is_int() ? static_cast<double>(lit.AsInt()) : lit.AsDouble();
+  return m;
+}
+
+inline int CmpRaw(int64_t a, const NumLit& m) {
+  switch (m.cls) {
+    case NumLit::Cls::kInt:
+      return a < m.iv ? -1 : (a > m.iv ? 1 : 0);
+    case NumLit::Cls::kDbl: {
+      const double ad = static_cast<double>(a);
+      return ad < m.dv ? -1 : (ad > m.dv ? 1 : 0);
+    }
+    default:
+      return m.cc;
+  }
+}
+
+inline int CmpRaw(double a, const NumLit& m) {
+  // Int literals were promoted into kDbl for double columns.
+  if (m.cls == NumLit::Cls::kDbl) return a < m.dv ? -1 : (a > m.dv ? 1 : 0);
+  return m.cc;
+}
+
+/// Invoke fn(i, vals[i]) for every non-NULL row of a typed numeric column.
+template <typename T, typename Fn>
+inline void ForEachNonNull(size_t n, const T* vals, const ColumnVector& cv,
+                           Fn&& fn) {
+  if (cv.has_nulls()) {
+    const BitVector& nulls = cv.nulls();
+    for (size_t i = 0; i < n; ++i) {
+      if (nulls.Test(i)) continue;
+      fn(i, vals[i]);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i, vals[i]);
+  }
+}
+
+/// OR branchless verdicts into `out` a 64-row word at a time: every lane
+/// evaluates `pred` unconditionally (no data-dependent branch, so random
+/// data costs no mispredicts and the compare loop auto-vectorizes), the
+/// packed word is masked against the NULL bitmap wholesale, then OR-ed in.
+/// NULL slots hold zeroed payloads, so reading them through `pred` is safe;
+/// their verdict bits are discarded by the mask.
+template <typename T, typename Pred>
+inline void OrVerdictWords(size_t n, const T* vals, const ColumnVector& cv,
+                           BitVector* out, const Pred& pred) {
+  uint64_t* words = out->mutable_words();
+  const uint64_t* null_words =
+      cv.has_nulls() ? cv.nulls().words().data() : nullptr;
+  const size_t full = n / 64;
+  for (size_t wi = 0; wi < full; ++wi) {
+    const T* v = vals + wi * 64;
+    uint64_t w = 0;
+    for (size_t j = 0; j < 64; ++j) {
+      w |= static_cast<uint64_t>(pred(v[j])) << j;
+    }
+    if (null_words != nullptr) w &= ~null_words[wi];
+    words[wi] |= w;
+  }
+  const size_t rest = n - full * 64;
+  if (rest > 0) {
+    const T* v = vals + full * 64;
+    uint64_t w = 0;
+    for (size_t j = 0; j < rest; ++j) {
+      w |= static_cast<uint64_t>(pred(v[j])) << j;
+    }
+    if (null_words != nullptr) w &= ~null_words[full];
+    words[full] |= w;
+  }
+}
+
+template <typename T>
+void EvalLeafNumeric(const KernelNode& node, size_t n, const T* vals,
+                     const ColumnVector& cv, BitVector* out) {
+  constexpr bool kIntCol = std::is_same_v<T, int64_t>;
+  switch (node.kind) {
+    case KernelNode::Kind::kCmp: {
+      const NumLit m = ClassifyNumLit(kIntCol, node.lit);
+      const BinaryOp op = node.op;
+      if (m.cls == NumLit::Cls::kInt) {
+        // The dominant shape: unboxed int64 exact compare vs an int
+        // literal, one branchless sweep per op.
+        const int64_t lv = m.iv;
+        switch (op) {
+          case BinaryOp::kEq:
+            OrVerdictWords(n, vals, cv, out, [lv](T a) { return a == lv; });
+            return;
+          case BinaryOp::kNe:
+            OrVerdictWords(n, vals, cv, out, [lv](T a) { return a != lv; });
+            return;
+          case BinaryOp::kLt:
+            OrVerdictWords(n, vals, cv, out, [lv](T a) { return a < lv; });
+            return;
+          case BinaryOp::kLe:
+            OrVerdictWords(n, vals, cv, out, [lv](T a) { return a <= lv; });
+            return;
+          case BinaryOp::kGt:
+            OrVerdictWords(n, vals, cv, out, [lv](T a) { return a > lv; });
+            return;
+          case BinaryOp::kGe:
+            OrVerdictWords(n, vals, cv, out, [lv](T a) { return a >= lv; });
+            return;
+          default:
+            return;  // only comparisons compile to kCmp
+        }
+      }
+      if (m.cls == NumLit::Cls::kDbl) {
+        // Value::Compare's promoted-double three-way treats NaN as equal
+        // to everything (`a < b ? -1 : (a > b ? 1 : 0)`), so each op is
+        // phrased through !(a < lit) / !(a > lit), never operator==.
+        const double dv = m.dv;
+        switch (op) {
+          case BinaryOp::kEq:
+            OrVerdictWords(n, vals, cv, out, [dv](T a) {
+              const double ad = static_cast<double>(a);
+              return !(ad < dv) && !(ad > dv);
+            });
+            return;
+          case BinaryOp::kNe:
+            OrVerdictWords(n, vals, cv, out, [dv](T a) {
+              const double ad = static_cast<double>(a);
+              return (ad < dv) || (ad > dv);
+            });
+            return;
+          case BinaryOp::kLt:
+            OrVerdictWords(n, vals, cv, out, [dv](T a) {
+              return static_cast<double>(a) < dv;
+            });
+            return;
+          case BinaryOp::kLe:
+            OrVerdictWords(n, vals, cv, out, [dv](T a) {
+              return !(static_cast<double>(a) > dv);
+            });
+            return;
+          case BinaryOp::kGt:
+            OrVerdictWords(n, vals, cv, out, [dv](T a) {
+              return static_cast<double>(a) > dv;
+            });
+            return;
+          case BinaryOp::kGe:
+            OrVerdictWords(n, vals, cv, out, [dv](T a) {
+              return !(static_cast<double>(a) < dv);
+            });
+            return;
+          default:
+            return;
+        }
+      }
+      // kConst: the type-tag order fixes one outcome for the whole batch —
+      // every non-NULL row matches, or none does.
+      if (ApplyCmp(op, m.cc)) {
+        OrVerdictWords(n, vals, cv, out, [](T) { return true; });
+      }
+      return;
+    }
+    case KernelNode::Kind::kBetween: {
+      const NumLit lo = ClassifyNumLit(kIntCol, node.lit);
+      const NumLit hi = ClassifyNumLit(kIntCol, node.lit_hi);
+      if (lo.cls == NumLit::Cls::kInt && hi.cls == NumLit::Cls::kInt) {
+        const int64_t lv = lo.iv, hv = hi.iv;
+        OrVerdictWords(n, vals, cv, out,
+                       [lv, hv](T a) { return a >= lv && a <= hv; });
+        return;
+      }
+      if (lo.cls == NumLit::Cls::kDbl && hi.cls == NumLit::Cls::kDbl) {
+        // NaN-as-equal three-way: in-range is !(a < lo) && !(a > hi).
+        const double lv = lo.dv, hv = hi.dv;
+        OrVerdictWords(n, vals, cv, out, [lv, hv](T a) {
+          const double ad = static_cast<double>(a);
+          return !(ad < lv) && !(ad > hv);
+        });
+        return;
+      }
+      // BETWEEN row semantics are lo.Compare(v) <= 0 && v.Compare(hi) <= 0,
+      // and Compare's NaN-as-equal form makes both orientations agree, so
+      // the v-side three-way is exact.
+      ForEachNonNull(n, vals, cv, [&](size_t i, T a) {
+        if (CmpRaw(a, lo) >= 0 && CmpRaw(a, hi) <= 0) out->Set(i);
+      });
+      return;
+    }
+    case KernelNode::Kind::kRangeSet: {
+      std::vector<std::pair<NumLit, NumLit>> spans;
+      spans.reserve(node.ranges.size());
+      bool all_int = true, all_dbl = true;
+      for (const KernelNode::Range& r : node.ranges) {
+        spans.emplace_back(ClassifyNumLit(kIntCol, r.lo),
+                           ClassifyNumLit(kIntCol, r.hi));
+        all_int = all_int && spans.back().first.cls == NumLit::Cls::kInt &&
+                  spans.back().second.cls == NumLit::Cls::kInt;
+        all_dbl = all_dbl && spans.back().first.cls == NumLit::Cls::kDbl &&
+                  spans.back().second.cls == NumLit::Cls::kDbl;
+      }
+      if (all_int) {
+        // Span-major branchless sweeps: the spans are lo-sorted and
+        // disjoint, so at most one can match a given value and OR-ing one
+        // verdict word per span equals the early-break probe exactly.
+        for (const auto& s : spans) {
+          const int64_t lv = s.first.iv, hv = s.second.iv;
+          OrVerdictWords(n, vals, cv, out,
+                         [lv, hv](T a) { return a >= lv && a <= hv; });
+        }
+        return;
+      }
+      if (all_dbl) {
+        // NaN-as-equal: NaN is "in" every span under the three-way form,
+        // matching the probe's CmpRaw verdicts (OR keeps that identical).
+        for (const auto& s : spans) {
+          const double lv = s.first.dv, hv = s.second.dv;
+          OrVerdictWords(n, vals, cv, out, [lv, hv](T a) {
+            const double ad = static_cast<double>(a);
+            return !(ad < lv) && !(ad > hv);
+          });
+        }
+        return;
+      }
+      // Ranges are lo-sorted and disjoint, so a linear probe with early
+      // break matches the generic upper_bound probe exactly.
+      ForEachNonNull(n, vals, cv, [&](size_t i, T a) {
+        for (const auto& s : spans) {
+          if (CmpRaw(a, s.first) < 0) break;
+          if (CmpRaw(a, s.second) <= 0) {
+            out->Set(i);
+            break;
+          }
+        }
+      });
+      return;
+    }
+    default:
+      IMP_DCHECK(false);
+  }
+}
+
+/// Sign of Value(string v).Compare(lit).
+inline int CmpStrLit(std::string_view v, const Value& lit) {
+  if (!lit.is_string()) return 1;  // strings > numbers
+  const std::string& s = lit.AsString();
+  const int c = v.compare(std::string_view(s.data(), s.size()));
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+/// Leaf verdict for one non-NULL string cell (dict-distinct or flat row).
+bool LeafMatchString(const KernelNode& node, std::string_view v) {
+  switch (node.kind) {
+    case KernelNode::Kind::kCmp:
+      return ApplyCmp(node.op, CmpStrLit(v, node.lit));
+    case KernelNode::Kind::kBetween:
+      return CmpStrLit(v, node.lit) >= 0 && CmpStrLit(v, node.lit_hi) <= 0;
+    case KernelNode::Kind::kRangeSet:
+      for (const KernelNode::Range& r : node.ranges) {
+        if (CmpStrLit(v, r.lo) < 0) break;
+        if (CmpStrLit(v, r.hi) <= 0) return true;
+      }
+      return false;
+    default:
+      IMP_DCHECK(false);
+      return false;
+  }
+}
+
+void EvalLeafDict(const KernelNode& node, size_t n, const ColumnVector& cv,
+                  BitVector* out) {
+  // One verdict per distinct string, then an unboxed code loop — the
+  // comparison cost is O(dictionary), not O(rows).
+  const size_t dict = cv.dict_size();
+  std::vector<char> verdict(dict);
+  for (uint32_t code = 0; code < dict; ++code) {
+    verdict[code] = LeafMatchString(node, cv.DictString(code)) ? 1 : 0;
+  }
+  const uint32_t* codes = cv.codes();
+  if (cv.has_nulls()) {
+    const BitVector& nulls = cv.nulls();
+    for (size_t i = 0; i < n; ++i) {
+      if (!nulls.Test(i) && verdict[codes[i]]) out->Set(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (verdict[codes[i]]) out->Set(i);
+    }
+  }
+}
+
+void EvalLeafColumnar(const KernelNode& node, size_t n, const ColumnVector& cv,
+                      BitVector* out) {
+  switch (cv.encoding()) {
+    case ColumnVector::Encoding::kBoxed: {
+      const Value* col = cv.boxed().data();
+      EvalLeaf(node, n, [col](size_t i) -> const Value& { return col[i]; },
+               out);
+      return;
+    }
+    case ColumnVector::Encoding::kUntyped:
+      return;  // every cell is NULL: no comparison can hold
+    case ColumnVector::Encoding::kInt64:
+      EvalLeafNumeric(node, n, cv.ints(), cv, out);
+      return;
+    case ColumnVector::Encoding::kDouble:
+      EvalLeafNumeric(node, n, cv.doubles(), cv, out);
+      return;
+    case ColumnVector::Encoding::kDictString:
+      EvalLeafDict(node, n, cv, out);
+      return;
+    case ColumnVector::Encoding::kFlatString:
+      if (cv.has_nulls()) {
+        const BitVector& nulls = cv.nulls();
+        for (size_t i = 0; i < n; ++i) {
+          if (!nulls.Test(i) && LeafMatchString(node, cv.StringAt(i))) {
+            out->Set(i);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (LeafMatchString(node, cv.StringAt(i))) out->Set(i);
+        }
+      }
+      return;
+  }
+}
+
 /// Evaluate `node` over the whole block. `out` has block.num_rows() bits,
 /// all zero on entry; matching rows get their bit set.
 void EvalNode(const KernelNode& node, const RowBlock& block, BitVector* out) {
@@ -464,9 +818,7 @@ void EvalNode(const KernelNode& node, const RowBlock& block, BitVector* out) {
       return;
     default:
       if (block.columnar()) {
-        const Value* col = block.chunk()->column(node.col).data();
-        EvalLeaf(node, n,
-                 [col](size_t i) -> const Value& { return col[i]; }, out);
+        EvalLeafColumnar(node, n, block.chunk()->column(node.col), out);
       } else {
         const size_t c = node.col;
         EvalLeaf(node, n,

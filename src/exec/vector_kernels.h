@@ -76,8 +76,10 @@ class RowBlock {
     return *reinterpret_cast<const Tuple*>(base_ + i * stride_);
   }
 
-  /// Value at (row, col) regardless of layout.
-  const Value& At(size_t r, size_t c) const {
+  /// Value at (row, col) regardless of layout. By value: columnar chunks
+  /// rebox typed cells on access — use chunk()->column(c) for the raw
+  /// typed arrays.
+  Value At(size_t r, size_t c) const {
     if (chunk_) return chunk_->At(r, c);
     return row(r)[c];
   }

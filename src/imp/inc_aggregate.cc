@@ -1,5 +1,10 @@
 #include "imp/inc_aggregate.h"
 
+#include <algorithm>
+
+#include "sketch/partition.h"
+#include "storage/table.h"
+
 namespace imp {
 
 IncAggregate::IncAggregate(std::unique_ptr<IncOperator> child,
@@ -15,7 +20,27 @@ IncAggregate::IncAggregate(std::unique_ptr<IncOperator> child,
       aggs_(std::move(aggs)),
       output_schema_(std::move(output_schema)),
       options_(options),
-      stats_(stats) {}
+      stats_(stats) {
+  if (!options_.kernelized) return;
+  key_cols_valid_ = true;
+  key_cols_.reserve(group_exprs_.size());
+  for (const ExprPtr& g : group_exprs_) {
+    if (g->kind() != ExprKind::kColumnRef) {
+      key_cols_valid_ = false;
+      key_cols_.clear();
+      break;
+    }
+    key_cols_.push_back(static_cast<const ColumnRefExpr&>(*g).index());
+  }
+  agg_cols_.reserve(aggs_.size());
+  for (const AggSpec& spec : aggs_) {
+    agg_cols_.push_back(spec.arg && spec.arg->kind() == ExprKind::kColumnRef
+                            ? static_cast<int>(
+                                  static_cast<const ColumnRefExpr&>(*spec.arg)
+                                      .index())
+                            : -1);
+  }
+}
 
 size_t IncAggregate::AggState::MemoryBytes() const {
   size_t bytes = sizeof(AggState);
@@ -46,6 +71,10 @@ size_t IncAggregate::GroupState::MemoryBytes() const {
 Tuple IncAggregate::GroupKeyOf(const Tuple& row) const {
   Tuple key;
   key.reserve(group_exprs_.size());
+  if (key_cols_valid_) {
+    for (size_t c : key_cols_) key.push_back(row[c]);
+    return key;
+  }
   for (const ExprPtr& g : group_exprs_) key.push_back(g->Eval(row));
   return key;
 }
@@ -104,6 +133,29 @@ Status IncAggregate::ApplyMinMax(AggState* agg, const AggSpec& spec,
   return Status::OK();
 }
 
+Status IncAggregate::ApplyAggValue(AggState* agg, const AggSpec& spec,
+                                   const Value& v, int64_t mult) {
+  switch (spec.fn) {
+    case AggFunc::kCount:
+      agg->nonnull_count += mult;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      agg->nonnull_count += mult;
+      if (v.is_double()) {
+        agg->saw_double = true;
+        agg->dbl_sum += v.AsDouble() * static_cast<double>(mult);
+      } else {
+        agg->int_sum += v.AsInt() * mult;
+      }
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return ApplyMinMax(agg, spec, v, mult);
+  }
+  return Status::OK();
+}
+
 Status IncAggregate::ApplyRow(GroupState* state, const Tuple& row,
                               const BitVector& sketch, int64_t mult) {
   state->count += mult;
@@ -118,30 +170,12 @@ Status IncAggregate::ApplyRow(GroupState* state, const Tuple& row,
   }
   for (size_t i = 0; i < aggs_.size(); ++i) {
     const AggSpec& spec = aggs_[i];
-    AggState& agg = state->aggs[i];
-    Value v = spec.arg ? spec.arg->Eval(row) : Value::Int(1);
+    Value v = (i < agg_cols_.size() && agg_cols_[i] >= 0)
+                  ? row[static_cast<size_t>(agg_cols_[i])]
+                  : (spec.arg ? spec.arg->Eval(row) : Value::Int(1));
     if (v.is_null()) continue;  // SQL aggregates skip NULLs
-    switch (spec.fn) {
-      case AggFunc::kCount:
-        agg.nonnull_count += mult;
-        break;
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        agg.nonnull_count += mult;
-        if (v.is_double()) {
-          agg.saw_double = true;
-          agg.dbl_sum += v.AsDouble() * static_cast<double>(mult);
-        } else {
-          agg.int_sum += v.AsInt() * mult;
-        }
-        break;
-      case AggFunc::kMin:
-      case AggFunc::kMax: {
-        Status st = ApplyMinMax(&agg, spec, v, mult);
-        if (!st.ok()) return st;
-        break;
-      }
-    }
+    Status st = ApplyAggValue(&state->aggs[i], spec, v, mult);
+    if (!st.ok()) return st;
   }
   return Status::OK();
 }
@@ -188,16 +222,7 @@ Tuple IncAggregate::OutputRow(const Tuple& key, const GroupState& state) const {
   return out;
 }
 
-Result<AnnotatedRelation> IncAggregate::Build(const DeltaContext& ctx) {
-  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
-  groups_.clear();
-  for (const AnnotatedRow& r : in.rows) {
-    Tuple key = GroupKeyOf(r.row);
-    auto [it, inserted] = groups_.try_emplace(std::move(key));
-    if (inserted) it->second.aggs.resize(aggs_.size());
-    Status st = ApplyRow(&it->second, r.row, r.sketch, 1);
-    IMP_RETURN_NOT_OK(st);
-  }
+AnnotatedRelation IncAggregate::FinalizeBuildOutput() {
   // Aggregation without GROUP BY always has exactly one (possibly empty)
   // group.
   if (group_exprs_.empty() && groups_.empty()) {
@@ -211,6 +236,213 @@ Result<AnnotatedRelation> IncAggregate::Build(const DeltaContext& ctx) {
     out.rows.push_back(AnnotatedRow{OutputRow(key, state), state.SketchOf()});
   }
   return out;
+}
+
+Result<bool> IncAggregate::TryBuildColumnar(const DeltaContext& ctx,
+                                            AnnotatedRelation* result) {
+  if (!key_cols_valid_) return false;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    // A general expression argument needs the materialized row.
+    if (agg_cols_[i] < 0 && aggs_[i].arg) return false;
+  }
+  const IncScan* scan = children_[0]->AsIncScan();
+  if (scan == nullptr) return false;
+  std::shared_ptr<const TableSnapshot> pinned;
+  const TableSnapshot* snap = nullptr;
+  TableAnnotator annot;
+  if (!scan->ColumnarSource(ctx, &pinned, &snap, &annot)) return false;
+
+  groups_.clear();
+  // Unboxed fragment bounds: same raw-int64 upper_bound fast path as
+  // IncScan::Build (NULL sorts below every integer bound → fragment 0).
+  std::vector<int64_t> int_bounds;
+  if (annot.active()) {
+    for (const Value& b : annot.partition()->bounds()) {
+      if (!b.is_int()) {
+        int_bounds.clear();
+        break;
+      }
+      int_bounds.push_back(b.AsInt());
+    }
+  }
+
+  // Side index into groups_ (node-based: GroupState pointers are stable),
+  // plus a one-entry fragment-count cache per group — grouping columns
+  // usually determine the partition fragment, so the std::map lookup in
+  // frag_counts collapses to one pointer increment per row.
+  struct GroupRef {
+    GroupState* state = nullptr;
+    size_t cached_frag = SIZE_MAX;
+    int64_t* cached_count = nullptr;
+  };
+  std::unordered_map<int64_t, GroupRef> int_groups;
+  std::unordered_map<Tuple, GroupRef, TupleHash, TupleEq> tuple_groups;
+  auto locate = [&](Tuple key) -> GroupRef& {
+    auto [sit, fresh] = tuple_groups.try_emplace(std::move(key));
+    if (fresh) {
+      auto [it, inserted] = groups_.try_emplace(sit->first);
+      if (inserted) it->second.aggs.resize(aggs_.size());
+      sit->second.state = &it->second;
+    }
+    return sit->second;
+  };
+
+  // Per-chunk, per-aggregate access plan.
+  enum class AggMode : uint8_t {
+    kCountStar,  // COUNT with no argument: every row counts
+    kCountCol,   // COUNT(col): non-NULL cells count
+    kSumInt,     // SUM/AVG over an unboxed int64 column
+    kSumDbl,     // SUM/AVG over an unboxed double column
+    kGeneric,    // rebox the cell and run the shared ApplyAggValue
+  };
+  struct AggPlan {
+    AggMode mode;
+    const ColumnVector* cv = nullptr;
+    const int64_t* iv = nullptr;
+    const double* dv = nullptr;
+  };
+
+  for (const auto& chunk : snap->chunks()) {
+    const size_t n = chunk->num_rows();
+    if (n == 0) continue;
+    // Group-key access: a single int64-encoded key column gets a raw-value
+    // side map; anything else builds the key tuple from reboxed cells.
+    const ColumnVector* kcol = nullptr;
+    if (key_cols_.size() == 1) {
+      const ColumnVector& cand = chunk->column(key_cols_[0]);
+      if (cand.encoding() == ColumnVector::Encoding::kInt64) kcol = &cand;
+    }
+    // Partition-column access for fragment counting.
+    const ColumnVector* pcol = nullptr;
+    if (annot.active() && !int_bounds.empty()) {
+      const ColumnVector& cand = chunk->column(annot.attr_index());
+      if (cand.encoding() == ColumnVector::Encoding::kInt64) pcol = &cand;
+    }
+    std::vector<AggPlan> plans(aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      AggPlan& p = plans[a];
+      if (agg_cols_[a] < 0) {
+        p.mode = aggs_[a].fn == AggFunc::kCount ? AggMode::kCountStar
+                                                : AggMode::kGeneric;
+        continue;  // kGeneric with cv == nullptr folds Value::Int(1)
+      }
+      p.cv = &chunk->column(static_cast<size_t>(agg_cols_[a]));
+      const bool summable =
+          aggs_[a].fn == AggFunc::kSum || aggs_[a].fn == AggFunc::kAvg;
+      switch (p.cv->encoding()) {
+        case ColumnVector::Encoding::kInt64:
+          p.mode = aggs_[a].fn == AggFunc::kCount ? AggMode::kCountCol
+                   : summable                     ? AggMode::kSumInt
+                                                  : AggMode::kGeneric;
+          p.iv = p.cv->ints();
+          break;
+        case ColumnVector::Encoding::kDouble:
+          p.mode = aggs_[a].fn == AggFunc::kCount ? AggMode::kCountCol
+                   : summable                     ? AggMode::kSumDbl
+                                                  : AggMode::kGeneric;
+          p.dv = p.cv->doubles();
+          break;
+        default:
+          p.mode = aggs_[a].fn == AggFunc::kCount ? AggMode::kCountCol
+                                                  : AggMode::kGeneric;
+          break;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      GroupRef* ref;
+      if (kcol != nullptr && !kcol->IsNull(i)) {
+        auto [sit, fresh] = int_groups.try_emplace(kcol->ints()[i]);
+        if (fresh) sit->second = locate(Tuple{Value::Int(kcol->ints()[i])});
+        ref = &sit->second;
+      } else {
+        Tuple key;
+        key.reserve(key_cols_.size());
+        for (size_t c : key_cols_) key.push_back(chunk->column(c).GetValue(i));
+        ref = &locate(std::move(key));
+      }
+      GroupState* g = ref->state;
+      g->count += 1;
+      if (annot.active()) {
+        size_t bit = annot.offset();
+        if (pcol != nullptr) {
+          if (!pcol->IsNull(i)) {
+            auto it = std::upper_bound(int_bounds.begin(), int_bounds.end(),
+                                       pcol->ints()[i]);
+            if (it != int_bounds.begin()) {
+              size_t frag = static_cast<size_t>(it - int_bounds.begin()) - 1;
+              const size_t num_fragments = int_bounds.size() - 1;
+              if (frag >= num_fragments) frag = num_fragments - 1;
+              bit += frag;
+            }
+          }
+        } else {
+          bit += annot.partition()->FragmentOf(
+              chunk->column(annot.attr_index()).GetValue(i));
+        }
+        if (ref->cached_frag == bit) {
+          ++*ref->cached_count;
+        } else {
+          int64_t& c = g->frag_counts[bit];
+          ++c;
+          ref->cached_frag = bit;
+          ref->cached_count = &c;
+        }
+      }
+      for (size_t a = 0; a < plans.size(); ++a) {
+        const AggPlan& p = plans[a];
+        AggState& agg = g->aggs[a];
+        switch (p.mode) {
+          case AggMode::kCountStar:
+            agg.nonnull_count += 1;
+            break;
+          case AggMode::kCountCol:
+            if (!p.cv->IsNull(i)) agg.nonnull_count += 1;
+            break;
+          case AggMode::kSumInt:
+            if (!p.cv->IsNull(i)) {
+              agg.nonnull_count += 1;
+              agg.int_sum += p.iv[i];
+            }
+            break;
+          case AggMode::kSumDbl:
+            if (!p.cv->IsNull(i)) {
+              agg.nonnull_count += 1;
+              agg.saw_double = true;
+              agg.dbl_sum += p.dv[i];
+            }
+            break;
+          case AggMode::kGeneric: {
+            Value v = p.cv != nullptr ? p.cv->GetValue(i) : Value::Int(1);
+            if (!v.is_null()) {
+              Status st = ApplyAggValue(&agg, aggs_[a], v, 1);
+              IMP_RETURN_NOT_OK(st);
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  *result = FinalizeBuildOutput();
+  return true;
+}
+
+Result<AnnotatedRelation> IncAggregate::Build(const DeltaContext& ctx) {
+  if (options_.kernelized) {
+    AnnotatedRelation columnar;
+    IMP_ASSIGN_OR_RETURN(bool handled, TryBuildColumnar(ctx, &columnar));
+    if (handled) return columnar;
+  }
+  IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
+  groups_.clear();
+  for (const AnnotatedRow& r : in.rows) {
+    Tuple key = GroupKeyOf(r.row);
+    auto [it, inserted] = groups_.try_emplace(std::move(key));
+    if (inserted) it->second.aggs.resize(aggs_.size());
+    Status st = ApplyRow(&it->second, r.row, r.sketch, 1);
+    IMP_RETURN_NOT_OK(st);
+  }
+  return FinalizeBuildOutput();
 }
 
 Result<DeltaBatch> IncAggregate::Process(const DeltaContext& ctx) {

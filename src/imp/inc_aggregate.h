@@ -32,6 +32,11 @@ class IncAggregate final : public IncOperator {
     /// Keep only the best `minmax_buffer` distinct values per min/max
     /// state; 0 keeps everything (always exact).
     size_t minmax_buffer = 0;
+    /// Pre-resolve ColumnRef group keys and aggregate arguments to column
+    /// indices so the per-row inner loop copies cells directly instead of
+    /// recursing through virtual Expr::Eval. Bit-identical either way
+    /// (ColumnRefExpr::Eval is exactly row[index]).
+    bool kernelized = false;
   };
 
   IncAggregate(std::unique_ptr<IncOperator> child,
@@ -79,6 +84,22 @@ class IncAggregate final : public IncOperator {
   /// Fold one input row (signed mult) into `state`.
   Status ApplyRow(GroupState* state, const Tuple& row,
                   const BitVector& sketch, int64_t mult);
+  /// The per-value half of ApplyRow: fold one non-NULL aggregate argument
+  /// (shared by the row loop and the columnar Build's reboxed escape hatch).
+  Status ApplyAggValue(AggState* agg, const AggSpec& spec, const Value& v,
+                       int64_t mult);
+  /// Columnar Build fast path (options_.kernelized): when the child is a
+  /// filterless vectorized scan and every group key / aggregate argument is
+  /// a plain column, aggregate straight off the chunk columns — unboxed
+  /// int64/double inner loops, raw-bounds fragment counting, no per-row
+  /// Tuple or sketch materialization. Group state, insertion order and
+  /// output are bit-identical to the row path by construction. Returns
+  /// false (with `result` untouched) when the plan shape or the source does
+  /// not qualify.
+  Result<bool> TryBuildColumnar(const DeltaContext& ctx,
+                                AnnotatedRelation* result);
+  /// Shared Build tail: the no-GROUP-BY empty group plus output emission.
+  AnnotatedRelation FinalizeBuildOutput();
   Status ApplyMinMax(AggState* agg, const AggSpec& spec, const Value& v,
                      int64_t mult);
   /// Current output tuple of a group (key columns then aggregate values).
@@ -91,6 +112,13 @@ class IncAggregate final : public IncOperator {
   Options options_;
   MaintainStats* stats_;
   GroupMap groups_;
+  /// Kernelized access plan (empty unless options_.kernelized resolved it):
+  /// group-key column indices when every group expr is a plain ColumnRef,
+  /// and per-aggregate argument columns (-1 = general expr / no arg,
+  /// falls back to Expr::Eval).
+  bool key_cols_valid_ = false;
+  std::vector<size_t> key_cols_;
+  std::vector<int> agg_cols_;
 };
 
 }  // namespace imp

@@ -1,5 +1,6 @@
 #include "imp/inc_operators.h"
 
+#include <algorithm>
 #include <map>
 
 #include "exec/zone_filter.h"
@@ -42,6 +43,23 @@ IncScan::IncScan(std::string table, ExprPtr filter, const Database* db,
   if (vectorized_ && filter_) kernel_ = PredicateKernel::Compile(filter_);
 }
 
+bool IncScan::ColumnarSource(const DeltaContext& ctx,
+                             std::shared_ptr<const TableSnapshot>* pinned,
+                             const TableSnapshot** snap,
+                             TableAnnotator* annot) const {
+  if (filter_ != nullptr || !vectorized_) return false;
+  const TableSnapshot* s = ctx.view ? ctx.view->Find(table_) : nullptr;
+  if (s == nullptr) {
+    const Table* table = db_->GetTable(table_);
+    if (table == nullptr) return false;
+    *pinned = table->Snapshot();
+    s = pinned->get();
+  }
+  *snap = s;
+  *annot = catalog_->ResolveAnnotator(table_);
+  return true;
+}
+
 Result<AnnotatedRelation> IncScan::Build(const DeltaContext& ctx) {
   AnnotatedRelation out;
   out.schema = schema_;
@@ -55,28 +73,74 @@ Result<AnnotatedRelation> IncScan::Build(const DeltaContext& ctx) {
     pinned = table->Snapshot();
     snap = pinned.get();
   }
-  out.rows.reserve(snap->num_rows());
   // Resolve the table's partition once; per-row annotation then touches
   // only the partition column (bit-identical to catalog_->AnnotateRow).
   const TableAnnotator annot = catalog_->ResolveAnnotator(table_);
   if (vectorized_) {
+    // When every partition boundary is an integer, fragment lookup over a
+    // typed chunk's unboxed int64 column is a raw upper_bound — no Value
+    // touched per row. NULL sorts below every integer in Value::Compare's
+    // type-tag order, so a NULL cell clamps into fragment 0 exactly as
+    // FragmentOf does.
+    std::vector<int64_t> int_bounds;
+    if (annot.active()) {
+      for (const Value& b : annot.partition()->bounds()) {
+        if (!b.is_int()) {
+          int_bounds.clear();
+          break;
+        }
+        int_bounds.push_back(b.AsInt());
+      }
+    }
     // Chunk-at-a-time capture: zone-map pruning in front of the compiled
-    // kernel, then materialize + annotate only the surviving rows.
+    // kernel, a column-at-a-time gather of the survivors, then annotation
+    // in row order (bit-identical to a GetRow-per-set-bit loop). No
+    // table-sized reserve: a selective filter should not allocate a
+    // table-sized row vector, and AnnotatedRow moves are pointer swaps.
     for (const auto& chunk : snap->chunks()) {
       if (filter_ && !ChunkMayMatch(*filter_, *chunk)) continue;
       BitVector sel;
       kernel_.Eval(RowBlock::FromChunk(*chunk), &sel,
                    stats_ ? &stats_->vectorized_batches : nullptr,
                    stats_ ? &stats_->scalar_fallback_rows : nullptr);
-      sel.ForEachSetBit([&](size_t r) {
+      std::vector<Tuple> gathered = chunk->GatherRows(sel);
+      const ColumnVector* pcol = nullptr;
+      if (!int_bounds.empty()) {
+        const ColumnVector& cand = chunk->column(annot.attr_index());
+        if (cand.encoding() == ColumnVector::Encoding::kInt64) pcol = &cand;
+      }
+      if (pcol != nullptr) {
+        const int64_t* pv = pcol->ints();
+        const size_t num_fragments = int_bounds.size() - 1;
+        size_t gi = 0;
+        sel.ForEachSetBit([&](size_t i) {
+          AnnotatedRow ar;
+          ar.row = std::move(gathered[gi++]);
+          size_t frag = 0;
+          if (!pcol->IsNull(i)) {
+            auto it = std::upper_bound(int_bounds.begin(), int_bounds.end(),
+                                       pv[i]);
+            if (it != int_bounds.begin()) {
+              frag = static_cast<size_t>(it - int_bounds.begin()) - 1;
+              if (frag >= num_fragments) frag = num_fragments - 1;
+            }
+          }
+          ar.sketch.Resize(annot.total_fragments());
+          ar.sketch.Set(annot.offset() + frag);
+          out.rows.push_back(std::move(ar));
+        });
+        continue;
+      }
+      for (Tuple& row : gathered) {
         AnnotatedRow ar;
-        ar.row = chunk->GetRow(r);
+        ar.row = std::move(row);
         annot.AnnotateRow(ar.row, &ar.sketch);
         out.rows.push_back(std::move(ar));
-      });
+      }
     }
     return out;
   }
+  out.rows.reserve(snap->num_rows());
   snap->ForEachRow([&](const Tuple& row) {
     if (filter_ && !filter_->Eval(row).IsTrue()) return;
     AnnotatedRow ar;
@@ -166,14 +230,38 @@ Result<DeltaBatch> IncSelect::Process(const DeltaContext& ctx) {
 // ---- IncProject -------------------------------------------------------------
 
 IncProject::IncProject(std::unique_ptr<IncOperator> child,
-                       std::vector<ExprPtr> exprs, Schema output_schema)
+                       std::vector<ExprPtr> exprs, Schema output_schema,
+                       bool kernelized)
     : IncOperator([&] {
         std::vector<std::unique_ptr<IncOperator>> c;
         c.push_back(std::move(child));
         return c;
       }()),
       exprs_(std::move(exprs)),
-      output_schema_(std::move(output_schema)) {}
+      output_schema_(std::move(output_schema)) {
+  if (!kernelized) return;
+  proj_cols_valid_ = true;
+  proj_cols_.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    if (e->kind() != ExprKind::kColumnRef) {
+      proj_cols_valid_ = false;
+      proj_cols_.clear();
+      break;
+    }
+    proj_cols_.push_back(static_cast<const ColumnRefExpr&>(*e).index());
+  }
+}
+
+Tuple IncProject::ProjectRow(const Tuple& row) const {
+  Tuple projected;
+  projected.reserve(exprs_.size());
+  if (proj_cols_valid_) {
+    for (size_t c : proj_cols_) projected.push_back(row[c]);
+    return projected;
+  }
+  for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(row));
+  return projected;
+}
 
 Result<AnnotatedRelation> IncProject::Build(const DeltaContext& ctx) {
   IMP_ASSIGN_OR_RETURN(AnnotatedRelation in, children_[0]->Build(ctx));
@@ -182,8 +270,7 @@ Result<AnnotatedRelation> IncProject::Build(const DeltaContext& ctx) {
   out.rows.reserve(in.rows.size());
   for (AnnotatedRow& r : in.rows) {
     AnnotatedRow pr;
-    pr.row.reserve(exprs_.size());
-    for (const ExprPtr& e : exprs_) pr.row.push_back(e->Eval(r.row));
+    pr.row = ProjectRow(r.row);
     pr.sketch = std::move(r.sketch);
     out.rows.push_back(std::move(pr));
   }
@@ -199,17 +286,11 @@ Result<DeltaBatch> IncProject::Process(const DeltaContext& ctx) {
   out.rows.reserve(in.size());
   if (in.borrowed()) {
     in.ForEachRow([&](const AnnotatedDeltaRow& r) {
-      Tuple projected;
-      projected.reserve(exprs_.size());
-      for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(r.row));
-      out.Append(std::move(projected), r.sketch, r.mult);
+      out.Append(ProjectRow(r.row), r.sketch, r.mult);
     });
   } else {
     for (AnnotatedDeltaRow& r : in.mutable_owned().rows) {
-      Tuple projected;
-      projected.reserve(exprs_.size());
-      for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(r.row));
-      out.Append(std::move(projected), std::move(r.sketch), r.mult);
+      out.Append(ProjectRow(r.row), std::move(r.sketch), r.mult);
     }
   }
   return DeltaBatch::OwnedOf(std::move(out));

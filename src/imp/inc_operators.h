@@ -18,12 +18,19 @@
 
 namespace imp {
 
+class IncScan;
+
 /// Base class of incremental operators. Each operator mirrors one plan node;
 /// Process consumes the children's deltas (driven by the operator itself)
 /// and produces this operator's output delta, updating internal state.
 class IncOperator {
  public:
   virtual ~IncOperator() = default;
+
+  /// Columnar hand-off hook: the scan leaf returns itself so a kernelized
+  /// parent (e.g. IncAggregate) can read typed chunk columns directly
+  /// instead of consuming materialized rows. Everything else: nullptr.
+  virtual const IncScan* AsIncScan() const { return nullptr; }
 
   /// Initialize state from the operator's current (annotated) input and
   /// return the operator's current output — used when a sketch is captured
@@ -73,6 +80,18 @@ class IncScan final : public IncOperator {
 
   Result<AnnotatedRelation> Build(const DeltaContext&) override;
   Result<DeltaBatch> Process(const DeltaContext& ctx) override;
+  const IncScan* AsIncScan() const override { return this; }
+
+  /// Columnar hand-off for a filterless vectorized scan: pin the round's
+  /// snapshot (`*pinned` keeps it alive when the context has no view) and
+  /// resolve the table's annotator, so a kernelized parent can aggregate
+  /// straight off the chunk columns. False when this scan has a filter,
+  /// is not vectorized, or the table does not exist — callers then fall
+  /// back to the row-at-a-time Build contract.
+  bool ColumnarSource(const DeltaContext& ctx,
+                      std::shared_ptr<const TableSnapshot>* pinned,
+                      const TableSnapshot** snap,
+                      TableAnnotator* annot) const;
 
  private:
   std::string table_;
@@ -102,18 +121,25 @@ class IncSelect final : public IncOperator {
 };
 
 /// Incremental projection (Sec. 5.2.2): stateless per-tuple mapping; the
-/// sketch is propagated unmodified.
+/// sketch is propagated unmodified. With `kernelized` set and every
+/// projection a plain ColumnRef (the dominant shape), rows are rebuilt by
+/// direct cell copies instead of virtual Expr::Eval per cell —
+/// bit-identical, since ColumnRefExpr::Eval is exactly row[index].
 class IncProject final : public IncOperator {
  public:
   IncProject(std::unique_ptr<IncOperator> child, std::vector<ExprPtr> exprs,
-             Schema output_schema);
+             Schema output_schema, bool kernelized = false);
 
   Result<AnnotatedRelation> Build(const DeltaContext& ctx) override;
   Result<DeltaBatch> Process(const DeltaContext& ctx) override;
 
  private:
+  Tuple ProjectRow(const Tuple& row) const;
+
   std::vector<ExprPtr> exprs_;
   Schema output_schema_;
+  bool proj_cols_valid_ = false;  ///< all exprs_ are ColumnRefs
+  std::vector<size_t> proj_cols_;
 };
 
 /// Merge operator μ (Sec. 5.1): maintains, for every fragment ρ, the number

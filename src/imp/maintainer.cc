@@ -64,7 +64,8 @@ std::unique_ptr<IncOperator> Maintainer::BuildOperator(const PlanPtr& plan) {
     case PlanKind::kProject: {
       const auto& node = static_cast<const ProjectNode&>(*plan);
       return std::make_unique<IncProject>(BuildOperator(node.child()),
-                                          node.exprs(), node.output_schema());
+                                          node.exprs(), node.output_schema(),
+                                          options_.typed_columns);
     }
     case PlanKind::kJoin: {
       const auto& node = static_cast<const JoinNode&>(*plan);
@@ -81,6 +82,7 @@ std::unique_ptr<IncOperator> Maintainer::BuildOperator(const PlanPtr& plan) {
       const auto& node = static_cast<const AggregateNode&>(*plan);
       IncAggregate::Options aopts;
       aopts.minmax_buffer = options_.minmax_buffer;
+      aopts.kernelized = options_.typed_columns;
       return std::make_unique<IncAggregate>(
           BuildOperator(node.child()), node.group_exprs(), node.aggs(),
           node.output_schema(), aopts, &stats_);
@@ -103,9 +105,11 @@ std::unique_ptr<IncOperator> Maintainer::BuildOperator(const PlanPtr& plan) {
             MakeColumnRef(i, schema.column(i).name, schema.column(i).type));
         names.push_back(schema.column(i).name);
       }
+      IncAggregate::Options dopts;
+      dopts.kernelized = options_.typed_columns;
       return std::make_unique<IncAggregate>(
           BuildOperator(node.child()), std::move(group_exprs),
-          std::vector<AggSpec>{}, schema, IncAggregate::Options{}, &stats_);
+          std::vector<AggSpec>{}, schema, dopts, &stats_);
     }
   }
   IMP_CHECK_MSG(false, "unknown plan kind");

@@ -40,6 +40,11 @@ struct MaintainerOptions {
   /// evaluates the side; results are bit-identical either way — the
   /// reference the index equivalence gates compare against.
   bool indexed_joins = true;
+  /// Operator fast paths over the typed columnar chunk layout: pre-resolved
+  /// column access in aggregation/projection instead of per-row virtual
+  /// Expr::Eval. Off = the boxed reference path; results are bit-identical
+  /// either way (the twin-system equivalence gates compare the two).
+  bool typed_columns = true;
 };
 
 /// Incremental maintenance procedure for one query's sketch.

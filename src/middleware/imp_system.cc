@@ -309,6 +309,7 @@ SystemHealth ImpSystem::Health() {
   // Refresh the snapshot-style stats fields from the same readings.
   {
     Database::IndexStatsSnapshot istats = db_->AggregateIndexStats();
+    Database::TypedColumnStats tstats = db_->AggregateTypedColumnStats();
     std::lock_guard<std::mutex> stats(stats_mu_);
     stats_.faults_injected = health.faults_injected;
     stats_.dead_letter_size = health.dead_letter_size;
@@ -317,6 +318,8 @@ SystemHealth ImpSystem::Health() {
     stats_.index_point_probes = istats.point_probes;
     stats_.index_range_probes = istats.range_probes;
     stats_.index_bytes = db_->IndexBytes();
+    stats_.typed_chunks = tstats.typed_chunks;
+    stats_.boxed_fallback_cells = tstats.boxed_fallback_cells;
   }
   return health;
 }
@@ -1444,6 +1447,9 @@ Status ImpSystem::MaintainBatchLocked(const std::vector<SketchEntry*>& entries,
     stats_.index_point_probes = istats.point_probes;
     stats_.index_range_probes = istats.range_probes;
     stats_.index_bytes = db_->IndexBytes();
+    Database::TypedColumnStats tstats = db_->AggregateTypedColumnStats();
+    stats_.typed_chunks = tstats.typed_chunks;
+    stats_.boxed_fallback_cells = tstats.boxed_fallback_cells;
     if (shared) {
       MaintenanceBatchStats bstats = batch.stats();
       stats_.delta_scans += bstats.delta_scans;

@@ -245,6 +245,12 @@ struct ImpSystemStats {
   size_t index_range_probes = 0;
   size_t index_fallback_scans = 0;
   size_t index_bytes = 0;
+  // Typed columnar layout roll-up (storage/column_vector): chunks carrying
+  // unboxed typed columns in the current snapshots, and cells sitting in
+  // columns that reboxed after a type conflict (the compatibility escape
+  // hatch — a healthy typed workload keeps this at zero).
+  size_t typed_chunks = 0;
+  size_t boxed_fallback_cells = 0;
   // Asynchronous ingestion counters. In async mode update_seconds measures
   // ENQUEUE latency (what the writer observes); the apply cost moves to
   // the worker and is reported separately.

@@ -104,6 +104,12 @@ class TableAnnotator {
     Annotate(row[partition_->attr_index()], out);
   }
 
+  // Raw pieces for batch fast paths that precompute unboxed bounds and set
+  // `offset() + fragment` themselves (valid only when active()).
+  const RangePartition* partition() const { return partition_; }
+  size_t offset() const { return offset_; }
+  size_t total_fragments() const { return total_fragments_; }
+
  private:
   friend class PartitionCatalog;
   const RangePartition* partition_ = nullptr;

@@ -11,7 +11,8 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name) > 0) {
     return Status::InvalidArgument("table already exists: " + name);
   }
-  tables_[name] = std::make_unique<Table>(name, std::move(schema));
+  tables_[name] =
+      std::make_unique<Table>(name, std::move(schema), options_.typed_columns);
   return Status::OK();
 }
 
@@ -224,6 +225,18 @@ Database::IndexStatsSnapshot Database::AggregateIndexStats() const {
     out.shards_reused += s.shards_reused.load(std::memory_order_relaxed);
     out.point_probes += s.point_probes.load(std::memory_order_relaxed);
     out.range_probes += s.range_probes.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Database::TypedColumnStats Database::AggregateTypedColumnStats() const {
+  TypedColumnStats out;
+  for (const auto& [_, table] : tables_) {
+    std::shared_ptr<const TableSnapshot> snap = table->Snapshot();
+    for (const auto& chunk : snap->chunks()) {
+      if (chunk->typed()) ++out.typed_chunks;
+      out.boxed_fallback_cells += chunk->BoxedFallbackCells();
+    }
   }
   return out;
 }

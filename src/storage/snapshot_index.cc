@@ -4,12 +4,20 @@
 
 namespace imp {
 
-std::shared_ptr<const HashShard> HashShard::Build(
-    const std::vector<Value>& column, size_t num_rows) {
+std::shared_ptr<const HashShard> HashShard::Build(const ColumnVector& column,
+                                                  size_t num_rows) {
   auto shard = std::make_shared<HashShard>();
   shard->buckets_.reserve(num_rows);
-  for (uint32_t r = 0; r < num_rows; ++r) {
-    shard->buckets_[column[r]].push_back(r);
+  if (column.encoding() == ColumnVector::Encoding::kBoxed) {
+    const std::vector<Value>& vals = column.boxed();
+    for (uint32_t r = 0; r < num_rows; ++r) {
+      shard->buckets_[vals[r]].push_back(r);
+    }
+  } else {
+    // Typed encodings rebox each cell exactly once into its bucket key.
+    for (uint32_t r = 0; r < num_rows; ++r) {
+      shard->buckets_[column.GetValue(r)].push_back(r);
+    }
   }
   return shard;
 }
@@ -25,13 +33,88 @@ size_t HashShard::MemoryBytes() const {
   return bytes;
 }
 
+namespace {
+
+/// Sort (raw value, row) pairs replicating Value::Compare's three-way form
+/// exactly — `<` then `>` then row tie-break — so a NaN (which Compare
+/// treats as equal to everything) lands in the same position the boxed
+/// comparator would put it.
+template <typename T>
+void SortRawRun(std::vector<std::pair<T, uint32_t>>* run) {
+  std::sort(run->begin(), run->end(),
+            [](const std::pair<T, uint32_t>& a, const std::pair<T, uint32_t>& b) {
+              int c = a.first < b.first ? -1 : (a.first > b.first ? 1 : 0);
+              if (c != 0) return c < 0;
+              return a.second < b.second;
+            });
+}
+
+}  // namespace
+
 std::shared_ptr<const SortedShard> SortedShard::Build(
-    const std::vector<Value>& column, size_t num_rows) {
+    const ColumnVector& column, size_t num_rows) {
   auto shard = std::make_shared<SortedShard>();
   shard->entries_.reserve(num_rows);
+  switch (column.encoding()) {
+    case ColumnVector::Encoding::kUntyped:
+      return shard;  // all NULL: nothing to index
+    case ColumnVector::Encoding::kInt64: {
+      std::vector<std::pair<int64_t, uint32_t>> run;
+      run.reserve(num_rows);
+      const int64_t* vals = column.ints();
+      for (uint32_t r = 0; r < num_rows; ++r) {
+        if (column.has_nulls() && column.nulls().Test(r)) continue;
+        run.emplace_back(vals[r], r);
+      }
+      SortRawRun(&run);
+      for (const auto& [v, r] : run) {
+        shard->entries_.emplace_back(Value::Int(v), r);
+      }
+      return shard;
+    }
+    case ColumnVector::Encoding::kDouble: {
+      std::vector<std::pair<double, uint32_t>> run;
+      run.reserve(num_rows);
+      const double* vals = column.doubles();
+      for (uint32_t r = 0; r < num_rows; ++r) {
+        if (column.has_nulls() && column.nulls().Test(r)) continue;
+        run.emplace_back(vals[r], r);
+      }
+      SortRawRun(&run);
+      for (const auto& [v, r] : run) {
+        shard->entries_.emplace_back(Value::Double(v), r);
+      }
+      return shard;
+    }
+    case ColumnVector::Encoding::kDictString:
+    case ColumnVector::Encoding::kFlatString: {
+      // string_view comparison == std::string::compare sign == the string
+      // leg of Value::Compare.
+      std::vector<std::pair<std::string_view, uint32_t>> run;
+      run.reserve(num_rows);
+      for (uint32_t r = 0; r < num_rows; ++r) {
+        if (column.has_nulls() && column.nulls().Test(r)) continue;
+        run.emplace_back(column.StringAt(r), r);
+      }
+      std::sort(run.begin(), run.end(),
+                [](const std::pair<std::string_view, uint32_t>& a,
+                   const std::pair<std::string_view, uint32_t>& b) {
+                  int c = a.first.compare(b.first);
+                  if (c != 0) return c < 0;
+                  return a.second < b.second;
+                });
+      for (const auto& [v, r] : run) {
+        shard->entries_.emplace_back(Value::String(std::string(v)), r);
+      }
+      return shard;
+    }
+    case ColumnVector::Encoding::kBoxed:
+      break;
+  }
+  const std::vector<Value>& vals = column.boxed();
   for (uint32_t r = 0; r < num_rows; ++r) {
-    if (column[r].is_null()) continue;
-    shard->entries_.emplace_back(column[r], r);
+    if (vals[r].is_null()) continue;
+    shard->entries_.emplace_back(vals[r], r);
   }
   std::sort(shard->entries_.begin(), shard->entries_.end(),
             [](const Entry& a, const Entry& b) {

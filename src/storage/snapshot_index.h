@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/value.h"
+#include "storage/column_vector.h"
 
 namespace imp {
 
@@ -40,8 +41,8 @@ namespace imp {
 class HashShard {
  public:
   /// Build from the first `num_rows` entries of a chunk column.
-  static std::shared_ptr<const HashShard> Build(
-      const std::vector<Value>& column, size_t num_rows);
+  static std::shared_ptr<const HashShard> Build(const ColumnVector& column,
+                                                size_t num_rows);
 
   /// Rows holding `v`, ascending; nullptr when none.
   const std::vector<uint32_t>* Probe(const Value& v) const {
@@ -60,9 +61,11 @@ class HashShard {
 /// matches them.
 class SortedShard {
  public:
-  /// Build from the first `num_rows` entries of a chunk column.
-  static std::shared_ptr<const SortedShard> Build(
-      const std::vector<Value>& column, size_t num_rows);
+  /// Build from the first `num_rows` entries of a chunk column. Typed
+  /// encodings sort on the raw payload (no Value::Compare in the hot
+  /// comparator) and box each value once at materialization.
+  static std::shared_ptr<const SortedShard> Build(const ColumnVector& column,
+                                                  size_t num_rows);
 
   /// True when some entry lies in the bound range. A null `lo` / `hi`
   /// pointer means unbounded on that side; inclusivity flags select

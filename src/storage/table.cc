@@ -15,38 +15,49 @@ void DataChunk::AppendRow(const Tuple& row) {
     hash_shards_.clear();
     sorted_shards_.clear();
   }
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    columns_[c].push_back(row[c]);
-    if (!row[c].is_null()) {
-      ZoneEntry& z = zone_[c];
-      if (!z.valid) {
-        z.min = row[c];
-        z.max = row[c];
-        z.valid = true;
-      } else {
-        if (row[c] < z.min) z.min = row[c];
-        if (z.max < row[c]) z.max = row[c];
-      }
-    }
-  }
+  // The column vectors fold the zone-map min/max accumulators into the
+  // same append — one columnar pass, no re-boxing.
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Append(row[c]);
   ++num_rows_;
 }
 
 Tuple DataChunk::GetRow(size_t row) const {
   Tuple out;
   out.reserve(columns_.size());
-  for (size_t c = 0; c < columns_.size(); ++c) out.push_back(columns_[c][row]);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.push_back(columns_[c].GetValue(row));
+  }
   return out;
+}
+
+std::vector<Tuple> DataChunk::GatherRows(const BitVector& sel) const {
+  std::vector<uint32_t> idx;
+  idx.reserve(sel.Count());
+  sel.ForEachSetBit([&](size_t r) { idx.push_back(static_cast<uint32_t>(r)); });
+  std::vector<Tuple> out(idx.size());
+  for (Tuple& t : out) t.assign(columns_.size(), Value());
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Gather(idx, c, &out);
+  return out;
+}
+
+DataChunk::ZoneEntry DataChunk::zone(size_t col) const {
+  ZoneEntry z;
+  z.valid = columns_[col].MinMax(&z.min, &z.max);
+  return z;
+}
+
+size_t DataChunk::BoxedFallbackCells() const {
+  size_t cells = 0;
+  for (const auto& col : columns_) {
+    if (col.fell_back()) cells += col.size();
+  }
+  return cells;
 }
 
 size_t DataChunk::MemoryBytes() const {
   size_t bytes = sizeof(DataChunk);
-  for (const auto& col : columns_) {
-    bytes += col.capacity() * sizeof(Value);
-    for (const Value& v : col) {
-      if (v.is_string()) bytes += v.AsString().capacity();
-    }
-  }
+  bytes += columns_.capacity() * sizeof(ColumnVector);
+  for (const auto& col : columns_) bytes += col.MemoryBytes();
   return bytes;
 }
 
@@ -107,21 +118,21 @@ void TableSnapshot::ForEachRow(
 }
 
 std::pair<Value, Value> TableSnapshot::ColumnMinMax(size_t col) const {
+  // Fold the chunks' inline zone accumulators — no row visit. Strict-<
+  // folding keeps the earliest of Compare-equal candidates, matching the
+  // row-order loop this replaced.
   Value min, max;
   bool first = true;
   for (const auto& chunk : chunks_) {
-    const auto& column = chunk->column(col);
-    for (size_t r = 0; r < chunk->num_rows(); ++r) {
-      const Value& v = column[r];
-      if (v.is_null()) continue;
-      if (first) {
-        min = v;
-        max = v;
-        first = false;
-      } else {
-        if (v < min) min = v;
-        if (max < v) max = v;
-      }
+    Value cmin, cmax;
+    if (!chunk->column(col).MinMax(&cmin, &cmax)) continue;
+    if (first) {
+      min = std::move(cmin);
+      max = std::move(cmax);
+      first = false;
+    } else {
+      if (cmin < min) min = std::move(cmin);
+      if (max < cmax) max = std::move(cmax);
     }
   }
   return {min, max};
@@ -131,8 +142,10 @@ std::vector<Value> TableSnapshot::ColumnValues(size_t col) const {
   std::vector<Value> out;
   out.reserve(num_rows_);
   for (const auto& chunk : chunks_) {
-    const auto& column = chunk->column(col);
-    out.insert(out.end(), column.begin(), column.begin() + chunk->num_rows());
+    const ColumnVector& column = chunk->column(col);
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      out.push_back(column.GetValue(r));
+    }
   }
   return out;
 }
@@ -308,8 +321,10 @@ size_t TableSnapshot::MemoryBytes() const {
 
 // ---- Table -----------------------------------------------------------------
 
-Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {
+Table::Table(std::string name, Schema schema, bool typed_columns)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      typed_columns_(typed_columns) {
   // Publish the empty snapshot so readers never observe a null pointer.
   snapshot_ = std::make_shared<const TableSnapshot>(
       this, std::vector<std::shared_ptr<const DataChunk>>{}, /*num_rows=*/0,
@@ -319,7 +334,8 @@ Table::Table(std::string name, Schema schema)
 void Table::AppendRow(const Tuple& row) {
   IMP_CHECK_MSG(row.size() == schema_.size(), name_.c_str());
   if (chunks_.empty() || chunks_.back()->Full()) {
-    chunks_.push_back(std::make_shared<DataChunk>(schema_.size()));
+    chunks_.push_back(
+        std::make_shared<DataChunk>(schema_.size(), typed_columns_));
   } else if (chunks_.back().use_count() > 1) {
     // The tail chunk is still referenced by a published snapshot, so it is
     // physically immutable for pinned readers. Small tails are cloned
@@ -331,7 +347,8 @@ void Table::AppendRow(const Tuple& row) {
     // re-clone an ever-growing tail, quadratic over a chunk's fill) while
     // keeping every sealed chunk at least kSealThreshold rows full.
     if (chunks_.back()->num_rows() >= DataChunk::kSealThreshold) {
-      chunks_.push_back(std::make_shared<DataChunk>(schema_.size()));
+      chunks_.push_back(
+          std::make_shared<DataChunk>(schema_.size(), typed_columns_));
     } else {
       chunks_.back() = std::make_shared<DataChunk>(*chunks_.back());
     }
@@ -358,7 +375,8 @@ std::vector<Tuple> Table::DeleteWhereLimit(
         continue;
       }
       if (kept.empty() || kept.back()->Full()) {
-        kept.push_back(std::make_shared<DataChunk>(schema_.size()));
+        kept.push_back(
+            std::make_shared<DataChunk>(schema_.size(), typed_columns_));
       }
       kept.back()->AppendRow(row);
       ++kept_rows;
@@ -378,21 +396,20 @@ void Table::ForEachRow(const std::function<void(const Tuple&)>& fn) const {
 }
 
 std::pair<Value, Value> Table::ColumnMinMax(size_t col) const {
+  // Same accumulator fold as TableSnapshot::ColumnMinMax, over the
+  // writer's current chunks.
   Value min, max;
   bool first = true;
   for (const auto& chunk : chunks_) {
-    const auto& column = chunk->column(col);
-    for (size_t r = 0; r < chunk->num_rows(); ++r) {
-      const Value& v = column[r];
-      if (v.is_null()) continue;
-      if (first) {
-        min = v;
-        max = v;
-        first = false;
-      } else {
-        if (v < min) min = v;
-        if (max < v) max = v;
-      }
+    Value cmin, cmax;
+    if (!chunk->column(col).MinMax(&cmin, &cmax)) continue;
+    if (first) {
+      min = std::move(cmin);
+      max = std::move(cmax);
+      first = false;
+    } else {
+      if (cmin < min) min = std::move(cmin);
+      if (max < cmax) max = std::move(cmax);
     }
   }
   return {min, max};

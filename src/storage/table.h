@@ -52,6 +52,7 @@
 
 #include "common/schema.h"
 #include "common/tuple.h"
+#include "storage/column_vector.h"
 #include "storage/delta_log.h"
 #include "storage/snapshot_index.h"
 
@@ -74,29 +75,49 @@ class DataChunk {
   /// clone while keeping chunks at least this full.
   static constexpr size_t kSealThreshold = 256;
 
-  explicit DataChunk(size_t num_columns)
-      : columns_(num_columns), zone_(num_columns), num_rows_(0) {}
+  /// `typed` selects the typed columnar layout (ColumnVector adaptive
+  /// encodings) over the legacy boxed vector<Value> layout. Both are
+  /// observationally bit-identical; typed is what Database/Table pass by
+  /// default.
+  explicit DataChunk(size_t num_columns, bool typed = false)
+      : columns_(num_columns, ColumnVector(typed)),
+        num_rows_(0),
+        typed_(typed) {}
 
-  /// Copy the row data and zone map but NOT the shard cache: a COW clone is
-  /// a fresh, writer-private chunk whose contents will diverge immediately.
+  /// Copy the row data (and its inline zone accumulators) but NOT the shard
+  /// cache: a COW clone is a fresh, writer-private chunk whose contents
+  /// will diverge immediately.
   DataChunk(const DataChunk& other)
-      : columns_(other.columns_), zone_(other.zone_), num_rows_(other.num_rows_) {}
+      : columns_(other.columns_),
+        num_rows_(other.num_rows_),
+        typed_(other.typed_) {}
   DataChunk& operator=(const DataChunk&) = delete;
 
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
   bool Full() const { return num_rows_ >= kDefaultCapacity; }
+  /// True when this chunk stores typed column vectors (individual columns
+  /// may still have reboxed on a type conflict; see BoxedFallbackCells).
+  bool typed() const { return typed_; }
+  /// Cells of typed-mode columns that had to rebox into the legacy layout
+  /// because the column received conflicting value types.
+  size_t BoxedFallbackCells() const;
 
   void AppendRow(const Tuple& row);
   /// Value of column `col` in row `row` (bounds-checked in debug builds).
-  const Value& At(size_t row, size_t col) const {
+  /// Reboxes typed cells — by value; use column() for the unboxed payload.
+  Value At(size_t row, size_t col) const {
     IMP_DCHECK(row < num_rows_ && col < columns_.size());
-    return columns_[col][row];
+    return columns_[col].GetValue(row);
   }
   /// Materialize row `row` as a tuple.
   Tuple GetRow(size_t row) const;
 
-  const std::vector<Value>& column(size_t col) const { return columns_[col]; }
+  /// Materialize the selected rows column-at-a-time (ascending row order —
+  /// the same order a GetRow-per-set-bit loop would produce).
+  std::vector<Tuple> GatherRows(const BitVector& sel) const;
+
+  const ColumnVector& column(size_t col) const { return columns_[col]; }
 
   /// Zone-map entry of a column: min/max over non-null values; `valid` is
   /// false when the column holds no non-null values yet.
@@ -105,7 +126,9 @@ class DataChunk {
     Value max;
     bool valid = false;
   };
-  const ZoneEntry& zone(size_t col) const { return zone_[col]; }
+  /// Built on demand from the column's inline min/max accumulators (one
+  /// columnar pass shared with the payload append — rows are not re-boxed).
+  ZoneEntry zone(size_t col) const;
 
   /// Lazily build (or fetch the cached) point / ordered index shard for
   /// `col`. The returned shard is immutable and may be shared by any number
@@ -128,9 +151,9 @@ class DataChunk {
   size_t MemoryBytes() const;
 
  private:
-  std::vector<std::vector<Value>> columns_;
-  std::vector<ZoneEntry> zone_;
+  std::vector<ColumnVector> columns_;
   size_t num_rows_;
+  bool typed_;
   /// Shard cache. Guards the maps only; the shards themselves are
   /// immutable. Leaf lock (acquired under a snapshot's index_mu_ during
   /// assembly; shard builds take no further locks).
@@ -288,7 +311,10 @@ class TableSnapshot {
 /// (Database::WriteSession(table)); Snapshot() is the lock-free read side.
 class Table {
  public:
-  Table(std::string name, Schema schema);
+  /// `typed_columns` selects the typed ColumnVector chunk layout (default)
+  /// over the legacy boxed one for every chunk this table creates; both
+  /// layouts are observationally bit-identical.
+  Table(std::string name, Schema schema, bool typed_columns = true);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -369,6 +395,7 @@ class Table {
  private:
   std::string name_;
   Schema schema_;
+  bool typed_columns_ = true;
   std::vector<std::shared_ptr<DataChunk>> chunks_;
   size_t num_rows_ = 0;
   uint64_t snapshot_epoch_ = 0;  ///< writer-side; last published epoch

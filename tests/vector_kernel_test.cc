@@ -8,14 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "exec/executor.h"
 #include "exec/vector_kernels.h"
+#include "imp/inc_aggregate.h"
+#include "imp/inc_operators.h"
 #include "imp/maintainer.h"
 #include "sketch/capture.h"
+#include "sketch/partition.h"
 #include "test_util.h"
 
 namespace imp {
@@ -384,6 +389,342 @@ TEST(VectorKernelTest, MaintenanceBitIdenticalWithKernelsOnAndOff) {
   // never did.
   EXPECT_GT(m_on.stats().vectorized_batches, 0u);
   EXPECT_EQ(m_off.stats().vectorized_batches, 0u);
+}
+
+// ---- Typed-vs-boxed twin suite ----------------------------------------------
+//
+// The same rows stored under the typed ColumnVector layout and the legacy
+// boxed layout must give bit-for-bit identical selection bitmaps for every
+// predicate shape, chunk by chunk — including dictionary and flat strings,
+// NULL-heavy columns, and a column that fell back to boxed storage after a
+// type conflict.
+
+// Columns: ti int, td double (integral + fractional), ds dict string
+// (12 distinct), fs flat string (overflows the 256-entry dictionary),
+// nh NULL-heavy int, mx mixed types (forces the boxed fallback).
+Schema TypedTwinSchema() {
+  Schema s;
+  s.AddColumn("ti", ValueType::kInt);
+  s.AddColumn("td", ValueType::kDouble);
+  s.AddColumn("ds", ValueType::kString);
+  s.AddColumn("fs", ValueType::kString);
+  s.AddColumn("nh", ValueType::kInt);
+  s.AddColumn("mx", ValueType::kInt);
+  return s;
+}
+
+Value TypedTwinCell(Rng* rng, size_t col) {
+  if (col != 5 && rng->Chance(col == 4 ? 0.5 : 0.1)) return Value::Null();
+  switch (col) {
+    case 0:
+      return Value::Int(rng->UniformInt(-100, 100));
+    case 1:
+      return rng->Chance(0.5)
+                 ? Value::Double(static_cast<double>(rng->UniformInt(-40, 40)))
+                 : Value::Double(rng->UniformDouble(-40.0, 40.0));
+    case 2:
+      return Value::String("d" + std::to_string(rng->UniformInt(0, 11)));
+    case 3:
+      return Value::String("f" + std::to_string(rng->UniformInt(0, 4000)));
+    case 4:
+      return Value::Int(rng->UniformInt(0, 20));
+    default:
+      switch (rng->UniformInt(0, 2)) {
+        case 0:
+          return Value::Int(rng->UniformInt(0, 5));
+        case 1:
+          return Value::Double(rng->UniformInt(0, 5) + 0.5);
+        default:
+          return Value::String("m" + std::to_string(rng->UniformInt(0, 5)));
+      }
+  }
+}
+
+std::vector<Tuple> TypedTwinRows(Rng* rng, size_t n) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple row;
+    for (size_t c = 0; c < 6; ++c) row.push_back(TypedTwinCell(rng, c));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+ExprPtr TypedTwinPredicate(Rng* rng, int depth) {
+  if (depth > 0 && rng->Chance(0.55)) {
+    switch (rng->UniformInt(0, 2)) {
+      case 0:
+        return MakeBinary(BinaryOp::kAnd, TypedTwinPredicate(rng, depth - 1),
+                          TypedTwinPredicate(rng, depth - 1));
+      case 1:
+        return MakeBinary(BinaryOp::kOr, TypedTwinPredicate(rng, depth - 1),
+                          TypedTwinPredicate(rng, depth - 1));
+      default:
+        return MakeUnary(UnaryOp::kNot, TypedTwinPredicate(rng, depth - 1));
+    }
+  }
+  static const char* kNames[] = {"ti", "td", "ds", "fs", "nh", "mx"};
+  static const ValueType kTypes[] = {ValueType::kInt,    ValueType::kDouble,
+                                     ValueType::kString, ValueType::kString,
+                                     ValueType::kInt,    ValueType::kInt};
+  size_t col = static_cast<size_t>(rng->UniformInt(0, 5));
+  auto ref = [&] { return MakeColumnRef(col, kNames[col], kTypes[col]); };
+  // 20% of literals come from a DIFFERENT column's domain, so cross-type-
+  // class comparisons (string lit on an int column, numeric lit on a string
+  // column, int-vs-double promotion) are exercised on every encoding.
+  auto lit = [&] {
+    size_t lit_col =
+        rng->Chance(0.2) ? static_cast<size_t>(rng->UniformInt(0, 5)) : col;
+    if (rng->Chance(0.05)) return MakeLiteral(Value::Null());
+    return MakeLiteral(TypedTwinCell(rng, lit_col));
+  };
+  switch (rng->UniformInt(0, 3)) {
+    case 0:
+      return MakeBinary(RandomCmp(rng), ref(), lit());
+    case 1:
+      return MakeBinary(RandomCmp(rng), lit(), ref());
+    case 2:
+      return MakeBetween(ref(), lit(), lit());
+    default:  // col cmp col — scalar remainder over typed gathers
+      return MakeBinary(RandomCmp(rng), ref(),
+                        MakeColumnRef(0, "ti", ValueType::kInt));
+  }
+}
+
+TEST(TypedColumnTwinTest, SelectionBitmapsIdenticalAcrossLayouts) {
+  Rng rng(47);
+  DatabaseOptions boxed_opts;
+  boxed_opts.typed_columns = false;
+  Database db_typed;
+  Database db_boxed(boxed_opts);
+  for (Database* db : {&db_typed, &db_boxed}) {
+    ASSERT_TRUE(db->CreateTable("t", TypedTwinSchema()).ok());
+  }
+  std::vector<Tuple> rows = TypedTwinRows(&rng, 9000);
+  ASSERT_TRUE(db_typed.BulkLoad("t", rows).ok());
+  ASSERT_TRUE(db_boxed.BulkLoad("t", rows).ok());
+  // A few appends on top so the COW tail chunk is covered too.
+  std::vector<Tuple> extra = TypedTwinRows(&rng, 123);
+  ASSERT_TRUE(db_typed.Insert("t", extra).ok());
+  ASSERT_TRUE(db_boxed.Insert("t", extra).ok());
+
+  auto snap_typed = db_typed.GetTable("t")->Snapshot();
+  auto snap_boxed = db_boxed.GetTable("t")->Snapshot();
+  ASSERT_EQ(snap_typed->num_rows(), snap_boxed->num_rows());
+  ASSERT_EQ(snap_typed->chunks().size(), snap_boxed->chunks().size());
+
+  // The layouts actually diverge under the hood: typed chunks engaged, the
+  // mixed column reboxed, the wide string column overflowed the dictionary.
+  Database::TypedColumnStats tstats = db_typed.AggregateTypedColumnStats();
+  EXPECT_GT(tstats.typed_chunks, 0u);
+  EXPECT_GT(tstats.boxed_fallback_cells, 0u);
+  EXPECT_EQ(db_boxed.AggregateTypedColumnStats().typed_chunks, 0u);
+  const DataChunk& first = *snap_typed->chunks()[0];
+  EXPECT_EQ(first.column(0).encoding(), ColumnVector::Encoding::kInt64);
+  EXPECT_EQ(first.column(1).encoding(), ColumnVector::Encoding::kDouble);
+  EXPECT_EQ(first.column(2).encoding(), ColumnVector::Encoding::kDictString);
+  EXPECT_EQ(first.column(3).encoding(), ColumnVector::Encoding::kFlatString);
+  EXPECT_TRUE(first.column(5).fell_back());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    ExprPtr expr = TypedTwinPredicate(&rng, 3);
+    PredicateKernel kernel = PredicateKernel::Compile(expr);
+    for (size_t ci = 0; ci < snap_typed->chunks().size(); ++ci) {
+      const DataChunk& ct = *snap_typed->chunks()[ci];
+      const DataChunk& cb = *snap_boxed->chunks()[ci];
+      ASSERT_EQ(ct.num_rows(), cb.num_rows());
+      BitVector sel_typed, sel_boxed;
+      kernel.Eval(RowBlock::FromChunk(ct), &sel_typed, nullptr, nullptr);
+      kernel.Eval(RowBlock::FromChunk(cb), &sel_boxed, nullptr, nullptr);
+      for (size_t r = 0; r < ct.num_rows(); ++r) {
+        ASSERT_EQ(sel_typed.Test(r), sel_boxed.Test(r))
+            << "trial " << trial << " chunk " << ci << " row " << r << " expr "
+            << expr->ToString();
+        ASSERT_EQ(sel_typed.Test(r), ScalarBit(expr, ct.GetRow(r)))
+            << "trial " << trial << " chunk " << ci << " row " << r << " expr "
+            << expr->ToString();
+      }
+    }
+  }
+}
+
+TEST(TypedColumnTwinTest, ExecutorIdenticalAcrossLayouts) {
+  Rng rng(48);
+  DatabaseOptions boxed_opts;
+  boxed_opts.typed_columns = false;
+  Database db_typed;
+  Database db_boxed(boxed_opts);
+  for (Database* db : {&db_typed, &db_boxed}) {
+    ASSERT_TRUE(db->CreateTable("t", TypedTwinSchema()).ok());
+  }
+  std::vector<Tuple> rows = TypedTwinRows(&rng, 6000);
+  ASSERT_TRUE(db_typed.BulkLoad("t", rows).ok());
+  ASSERT_TRUE(db_boxed.BulkLoad("t", rows).ok());
+  const char* queries[] = {
+      "SELECT * FROM t WHERE ti BETWEEN -20 AND 60",
+      "SELECT ti, td FROM t WHERE td > 0.0 AND nh <= 10",
+      "SELECT * FROM t WHERE ds = 'd3' OR ds = 'd7'",
+      "SELECT * FROM t WHERE fs < 'f2000' AND ti >= 0",
+      "SELECT * FROM t WHERE ti < nh",
+  };
+  for (const char* sql : queries) {
+    Executor ex_typed(&db_typed);
+    Executor ex_boxed(&db_boxed);
+    auto r_typed = ex_typed.Execute(MustBind(db_typed, sql));
+    auto r_boxed = ex_boxed.Execute(MustBind(db_boxed, sql));
+    ASSERT_TRUE(r_typed.ok() && r_boxed.ok()) << sql;
+    EXPECT_TRUE(r_typed.value().SameBag(r_boxed.value())) << sql;
+  }
+}
+
+TEST(TypedColumnTwinTest, MaintenanceIdenticalAcrossLayouts) {
+  // Twin maintainers over a typed and a boxed database — with the typed
+  // operator kernelizations toggled to match — must produce identical
+  // sketch deltas and sketches on every round. This is the end-to-end gate
+  // the BENCH_PR10 smoke also enforces.
+  DatabaseOptions boxed_opts;
+  boxed_opts.typed_columns = false;
+  Database db_typed;
+  Database db_boxed(boxed_opts);
+  LoadFig5Example(&db_typed);
+  LoadFig5Example(&db_boxed);
+  PartitionCatalog cat_typed, cat_boxed;
+  for (PartitionCatalog* cat : {&cat_typed, &cat_boxed}) {
+    ASSERT_TRUE(cat->Register(Fig5PartitionR()).ok());
+    ASSERT_TRUE(cat->Register(Fig5PartitionS()).ok());
+  }
+  MaintainerOptions opt_typed, opt_boxed;
+  opt_boxed.typed_columns = false;
+  Maintainer m_typed(&db_typed, &cat_typed, MustBind(db_typed, kFig5Query),
+                     opt_typed);
+  Maintainer m_boxed(&db_boxed, &cat_boxed, MustBind(db_boxed, kFig5Query),
+                     opt_boxed);
+  auto s_typed = m_typed.Initialize();
+  auto s_boxed = m_boxed.Initialize();
+  ASSERT_TRUE(s_typed.ok() && s_boxed.ok());
+  EXPECT_EQ(s_typed.value().fragments, s_boxed.value().fragments);
+
+  Rng rng(49);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Tuple> r_rows, s_rows;
+    for (int i = 0; i < 5; ++i) {
+      r_rows.push_back(Tuple{Value::Int(rng.UniformInt(1, 10)),
+                             Value::Int(rng.UniformInt(1, 10))});
+      s_rows.push_back(Tuple{Value::Int(rng.UniformInt(1, 15)),
+                             Value::Int(rng.UniformInt(1, 10))});
+    }
+    int64_t doomed = rng.UniformInt(1, 10);
+    for (Database* db : {&db_typed, &db_boxed}) {
+      ASSERT_TRUE(db->Insert("r", r_rows).ok());
+      ASSERT_TRUE(db->Insert("s", s_rows).ok());
+      if (round % 3 == 2) {
+        ASSERT_TRUE(db->Delete("r", [&](const Tuple& row) {
+                        return row[0] == Value::Int(doomed);
+                      }).ok());
+      }
+    }
+    auto d_typed = m_typed.MaintainFromBackend();
+    auto d_boxed = m_boxed.MaintainFromBackend();
+    ASSERT_TRUE(d_typed.ok() && d_boxed.ok()) << "round " << round;
+    EXPECT_EQ(d_typed.value().added, d_boxed.value().added)
+        << "round " << round;
+    EXPECT_EQ(d_typed.value().removed, d_boxed.value().removed)
+        << "round " << round;
+    EXPECT_EQ(m_typed.sketch().fragments, m_boxed.sketch().fragments)
+        << "round " << round;
+  }
+  EXPECT_GT(db_typed.AggregateTypedColumnStats().typed_chunks, 0u);
+}
+
+TEST(TypedColumnTwinTest, ColumnarAggregateBuildMatchesRowPath) {
+  // The kernelized IncAggregate bypasses row materialization entirely when
+  // its child is a filterless vectorized scan (TryBuildColumnar). Every
+  // layout x path combination must produce identical (row, sketch) outputs
+  // and group counts — across an int group key with NULLs (raw-int64 side
+  // map mixed with the tuple path), a dict-string key, and no GROUP BY.
+  Rng rng(71);
+  DatabaseOptions boxed_opts;
+  boxed_opts.typed_columns = false;
+  Database db_typed;
+  Database db_boxed(boxed_opts);
+  for (Database* db : {&db_typed, &db_boxed}) {
+    ASSERT_TRUE(db->CreateTable("t", TypedTwinSchema()).ok());
+  }
+  std::vector<Tuple> rows = TypedTwinRows(&rng, 6000);
+  ASSERT_TRUE(db_typed.BulkLoad("t", rows).ok());
+  ASSERT_TRUE(db_boxed.BulkLoad("t", rows).ok());
+  std::vector<Tuple> extra = TypedTwinRows(&rng, 77);
+  ASSERT_TRUE(db_typed.Insert("t", extra).ok());
+  ASSERT_TRUE(db_boxed.Insert("t", extra).ok());
+
+  // Partition on the NULL-heavy int column: NULL rows must land in fragment
+  // 0 through both the raw-bounds fast path and Value-typed FragmentOf.
+  PartitionCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Register(RangePartition::EquiWidthInt("t", "nh", 4, 0, 20, 8))
+          .ok());
+
+  auto signature = [](const AnnotatedRelation& rel) {
+    std::vector<std::pair<Tuple, BitVector>> out;
+    out.reserve(rel.rows.size());
+    for (const AnnotatedRow& ar : rel.rows) out.emplace_back(ar.row, ar.sketch);
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return TupleLess()(a.first, b.first);
+    });
+    return out;
+  };
+
+  static const char* kNames[] = {"ti", "td", "ds", "fs", "nh", "mx"};
+  static const ValueType kTypes[] = {ValueType::kInt,    ValueType::kDouble,
+                                     ValueType::kString, ValueType::kString,
+                                     ValueType::kInt,    ValueType::kInt};
+  MaintainStats stats;
+  auto run = [&](Database* db, bool kernelized, int group_col) {
+    auto scan = std::make_unique<IncScan>("t", nullptr, db, &catalog,
+                                          db->GetTable("t")->schema(), &stats,
+                                          /*vectorized=*/true);
+    std::vector<ExprPtr> groups;
+    Schema out;
+    if (group_col >= 0) {
+      groups.push_back(MakeColumnRef(static_cast<size_t>(group_col),
+                                     kNames[group_col], kTypes[group_col]));
+      out.AddColumn(kNames[group_col], kTypes[group_col]);
+    }
+    std::vector<AggSpec> aggs = {
+        {AggFunc::kSum, MakeColumnRef(1, "td", ValueType::kDouble), "sum_td"},
+        {AggFunc::kSum, MakeColumnRef(0, "ti", ValueType::kInt), "sum_ti"},
+        {AggFunc::kCount, nullptr, "cnt"},
+        {AggFunc::kCount, MakeColumnRef(3, "fs", ValueType::kString), "cnt_fs"},
+        {AggFunc::kMin, MakeColumnRef(0, "ti", ValueType::kInt), "min_ti"},
+        {AggFunc::kMax, MakeColumnRef(1, "td", ValueType::kDouble), "max_td"}};
+    for (const AggSpec& a : aggs) out.AddColumn(a.name, a.OutputType());
+    IncAggregate::Options aopts;
+    aopts.kernelized = kernelized;
+    IncAggregate agg(std::move(scan), std::move(groups), aggs, out, aopts,
+                     &stats);
+    Result<AnnotatedRelation> r = agg.Build(DeltaContext{});
+    EXPECT_TRUE(r.ok());
+    return std::make_pair(signature(r.value()), agg.NumGroups());
+  };
+
+  for (int gc : {4, 2, -1}) {
+    auto base = run(&db_boxed, /*kernelized=*/false, gc);
+    EXPECT_GT(base.first.size(), 0u) << "group col " << gc;
+    for (bool typed : {false, true}) {
+      for (bool kernelized : {false, true}) {
+        if (!typed && !kernelized) continue;  // that's the baseline
+        auto got = run(typed ? &db_typed : &db_boxed, kernelized, gc);
+        EXPECT_EQ(base.second, got.second)
+            << "group col " << gc << " typed " << typed << " kernelized "
+            << kernelized;
+        EXPECT_TRUE(base.first == got.first)
+            << "group col " << gc << " typed " << typed << " kernelized "
+            << kernelized;
+      }
+    }
+  }
+  EXPECT_GT(db_typed.AggregateTypedColumnStats().typed_chunks, 0u);
 }
 
 }  // namespace
